@@ -1,0 +1,53 @@
+// Shared output helpers for the figure-reproduction binaries.
+//
+// Each bench prints: (1) a header naming the paper artefact, (2) the
+// plot-ready series (downsampled CSV), and (3) a PAPER-vs-MEASURED
+// summary block — the rows EXPERIMENTS.md records.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "stats/timeseries.h"
+#include "util/types.h"
+
+namespace triad::bench {
+
+inline void print_header(const std::string& artefact,
+                         const std::string& description) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", artefact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("=============================================================\n");
+}
+
+/// Prints a (time, value) series downsampled to at most max_rows rows.
+inline void print_series(const stats::TimeSeries& series,
+                         std::size_t max_rows = 120) {
+  const auto& samples = series.samples();
+  if (samples.empty()) {
+    std::printf("# %s: (empty)\n", series.name().c_str());
+    return;
+  }
+  std::printf("# time_s,%s\n", series.name().c_str());
+  const std::size_t stride =
+      samples.size() <= max_rows ? 1 : samples.size() / max_rows;
+  for (std::size_t i = 0; i < samples.size(); i += stride) {
+    std::printf("%.3f,%.4f\n", to_seconds(samples[i].time),
+                samples[i].value);
+  }
+  // Always include the final point.
+  if ((samples.size() - 1) % stride != 0) {
+    std::printf("%.3f,%.4f\n", to_seconds(samples.back().time),
+                samples.back().value);
+  }
+}
+
+inline void print_summary_row(const std::string& metric,
+                              const std::string& paper,
+                              const std::string& measured) {
+  std::printf("SUMMARY | %-44s | paper: %-22s | measured: %s\n",
+              metric.c_str(), paper.c_str(), measured.c_str());
+}
+
+}  // namespace triad::bench

@@ -1,0 +1,71 @@
+// Figure 2 (§IV-A2): long-term fault-free behaviour under the Triad-like
+// AEX distribution (Fig. 1a) — 30 minutes, three nodes.
+//   (a) clock drift per node over time (sawtooth: ppm-level rates reset
+//       whenever correlated AEXs force a TA reference calibration)
+//   (b) cumulative number of time references received from the TA
+// Paper: F1=2900.089, F2=2900.113, F3=2899.653 MHz; effective drift
+// ~110 ppm; availability > 98% including initial calibration.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "exp/recorder.h"
+#include "exp/scenario.h"
+
+int main() {
+  using namespace triad;
+  bench::print_header(
+      "Figure 2 — fault-free drift & TA references (30 min, Triad-like AEXs)",
+      "3 nodes + TA; correlated machine interrupts force periodic TA resets");
+
+  exp::ScenarioConfig cfg;
+  cfg.seed = 2;
+  exp::Scenario sc(std::move(cfg));
+  exp::Recorder rec(sc);
+  sc.start();
+  sc.run_until(minutes(30));
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::printf("\n--- Figure 2a: node %zu clock drift (ms) ---\n", i + 1);
+    bench::print_series(rec.drift_ms(i), 90);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::printf("\n--- Figure 2b: node %zu cumulative TA references ---\n",
+                i + 1);
+    bench::print_series(rec.ta_references(i), 40);
+  }
+
+  std::printf("\n");
+  char buf[128];
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::snprintf(buf, sizeof buf, "%.3f MHz",
+                  sc.node(i).calibrated_frequency_hz() / 1e6);
+    const char* paper[] = {"2900.089 MHz", "2900.113 MHz", "2899.653 MHz"};
+    bench::print_summary_row(
+        "F_calib node " + std::to_string(i + 1) + " (~±100s of ppm of F_TSC)",
+        paper[i], buf);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double extreme =
+        std::max(std::abs(rec.drift_ms(i).max_value()),
+                 std::abs(rec.drift_ms(i).min_value()));
+    // Drift accrues between TA resets (~5.4 min): ppm rate = extreme/324s.
+    std::snprintf(buf, sizeof buf, "%.0f ppm (peak %.1f ms / ~324 s)",
+                  extreme / 324.0 * 1000.0, extreme);
+    bench::print_summary_row(
+        "effective drift rate node " + std::to_string(i + 1),
+        "~110 ppm", buf);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::snprintf(buf, sizeof buf, "%.2f %% (ta_refs=%llu, fullcalib=%llu)",
+                  sc.node(i).availability() * 100.0,
+                  static_cast<unsigned long long>(
+                      sc.node(i).stats().ta_time_references),
+                  static_cast<unsigned long long>(
+                      sc.node(i).stats().full_calibrations));
+    bench::print_summary_row(
+        "availability node " + std::to_string(i + 1) +
+            " (incl. initial calibration)",
+        "> 98 %", buf);
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark): the crypto substrate that seals
+// every Triad protocol message.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.h"
+#include "crypto/channel.h"
+#include "crypto/gcm.h"
+#include "crypto/handshake.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/x25519.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace triad;
+using namespace triad::crypto;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+void BM_Aes256Block(benchmark::State& state) {
+  Aes256 aes(random_bytes(32, 1));
+  AesBlock block{};
+  for (auto _ : state) {
+    aes.encrypt_block(block.data(), block.data());
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes256Block);
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto digest = sha256(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = random_bytes(32, 3);
+  const Bytes data = random_bytes(256, 4);
+  for (auto _ : state) {
+    auto mac = hmac_sha256(key, data);
+    benchmark::DoNotOptimize(mac);
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_HkdfDeriveChannelKey(benchmark::State& state) {
+  const ClusterKeyring keyring(random_bytes(32, 5));
+  NodeId peer = 1;
+  for (auto _ : state) {
+    auto key = keyring.direction_key(1, ++peer);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_HkdfDeriveChannelKey);
+
+void BM_GcmSeal(benchmark::State& state) {
+  Aes256Gcm gcm(random_bytes(32, 6));
+  const Bytes plaintext =
+      random_bytes(static_cast<std::size_t>(state.range(0)), 7);
+  const Bytes aad = random_bytes(16, 8);
+  GcmIv iv{};
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    iv[0] = static_cast<std::uint8_t>(++counter);
+    auto sealed = gcm.seal(iv, plaintext, aad);
+    benchmark::DoNotOptimize(sealed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GcmSeal)->Arg(32)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_GcmOpen(benchmark::State& state) {
+  Aes256Gcm gcm(random_bytes(32, 9));
+  const Bytes plaintext =
+      random_bytes(static_cast<std::size_t>(state.range(0)), 10);
+  const GcmIv iv{1, 2, 3};
+  const auto sealed = gcm.seal(iv, plaintext, {});
+  for (auto _ : state) {
+    auto opened = gcm.open(iv, sealed.ciphertext, {}, sealed.tag);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GcmOpen)->Arg(32)->Arg(1024);
+
+void BM_X25519SharedSecret(benchmark::State& state) {
+  Rng rng(13);
+  X25519Key a{}, pub_b{};
+  for (auto& byte : a) byte = static_cast<std::uint8_t>(rng.next_u64());
+  X25519Key b{};
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next_u64());
+  pub_b = x25519_public_key(b);
+  for (auto _ : state) {
+    X25519Key shared{};
+    benchmark::DoNotOptimize(x25519_shared_secret(a, pub_b, &shared));
+    benchmark::DoNotOptimize(shared);
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+void BM_AttestedHandshake(benchmark::State& state) {
+  const AttestationAuthority authority(random_bytes(32, 14));
+  const Measurement measurement = sha256(random_bytes(64, 15));
+  const HandshakeParty alice(authority, 1, measurement, 16);
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    const HandshakeParty bob(authority, 2, measurement, ++seed);
+    auto result = alice.accept(bob.offer(), measurement);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AttestedHandshake);
+
+void BM_SecureChannelRoundTrip(benchmark::State& state) {
+  const ClusterKeyring keyring(random_bytes(32, 11));
+  SecureChannel alice(1, keyring);
+  SecureChannel bob(2, keyring);
+  const Bytes message = random_bytes(64, 12);  // typical protocol message
+  for (auto _ : state) {
+    auto opened = bob.open(alice.seal(2, message));
+    benchmark::DoNotOptimize(opened);
+  }
+}
+BENCHMARK(BM_SecureChannelRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

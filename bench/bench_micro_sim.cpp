@@ -1,0 +1,72 @@
+// Micro-benchmarks (google-benchmark): simulation engine and end-to-end
+// scenario throughput — how many virtual protocol-hours per wall second.
+#include <benchmark/benchmark.h>
+
+#include "exp/scenario.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace triad;
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(i, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_TimerCascade(benchmark::State& state) {
+  // Self-rescheduling events: the protocol's dominant pattern.
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::function<void()> tick = [&] {
+      if (sim.now() < seconds(100)) sim.schedule_after(milliseconds(1), tick);
+    };
+    sim.schedule_after(milliseconds(1), tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_TimerCascade);
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  sim::Simulation sim;
+  net::Network net(sim, std::make_unique<net::FixedDelay>(microseconds(100)));
+  std::uint64_t received = 0;
+  net.attach(2, [&](const net::Packet&) { ++received; });
+  const Bytes payload(128, 7);
+  for (auto _ : state) {
+    net.send(1, 2, payload);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_FullScenarioVirtualMinute(benchmark::State& state) {
+  // One virtual minute of a 3-node Triad cluster with Triad-like AEXs,
+  // full crypto on every message.
+  for (auto _ : state) {
+    exp::ScenarioConfig cfg;
+    cfg.seed = 77;
+    exp::Scenario sc(std::move(cfg));
+    sc.start();
+    sc.run_until(minutes(1));
+    benchmark::DoNotOptimize(sc.simulation().events_executed());
+  }
+}
+BENCHMARK(BM_FullScenarioVirtualMinute)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+// §V quantified: Triad's short-window calibration vs NTP-style
+// discipline under the same attacker.
+//
+// Four rows, all on the same machine model:
+//   Triad node, no attack        — ~110 ppm drift between TA resets
+//   NTP client, no attack        — sub-ms offset, ppm-learned frequency
+//   Triad node, F- delay attack  — unbounded silent skew (Fig. 6)
+//   NTP client, delay attacks    — bounded by delay/2 (uniform) or
+//                                  filtered entirely (selective)
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "exp/recorder.h"
+#include "exp/scenario.h"
+#include "ntp/ntp_client.h"
+#include "ntp/ntp_server.h"
+
+namespace {
+
+using namespace triad;
+
+struct NtpOutcome {
+  double final_offset_ms = 0;
+  double freq_correction_ppm = 0;
+  int tau = 0;
+};
+
+NtpOutcome run_ntp(int attack_mode /* 0 none, 1 uniform, 2 selective */) {
+  sim::Simulation sim(4242);
+  net::Network net(sim, std::make_unique<net::JitterDelay>(
+                            microseconds(150), microseconds(120),
+                            microseconds(10)));
+  crypto::ClusterKeyring keyring{Bytes(32, 8)};
+  ntp::NtpServer server(net, 100, keyring);
+  tsc::Tsc tsc(sim, tsc::kPaperTscFrequencyHz);
+
+  class DelayBox final : public net::Middlebox {
+   public:
+    explicit DelayBox(int mode) : mode_(mode) {}
+    Action on_packet(const net::Packet& p, SimTime) override {
+      if (p.src != 100 || mode_ == 0) return {};
+      ++count_;
+      const bool hit = mode_ == 1 || count_ % 4 != 0;
+      return {.extra_delay = hit ? milliseconds(100) : Duration{0},
+              .drop = false};
+    }
+
+   private:
+    int mode_;
+    int count_ = 0;
+  } attack(attack_mode);
+  net.add_middlebox(&attack);
+
+  ntp::NtpClientConfig config;
+  config.id = 1;
+  config.servers = {100};
+  // Start with a deliberately wrong nominal frequency (+100 ppm error)
+  // so the frequency-learning loop has work to do.
+  ntp::NtpClient client(sim, net, keyring, tsc,
+                        tsc::kPaperTscFrequencyHz * (1 + 100e-6), config);
+  client.start();
+  sim.run_until(minutes(30));
+
+  return {to_milliseconds(client.now() - sim.now()),
+          client.clock().frequency_correction_ppm(), client.current_tau()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace triad;
+  bench::print_header(
+      "NTP-style discipline vs Triad calibration (§V, 30 min runs)",
+      "same machine model, same attacker capabilities");
+
+  // Triad rows reuse the standard scenario.
+  auto run_triad = [](bool attacked) {
+    exp::ScenarioConfig cfg;
+    cfg.seed = 4242;
+    exp::Scenario sc(std::move(cfg));
+    if (attacked) {
+      attacks::DelayAttackConfig a;
+      a.kind = attacks::AttackKind::kFMinus;
+      a.victim = sc.node_address(2);
+      a.ta_address = sc.ta_address();
+      sc.add_delay_attack(a);
+    }
+    exp::Recorder rec(sc);
+    sc.start();
+    sc.run_until(minutes(30));
+    return std::max(std::abs(rec.drift_ms(0).max_value()),
+                    std::abs(rec.drift_ms(0).min_value()));
+  };
+
+  std::printf("%-38s %16s %14s %6s\n", "configuration", "|error| (ms)",
+              "freq corr ppm", "tau");
+  std::printf("%-38s %16.2f %14s %6s\n", "Triad honest node, no attack",
+              run_triad(false), "-", "-");
+  const NtpOutcome clean = run_ntp(0);
+  std::printf("%-38s %16.2f %14.1f %6d\n", "NTP client, no attack",
+              std::abs(clean.final_offset_ms), clean.freq_correction_ppm,
+              clean.tau);
+  std::printf("%-38s %16.2f %14s %6s\n",
+              "Triad honest node, F- on peer",
+              run_triad(true), "-", "-");
+  const NtpOutcome uniform = run_ntp(1);
+  std::printf("%-38s %16.2f %14.1f %6d\n",
+              "NTP client, +100 ms on all replies",
+              std::abs(uniform.final_offset_ms), uniform.freq_correction_ppm,
+              uniform.tau);
+  const NtpOutcome selective = run_ntp(2);
+  std::printf("%-38s %16.2f %14.1f %6d\n",
+              "NTP client, +100 ms on 3/4 replies",
+              std::abs(selective.final_offset_ms),
+              selective.freq_correction_ppm, selective.tau);
+
+  // Multi-server selection: 2 honest servers + 1 lying by +5 s.
+  {
+    sim::Simulation sim(4243);
+    net::Network net(sim, std::make_unique<net::JitterDelay>(
+                              microseconds(150), microseconds(120),
+                              microseconds(10)));
+    crypto::ClusterKeyring keyring{Bytes(32, 8)};
+    ntp::NtpServer honest1(net, 100, keyring);
+    ntp::NtpServer honest2(net, 101, keyring);
+    ntp::NtpServer liar(net, 102, keyring);
+    liar.set_lie_offset(seconds(5));
+    tsc::Tsc tsc(sim, tsc::kPaperTscFrequencyHz);
+    ntp::NtpClientConfig config;
+    config.id = 1;
+    config.servers = {100, 101, 102};
+    ntp::NtpClient client(sim, net, keyring, tsc,
+                          tsc::kPaperTscFrequencyHz, config);
+    client.start();
+    sim.run_until(minutes(30));
+    std::printf("%-38s %16.2f %14.1f %6d  (falsetickers rejected: %llu)\n",
+                "NTP client, 1 of 3 servers lying +5s",
+                std::abs(to_milliseconds(client.now() - sim.now())),
+                client.clock().frequency_correction_ppm(),
+                client.current_tau(),
+                static_cast<unsigned long long>(
+                    client.stats().falsetickers_rejected));
+  }
+
+  std::printf("\n");
+  bench::print_summary_row("honest accuracy",
+                           "NTP far below Triad's ~110 ppm sawtooth",
+                           "sub-ms vs tens of ms");
+  bench::print_summary_row("uniform delaying",
+                           "offset bias bounded by delay/2",
+                           "<= ~50 ms, no compounding");
+  bench::print_summary_row("selective delaying",
+                           "min-delay filter discards attacked samples",
+                           "ms-level error");
+  bench::print_summary_row(
+      "frequency learning", "starts 100 ppm wrong, learns the residual",
+      "correction converges to ≈ +100 ppm");
+  return 0;
+}

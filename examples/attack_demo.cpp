@@ -1,0 +1,106 @@
+// Attack demo: mount the paper's F- calibration attack from a single
+// compromised node and watch it infect the honest cluster — then re-run
+// with the Section-V hardened protocol ("Triad+") and watch it fail.
+//
+//   $ ./attack_demo          # F- (fast clock, propagates)
+//   $ ./attack_demo fplus    # F+ (slow clock, stays local)
+#include <cstdio>
+#include <cstring>
+
+#include "exp/recorder.h"
+#include "exp/scenario.h"
+#include "resilient/triad_plus.h"
+
+namespace {
+
+using namespace triad;
+
+struct Outcome {
+  double honest_worst_drift_ms = 0;
+  double victim_worst_drift_ms = 0;
+  std::uint64_t infections = 0;  // honest adoptions sourced at the victim
+};
+
+Outcome run(attacks::AttackKind kind, bool hardened) {
+  exp::ScenarioConfig config;
+  config.seed = 7;
+  if (hardened) {
+    config.node_template = resilient::harden(config.node_template);
+    config.policy_factory = [] {
+      return resilient::make_triad_plus_policy();
+    };
+  }
+  exp::Scenario cluster(std::move(config));
+
+  attacks::DelayAttackConfig attack;
+  attack.kind = kind;
+  attack.victim = cluster.node_address(2);  // node 3 is compromised
+  attack.ta_address = cluster.ta_address();
+  attack.added_delay = milliseconds(100);   // as in the paper
+  cluster.add_delay_attack(attack);
+
+  exp::Recorder recorder(cluster);
+  cluster.start();
+  cluster.run_until(minutes(10));
+
+  Outcome outcome;
+  for (std::size_t i = 0; i < 2; ++i) {
+    outcome.honest_worst_drift_ms =
+        std::max({outcome.honest_worst_drift_ms,
+                  std::abs(recorder.drift_ms(i).max_value()),
+                  std::abs(recorder.drift_ms(i).min_value())});
+  }
+  outcome.victim_worst_drift_ms =
+      std::max(std::abs(recorder.drift_ms(2).max_value()),
+               std::abs(recorder.drift_ms(2).min_value()));
+  for (const auto& adoption : recorder.adoptions()) {
+    if (adoption.node != 2 && adoption.source == cluster.node_address(2) &&
+        adoption.step() > 0) {
+      ++outcome.infections;
+    }
+  }
+  std::printf(
+      "  victim F_calib = %.3f MHz (true: %.3f MHz)\n",
+      cluster.node(2).calibrated_frequency_hz() / 1e6,
+      tsc::kPaperTscFrequencyHz / 1e6);
+  return outcome;
+}
+
+void report(const char* label, const Outcome& o) {
+  std::printf("%s\n", label);
+  std::printf("  honest nodes' worst |drift|: %10.1f ms\n",
+              o.honest_worst_drift_ms);
+  std::printf("  victim's worst |drift|:      %10.1f ms\n",
+              o.victim_worst_drift_ms);
+  std::printf("  forward jumps onto the compromised clock: %llu\n\n",
+              static_cast<unsigned long long>(o.infections));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace triad;
+  const bool fplus = argc > 1 && std::strcmp(argv[1], "fplus") == 0;
+  const auto kind =
+      fplus ? attacks::AttackKind::kFPlus : attacks::AttackKind::kFMinus;
+  std::printf("=== %s attack from one compromised node, 10 min ===\n\n",
+              fplus ? "F+" : "F-");
+
+  std::printf("--- original Triad protocol ---\n");
+  const Outcome original = run(kind, /*hardened=*/false);
+  report("result:", original);
+
+  std::printf("--- Triad+ (Section V hardening) ---\n");
+  const Outcome hardened = run(kind, /*hardened=*/true);
+  report("result:", hardened);
+
+  if (!fplus) {
+    std::printf("Takeaway: under F-, the original max-timestamp policy lets "
+                "a single fast clock drag every honest node into the future "
+                "(%.0f ms); the true-chimer majority caps honest drift at "
+                "%.0f ms.\n",
+                original.honest_worst_drift_ms,
+                hardened.honest_worst_drift_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Domain example: BFT view-change timeouts on trusted time.
+//
+// The paper's introduction lists "resilience to timeout manipulation
+// (e.g., BFT leader changes, procrastinating BFT leaders)" among the
+// use-cases. This example models the timeout logic of a BFT replica set:
+// each replica expects progress from the current leader within a timeout
+// measured on ITS trusted clock; a replica whose clock runs fast (the F-
+// attack) votes for view changes early, and if enough clocks are
+// infected the group churns through leaders that did nothing wrong —
+// a liveness attack mounted purely through time.
+//
+//   $ ./bft_timeouts
+#include <cstdio>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "resilient/triad_plus.h"
+
+namespace {
+
+using namespace triad;
+
+struct ChurnResult {
+  int rounds = 0;
+  int spurious_view_changes = 0;  // leader was on time, yet voted out
+};
+
+ChurnResult run(bool hardened) {
+  exp::ScenarioConfig config;
+  config.seed = 31337;
+  if (hardened) {
+    config.node_template = resilient::harden(config.node_template);
+    config.policy_factory = [] {
+      return resilient::make_triad_plus_policy();
+    };
+  }
+  exp::Scenario cluster(std::move(config));
+  attacks::DelayAttackConfig attack;
+  attack.kind = attacks::AttackKind::kFMinus;
+  attack.victim = cluster.node_address(2);
+  attack.ta_address = cluster.ta_address();
+  cluster.add_delay_attack(attack);
+  cluster.start();
+  cluster.run_until(minutes(1));  // calibration
+
+  // BFT-ish round logic: the leader "sends" its proposal at real time
+  // T; each replica records the proposal deadline T_deadline = its
+  // trusted now() + timeout when the round opens, and votes "leader
+  // slow" if the proposal has not arrived by then on its clock. The
+  // honest leader always delivers after 300 ms real time; the timeout
+  // is 350 ms — a correct leader, but with only 50 ms of margin.
+  constexpr Duration kLeaderLatency = milliseconds(300);
+  constexpr Duration kTimeout = milliseconds(350);
+
+  ChurnResult result;
+  auto& sim = cluster.simulation();
+  // A round every 5 s for 10 minutes.
+  for (SimTime round_start = minutes(1) + seconds(5);
+       round_start < minutes(11); round_start += seconds(5)) {
+    sim.run_until(round_start);
+    std::vector<SimTime> deadlines(3, 0);
+    std::vector<bool> armed(3, false);
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (const auto now = cluster.node(i).serve_timestamp()) {
+        deadlines[i] = *now + kTimeout;
+        armed[i] = true;
+      }
+    }
+    sim.run_until(round_start + kLeaderLatency);  // proposal delivered
+    int votes_for_change = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (!armed[i]) continue;
+      const auto now = cluster.node(i).serve_timestamp();
+      if (now && *now >= deadlines[i]) ++votes_for_change;
+    }
+    ++result.rounds;
+    // 2-of-3 suffices to depose the leader in this toy quorum.
+    if (votes_for_change >= 2) ++result.spurious_view_changes;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== BFT view-change timeouts under an F- time attack ===\n\n"
+      "leader always delivers in 300 ms; replica timeout is 350 ms\n\n");
+
+  const ChurnResult original = run(/*hardened=*/false);
+  std::printf("original Triad : %d/%d rounds deposed a correct leader\n",
+              original.spurious_view_changes, original.rounds);
+  const ChurnResult hardened = run(/*hardened=*/true);
+  std::printf("Triad+         : %d/%d rounds deposed a correct leader\n",
+              hardened.spurious_view_changes, hardened.rounds);
+
+  std::printf(
+      "\nWith the cluster's clocks dragged ~11%% fast, a 350 ms timeout "
+      "really compresses by ~11%% — and worse, forward time-jumps at untainting "
+      "can swallow the whole margin at once, so correct leaders get "
+      "voted out. The hardened protocol keeps timeouts honest.\n");
+  return original.spurious_view_changes > hardened.spurious_view_changes
+             ? 0
+             : 1;
+}

@@ -1,0 +1,87 @@
+// Domain example: a TimeStamping Authority (RFC 3161-style) backed by
+// Triad trusted time.
+//
+// A TSA binds a document digest to a trusted timestamp and MACs the
+// token. Two properties matter: tokens must be monotonic (a later token
+// never carries an earlier time) and timestamps must track real time
+// closely enough for audit. This example runs a TSA on node 1, issuing
+// tokens for a stream of documents, and audits both properties.
+//
+//   $ ./timestamping_authority
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/tsa.h"
+#include "exp/scenario.h"
+#include "util/hex.h"
+
+namespace {
+
+using namespace triad;
+using apps::TimestampToken;
+using apps::TimestampingAuthority;
+
+}  // namespace
+
+int main() {
+  using namespace triad;
+  std::printf("=== RFC 3161-style TSA on Triad trusted time ===\n\n");
+
+  exp::ScenarioConfig config;
+  config.seed = 404;
+  exp::Scenario cluster(std::move(config));
+  cluster.start();
+  cluster.run_until(minutes(1));
+
+  TimestampingAuthority tsa(
+      [&cluster] { return cluster.node(0).serve_timestamp(); },
+      Bytes(32, 0x17));
+
+  std::vector<TimestampToken> tokens;
+  int refused = 0, documents = 0;
+  sim::PeriodicTimer producer(cluster.simulation(), milliseconds(500), [&] {
+    const std::string document =
+        "invoice #" + std::to_string(++documents);
+    const auto token =
+        tsa.issue(Bytes(document.begin(), document.end()));
+    if (token) {
+      tokens.push_back(*token);
+    } else {
+      ++refused;
+    }
+  });
+
+  cluster.run_until(minutes(30));
+
+  // Audit 1: every token verifies; tampering is caught.
+  int bad_macs = 0;
+  for (const auto& token : tokens) {
+    if (!tsa.verify(token)) ++bad_macs;
+  }
+  TimestampToken forged = tokens.front();
+  forged.timestamp += seconds(3600);  // backdate/postdate attempt
+  const bool forgery_caught = !tsa.verify(forged);
+
+  // Audit 2: monotonicity and drift.
+  int order_violations = 0;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    if (tokens[i].timestamp <= tokens[i - 1].timestamp) ++order_violations;
+  }
+  const double final_skew_ms = to_milliseconds(
+      tokens.back().timestamp -
+      (minutes(30) - milliseconds(500) * ((refused ? 1 : 0))));
+
+  std::printf("issued %zu tokens (%d refused while node tainted)\n",
+              tokens.size(), refused);
+  std::printf("MAC failures: %d; forged token rejected: %s\n", bad_macs,
+              forgery_caught ? "yes" : "NO");
+  std::printf("timestamp order violations: %d\n", order_violations);
+  std::printf("last token vs reference time: %+.1f ms\n", final_skew_ms);
+  std::printf("sample token: digest=%s... t=%.3f s\n",
+              to_hex(BytesView(tokens.back().document_digest.data(), 8))
+                  .c_str(),
+              to_seconds(tokens.back().timestamp));
+
+  return (bad_macs == 0 && forgery_caught && order_violations == 0) ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+// triad_sim — command-line scenario runner.
+//
+//   $ ./triad_sim --nodes 3 --duration 30m
+//   $ ./triad_sim --attack fminus --victim 3 --policy triadplus --csv drift.csv
+
+//
+// All logic lives in exp/cli.{h,cpp} (unit-tested); this is the thin
+// entry point.
+#include <iostream>
+
+#include "exp/cli.h"
+
+int main(int argc, char** argv) {
+  std::string error;
+  const auto options = triad::exp::parse_cli(argc, argv, &error);
+  if (!options) {
+    std::cerr << "triad_sim: " << error << "\n\n"
+              << triad::exp::cli_usage();
+    return 2;
+  }
+  return triad::exp::run_cli(*options, std::cout);
+}

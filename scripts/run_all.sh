@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every figure/table
+# bench, and records the outputs EXPERIMENTS.md is based on.
+set -u
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "===== $b =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "wrote test_output.txt and bench_output.txt"

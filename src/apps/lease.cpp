@@ -1,0 +1,83 @@
+#include "apps/lease.h"
+
+#include <stdexcept>
+
+namespace triad::apps {
+
+LeaseManager::LeaseManager(TimeSource time_source, Duration default_term)
+    : time_source_(std::move(time_source)), default_term_(default_term) {
+  if (!time_source_) {
+    throw std::invalid_argument("LeaseManager: null time source");
+  }
+  if (default_term <= 0) {
+    throw std::invalid_argument("LeaseManager: term must be positive");
+  }
+}
+
+std::optional<Lease> LeaseManager::grant(const std::string& resource) {
+  return grant(resource, default_term_);
+}
+
+std::optional<Lease> LeaseManager::grant(const std::string& resource,
+                                         Duration term) {
+  if (term <= 0) throw std::invalid_argument("LeaseManager: bad term");
+  const auto now = time_source_();
+  if (!now) {
+    ++stats_.denied_unavailable;
+    return std::nullopt;
+  }
+  const auto held = holder_.find(resource);
+  if (held != holder_.end()) {
+    const Lease& current = active_.at(held->second);
+    if (current.expires_at > *now) {
+      ++stats_.denied_held;
+      return std::nullopt;
+    }
+    active_.erase(held->second);  // expired: evict
+    holder_.erase(held);
+  }
+  Lease lease{next_id_++, resource, *now, *now + term};
+  active_[lease.id] = lease;
+  holder_[resource] = lease.id;
+  ++stats_.granted;
+  return lease;
+}
+
+std::optional<Lease> LeaseManager::renew(std::uint64_t lease_id) {
+  const auto it = active_.find(lease_id);
+  if (it == active_.end()) return std::nullopt;
+  const auto now = time_source_();
+  if (!now) {
+    ++stats_.denied_unavailable;
+    return std::nullopt;
+  }
+  Lease& lease = it->second;
+  if (lease.expires_at <= *now) return std::nullopt;  // already expired
+  const Duration term = lease.expires_at - lease.granted_at;
+  lease.granted_at = *now;
+  lease.expires_at = *now + term;
+  ++stats_.renewals;
+  return lease;
+}
+
+bool LeaseManager::release(std::uint64_t lease_id) {
+  const auto it = active_.find(lease_id);
+  if (it == active_.end()) return false;
+  holder_.erase(it->second.resource);
+  active_.erase(it);
+  ++stats_.releases;
+  return true;
+}
+
+std::optional<bool> LeaseManager::valid(std::uint64_t lease_id) {
+  const auto it = active_.find(lease_id);
+  if (it == active_.end()) return false;
+  const auto now = time_source_();
+  if (!now) {
+    ++stats_.denied_unavailable;
+    return std::nullopt;
+  }
+  return it->second.expires_at > *now;
+}
+
+}  // namespace triad::apps

@@ -1,0 +1,70 @@
+// Trusted leases on top of any trusted-time source (paper intro:
+// "time-constrained resource allocation (e.g., resource leasing)",
+// T-Lease-style).
+//
+// The manager is time-source-agnostic: it takes a callable returning the
+// current trusted timestamp (or nullopt while the source is unavailable)
+// so it runs on a TriadNode, a TrustedTimeClient, a T3eNode, or a test
+// double alike. When the source is unavailable the manager refuses to
+// grant or judge — guessing about time is how double-allocations happen.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace triad::apps {
+
+struct Lease {
+  std::uint64_t id = 0;
+  std::string resource;
+  SimTime granted_at = 0;
+  SimTime expires_at = 0;
+};
+
+struct LeaseStats {
+  std::uint64_t granted = 0;
+  std::uint64_t denied_unavailable = 0;  // time source had no answer
+  std::uint64_t denied_held = 0;         // resource currently leased
+  std::uint64_t renewals = 0;
+  std::uint64_t releases = 0;
+};
+
+class LeaseManager {
+ public:
+  using TimeSource = std::function<std::optional<SimTime>()>;
+
+  LeaseManager(TimeSource time_source, Duration default_term);
+
+  /// Grants a lease on `resource` if it is free (or its current lease
+  /// has expired). nullopt when denied — stats say why.
+  std::optional<Lease> grant(const std::string& resource);
+  std::optional<Lease> grant(const std::string& resource, Duration term);
+
+  /// Extends a held lease by its original term; fails for unknown ids,
+  /// expired leases, or an unavailable time source.
+  std::optional<Lease> renew(std::uint64_t lease_id);
+
+  /// Releases early. False for unknown ids.
+  bool release(std::uint64_t lease_id);
+
+  /// Whether the lease is still valid *now*. nullopt when the time
+  /// source cannot answer.
+  [[nodiscard]] std::optional<bool> valid(std::uint64_t lease_id);
+
+  [[nodiscard]] const LeaseStats& stats() const { return stats_; }
+
+ private:
+  TimeSource time_source_;
+  Duration default_term_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Lease> active_;        // by lease id
+  std::unordered_map<std::string, std::uint64_t> holder_;  // by resource
+  LeaseStats stats_;
+};
+
+}  // namespace triad::apps

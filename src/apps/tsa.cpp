@@ -1,0 +1,61 @@
+#include "apps/tsa.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace triad::apps {
+
+TimestampingAuthority::TimestampingAuthority(TimeSource time_source,
+                                             Bytes mac_key)
+    : time_source_(std::move(time_source)), mac_key_(std::move(mac_key)) {
+  if (!time_source_) {
+    throw std::invalid_argument("TimestampingAuthority: null time source");
+  }
+  if (mac_key_.size() < 16) {
+    throw std::invalid_argument("TimestampingAuthority: key too short");
+  }
+}
+
+crypto::Sha256Digest TimestampingAuthority::mac_over(
+    const TimestampToken& token) const {
+  ByteWriter w;
+  w.put_string("triad-tsa-token-v1");
+  w.put_bytes(BytesView(token.document_digest.data(),
+                        token.document_digest.size()));
+  w.put_i64(token.timestamp);
+  w.put_u64(token.serial);
+  return crypto::hmac_sha256(mac_key_, w.data());
+}
+
+std::optional<TimestampToken> TimestampingAuthority::issue(
+    BytesView document) {
+  const auto now = time_source_();
+  if (!now) {
+    ++stats_.refused_unavailable;
+    return std::nullopt;
+  }
+  TimestampToken token;
+  token.document_digest = crypto::sha256(document);
+  token.timestamp = std::max(*now, last_issued_ + 1);  // strict monotonic
+  last_issued_ = token.timestamp;
+  token.serial = next_serial_++;
+  token.mac = mac_over(token);
+  ++stats_.issued;
+  return token;
+}
+
+bool TimestampingAuthority::verify(const TimestampToken& token) {
+  const crypto::Sha256Digest expected = mac_over(token);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    diff |= static_cast<std::uint8_t>(expected[i] ^ token.mac[i]);
+  }
+  if (diff == 0) {
+    ++stats_.verified_ok;
+    return true;
+  }
+  ++stats_.verified_bad;
+  return false;
+}
+
+}  // namespace triad::apps

@@ -1,0 +1,61 @@
+// TimeStamping Authority (RFC 3161-style) bound to a trusted-time
+// source — the paper's first motivating use-case.
+//
+// A token binds a document digest to a trusted timestamp under an HMAC
+// key (an analogue of the TSA's signature). Issuance refuses rather than
+// guesses while the time source is unavailable, and issued timestamps
+// are strictly monotonic: a later token never carries an earlier time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/types.h"
+
+namespace triad::apps {
+
+struct TimestampToken {
+  crypto::Sha256Digest document_digest{};
+  SimTime timestamp = 0;
+  std::uint64_t serial = 0;
+  crypto::Sha256Digest mac{};
+};
+
+struct TsaStats {
+  std::uint64_t issued = 0;
+  std::uint64_t refused_unavailable = 0;
+  std::uint64_t verified_ok = 0;
+  std::uint64_t verified_bad = 0;
+};
+
+class TimestampingAuthority {
+ public:
+  using TimeSource = std::function<std::optional<SimTime>()>;
+
+  TimestampingAuthority(TimeSource time_source, Bytes mac_key);
+
+  /// Issues a token over the document; nullopt while the time source is
+  /// unavailable.
+  std::optional<TimestampToken> issue(BytesView document);
+
+  /// Verifies a token's MAC (binding of digest, timestamp, serial).
+  [[nodiscard]] bool verify(const TimestampToken& token);
+
+  [[nodiscard]] const TsaStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] crypto::Sha256Digest mac_over(
+      const TimestampToken& token) const;
+
+  TimeSource time_source_;
+  Bytes mac_key_;
+  SimTime last_issued_ = 0;
+  std::uint64_t next_serial_ = 1;
+  TsaStats stats_;
+};
+
+}  // namespace triad::apps

@@ -1,0 +1,34 @@
+#include "attacks/ramp_attack.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace triad::attacks {
+
+RampAttack::RampAttack(RampAttackConfig config) : config_(config) {
+  if (config_.victim == config_.ta_address) {
+    throw std::invalid_argument("RampAttack: victim must differ from TA");
+  }
+  if (config_.ramp_per_second <= 0 || config_.max_delay <= 0) {
+    throw std::invalid_argument("RampAttack: invalid ramp");
+  }
+}
+
+Duration RampAttack::current_delay(SimTime now) const {
+  if (started_at_ < 0) return 0;
+  const double ramped =
+      to_seconds(now - started_at_) * config_.ramp_per_second * 1e9;
+  return std::min(static_cast<Duration>(ramped), config_.max_delay);
+}
+
+net::Middlebox::Action RampAttack::on_packet(const net::Packet& packet,
+                                             SimTime now) {
+  if (!active_) return {};
+  if (packet.src != config_.ta_address || packet.dst != config_.victim) {
+    return {};
+  }
+  if (started_at_ < 0) started_at_ = now;
+  return {.extra_delay = current_delay(now), .drop = false};
+}
+
+}  // namespace triad::attacks

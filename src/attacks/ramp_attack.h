@@ -1,0 +1,49 @@
+// Ramping delay attack against long-window frequency refinement.
+//
+// Triad+'s long-window calibration (§V-style) estimates frequency from
+// two TA timestamps minutes apart, cancelling any *constant* attacker
+// delay. The obvious counter-move for the attacker: make the delay grow
+// linearly. If the injected delay rises by ΔD over a window of length W,
+// both anchors shift unequally and the estimate is biased by ΔD/W —
+// e.g. +0.5 s of ramp over a 60 s window fakes an 8300 ppm slow-down.
+//
+// The attack is inherently self-limiting: the delay must keep growing
+// forever to sustain the bias (and eventually becomes implausible or
+// trips timeouts), but the transient can still poison the refinement.
+// TriadConfig::long_window_max_revision_ppm is the corresponding §V-era
+// defence: bound how far a single refinement may move the frequency —
+// the INC monitor already pins rate *stability*, so honest refinements
+// are small.
+#pragma once
+
+#include "net/network.h"
+#include "util/types.h"
+
+namespace triad::attacks {
+
+struct RampAttackConfig {
+  NodeId victim = 0;
+  NodeId ta_address = 0;
+  /// Delay growth rate applied to TA->victim responses.
+  double ramp_per_second = 5e-3;  // +5 ms of delay per second
+  /// The ramp saturates here (an OS can't sit on packets forever
+  /// without tripping resend timeouts).
+  Duration max_delay = seconds(1);
+};
+
+class RampAttack final : public net::Middlebox {
+ public:
+  explicit RampAttack(RampAttackConfig config);
+
+  Action on_packet(const net::Packet& packet, SimTime now) override;
+
+  void set_active(bool active) { active_ = active; }
+  [[nodiscard]] Duration current_delay(SimTime now) const;
+
+ private:
+  RampAttackConfig config_;
+  bool active_ = true;
+  SimTime started_at_ = -1;
+};
+
+}  // namespace triad::attacks

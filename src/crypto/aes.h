@@ -1,0 +1,35 @@
+// AES-256 block cipher (FIPS 197). Only encryption is exposed: GCM uses
+// the forward cipher for both directions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace triad::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+inline constexpr std::size_t kAes256KeySize = 32;
+
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+using Aes256Key = std::array<std::uint8_t, kAes256KeySize>;
+
+/// AES-256 with a precomputed key schedule.
+class Aes256 {
+ public:
+  explicit Aes256(const Aes256Key& key);
+  /// Accepts any 32-byte view; throws std::invalid_argument otherwise.
+  explicit Aes256(BytesView key);
+
+  /// Encrypts one 16-byte block (in may alias out).
+  void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+  [[nodiscard]] AesBlock encrypt_block(const AesBlock& in) const;
+
+ private:
+  void expand_key(const std::uint8_t* key);
+  // 15 round keys of 16 bytes (Nr = 14).
+  std::array<std::uint8_t, 16 * 15> round_keys_{};
+};
+
+}  // namespace triad::crypto

@@ -1,0 +1,153 @@
+#include "crypto/channel.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+#include "util/bytes.h"
+
+namespace triad::crypto {
+namespace {
+
+// Frame layout (all fixed width, little-endian):
+//   sender   u32
+//   receiver u32
+//   counter  u64
+//   ct_len   u32
+//   ct       ct_len bytes
+//   tag      16 bytes
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4;
+
+GcmIv make_iv(NodeId sender, std::uint64_t counter) {
+  GcmIv iv{};
+  for (int i = 0; i < 4; ++i) {
+    iv[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sender >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    iv[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(counter >> (8 * i));
+  }
+  return iv;
+}
+
+std::uint64_t pair_key(NodeId sender, NodeId receiver) {
+  return (static_cast<std::uint64_t>(sender) << 32) | receiver;
+}
+
+}  // namespace
+
+ClusterKeyring::ClusterKeyring(BytesView master_secret)
+    : master_secret_(master_secret.begin(), master_secret.end()) {}
+
+Bytes ClusterKeyring::direction_key(NodeId sender, NodeId receiver) const {
+  ByteWriter info;
+  info.put_string("triad-channel-v1");
+  info.put_u32(sender);
+  info.put_u32(receiver);
+  static constexpr std::uint8_t kSalt[] = "triad-trusted-time";
+  return hkdf(BytesView(kSalt, sizeof(kSalt) - 1), master_secret_,
+              info.data(), kAes256KeySize);
+}
+
+SecureChannel::SecureChannel(NodeId self, const Keyring& keyring)
+    : self_(self), keyring_(keyring) {}
+
+const Aes256Gcm& SecureChannel::cipher_for(NodeId sender, NodeId receiver) {
+  const std::uint64_t key = pair_key(sender, receiver);
+  auto it = ciphers_.find(key);
+  if (it == ciphers_.end()) {
+    it = ciphers_.emplace(key, Aes256Gcm(keyring_.direction_key(sender,
+                                                                receiver)))
+             .first;
+  }
+  return it->second;
+}
+
+Bytes SecureChannel::seal(NodeId receiver, BytesView plaintext) {
+  const std::uint64_t counter = ++send_counters_[receiver];
+  const GcmIv iv = make_iv(self_, counter);
+
+  ByteWriter aad;
+  aad.put_u32(self_);
+  aad.put_u32(receiver);
+  aad.put_u64(counter);
+
+  const GcmSealed sealed =
+      cipher_for(self_, receiver).seal(iv, plaintext, aad.data());
+
+  ByteWriter frame;
+  frame.put_u32(self_);
+  frame.put_u32(receiver);
+  frame.put_u64(counter);
+  frame.put_u32(static_cast<std::uint32_t>(sealed.ciphertext.size()));
+  frame.put_bytes(sealed.ciphertext);
+  frame.put_bytes(BytesView(sealed.tag.data(), sealed.tag.size()));
+  return frame.take();
+}
+
+std::optional<SecureChannel::Opened> SecureChannel::open(BytesView frame,
+                                                         OpenError* error) {
+  auto fail = [&](OpenError e) -> std::optional<Opened> {
+    if (error != nullptr) *error = e;
+    return std::nullopt;
+  };
+
+  NodeId sender = 0;
+  NodeId receiver = 0;
+  std::uint64_t counter = 0;
+  Bytes ciphertext;
+  GcmTag tag;
+  try {
+    ByteReader reader(frame);
+    sender = reader.get_u32();
+    receiver = reader.get_u32();
+    counter = reader.get_u64();
+    const std::uint32_t ct_len = reader.get_u32();
+    ciphertext = reader.get_bytes(ct_len);
+    const Bytes tag_bytes = reader.get_bytes(kGcmTagSize);
+    std::memcpy(tag.data(), tag_bytes.data(), kGcmTagSize);
+    reader.expect_end();
+  } catch (const DecodeError&) {
+    return fail(OpenError::kMalformed);
+  }
+  (void)kHeaderSize;
+
+  if (receiver != self_) return fail(OpenError::kWrongReceiver);
+
+  ByteWriter aad;
+  aad.put_u32(sender);
+  aad.put_u32(receiver);
+  aad.put_u64(counter);
+
+  const GcmIv iv = make_iv(sender, counter);
+  auto plaintext =
+      cipher_for(sender, receiver).open(iv, ciphertext, aad.data(), tag);
+  if (!plaintext) return fail(OpenError::kAuthFailed);
+
+  // Replay check happens only after authentication so an attacker cannot
+  // advance the window with forged counters.
+  if (!replay_windows_[sender].accept(counter)) {
+    return fail(OpenError::kReplayed);
+  }
+
+  return Opened{sender, std::move(*plaintext)};
+}
+
+bool SecureChannel::ReplayWindow::accept(std::uint64_t counter) {
+  if (counter == 0) return false;  // counters start at 1
+  if (counter > highest) {
+    const std::uint64_t shift = counter - highest;
+    bitmap = shift >= 64 ? 0 : bitmap << shift;
+    bitmap |= 1;  // bit 0 == `counter` itself
+    highest = counter;
+    return true;
+  }
+  const std::uint64_t age = highest - counter;
+  if (age >= 64) return false;  // older than the window: refuse
+  const std::uint64_t bit = 1ULL << age;
+  if (bitmap & bit) return false;  // already seen: replay
+  bitmap |= bit;
+  return true;
+}
+
+}  // namespace triad::crypto

@@ -1,0 +1,146 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+
+namespace triad::crypto {
+namespace {
+
+using Block128 = std::array<std::uint64_t, 2>;
+
+Block128 load_block(const std::uint8_t* p) {
+  Block128 b{};
+  for (int i = 0; i < 8; ++i) {
+    b[0] = (b[0] << 8) | p[i];
+    b[1] = (b[1] << 8) | p[8 + i];
+  }
+  return b;
+}
+
+void store_block(const Block128& b, std::uint8_t* p) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(b[0] >> (56 - 8 * i));
+    p[8 + i] = static_cast<std::uint8_t>(b[1] >> (56 - 8 * i));
+  }
+}
+
+/// GF(2^128) multiplication with the GCM reduction polynomial, operating
+/// on the bit-reflected representation NIST specifies (right-shift form).
+Block128 gf_mul(const Block128& x, const Block128& y) {
+  Block128 z{0, 0};
+  Block128 v = y;
+  for (int half = 0; half < 2; ++half) {
+    for (int bit = 63; bit >= 0; --bit) {
+      if ((x[half] >> bit) & 1) {
+        z[0] ^= v[0];
+        z[1] ^= v[1];
+      }
+      const bool lsb = (v[1] & 1) != 0;
+      v[1] = (v[1] >> 1) | (v[0] << 63);
+      v[0] >>= 1;
+      if (lsb) v[0] ^= 0xe100000000000000ULL;
+    }
+  }
+  return z;
+}
+
+void increment32(std::uint8_t* counter_block) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter_block[i] != 0) break;
+  }
+}
+
+bool constant_time_equal(const std::uint8_t* a, const std::uint8_t* b,
+                         std::size_t n) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < n; ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace
+
+Aes256Gcm::Aes256Gcm(BytesView key) : aes_(key) {
+  AesBlock zero{};
+  const AesBlock h_bytes = aes_.encrypt_block(zero);
+  h_ = load_block(h_bytes.data());
+}
+
+Aes256Gcm::Block128 Aes256Gcm::ghash(BytesView aad,
+                                     BytesView ciphertext) const {
+  Block128 y{0, 0};
+  auto absorb = [&](BytesView data) {
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      std::uint8_t block[16] = {};
+      const std::size_t take = std::min<std::size_t>(16, data.size() - offset);
+      std::memcpy(block, data.data() + offset, take);
+      const Block128 x = load_block(block);
+      y[0] ^= x[0];
+      y[1] ^= x[1];
+      y = gf_mul(y, h_);
+      offset += take;
+    }
+  };
+  absorb(aad);
+  absorb(ciphertext);
+  // Length block: 64-bit bit-lengths of AAD and ciphertext.
+  Block128 lens{static_cast<std::uint64_t>(aad.size()) * 8,
+                static_cast<std::uint64_t>(ciphertext.size()) * 8};
+  y[0] ^= lens[0];
+  y[1] ^= lens[1];
+  return gf_mul(y, h_);
+}
+
+void Aes256Gcm::ctr_crypt(const GcmIv& iv, BytesView in, Bytes& out) const {
+  std::uint8_t counter[16] = {};
+  std::memcpy(counter, iv.data(), kGcmIvSize);
+  counter[15] = 1;  // J0 for 96-bit IV
+
+  out.resize(in.size());
+  std::size_t offset = 0;
+  while (offset < in.size()) {
+    increment32(counter);
+    std::uint8_t keystream[16];
+    aes_.encrypt_block(counter, keystream);
+    const std::size_t take = std::min<std::size_t>(16, in.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[offset + i] = in[offset + i] ^ keystream[i];
+    }
+    offset += take;
+  }
+}
+
+GcmTag Aes256Gcm::compute_tag(const GcmIv& iv, BytesView aad,
+                              BytesView ciphertext) const {
+  const Block128 s = ghash(aad, ciphertext);
+  std::uint8_t j0[16] = {};
+  std::memcpy(j0, iv.data(), kGcmIvSize);
+  j0[15] = 1;
+  std::uint8_t ekj0[16];
+  aes_.encrypt_block(j0, ekj0);
+  std::uint8_t s_bytes[16];
+  store_block(s, s_bytes);
+  GcmTag tag;
+  for (std::size_t i = 0; i < kGcmTagSize; ++i) tag[i] = ekj0[i] ^ s_bytes[i];
+  return tag;
+}
+
+GcmSealed Aes256Gcm::seal(const GcmIv& iv, BytesView plaintext,
+                          BytesView aad) const {
+  GcmSealed sealed;
+  ctr_crypt(iv, plaintext, sealed.ciphertext);
+  sealed.tag = compute_tag(iv, aad, sealed.ciphertext);
+  return sealed;
+}
+
+std::optional<Bytes> Aes256Gcm::open(const GcmIv& iv, BytesView ciphertext,
+                                     BytesView aad, const GcmTag& tag) const {
+  const GcmTag expected = compute_tag(iv, aad, ciphertext);
+  if (!constant_time_equal(expected.data(), tag.data(), kGcmTagSize)) {
+    return std::nullopt;
+  }
+  Bytes plaintext;
+  ctr_crypt(iv, ciphertext, plaintext);
+  return plaintext;
+}
+
+}  // namespace triad::crypto

@@ -1,0 +1,56 @@
+// AES-256-GCM authenticated encryption (NIST SP 800-38D).
+//
+// All Triad protocol traffic is sealed with this AEAD, as in the paper's
+// implementation (which uses the SGX-AES-256 library). 96-bit IVs only;
+// 128-bit tags.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+
+namespace triad::crypto {
+
+inline constexpr std::size_t kGcmIvSize = 12;
+inline constexpr std::size_t kGcmTagSize = 16;
+
+using GcmIv = std::array<std::uint8_t, kGcmIvSize>;
+using GcmTag = std::array<std::uint8_t, kGcmTagSize>;
+
+struct GcmSealed {
+  Bytes ciphertext;  // same length as plaintext
+  GcmTag tag;
+};
+
+/// AES-256-GCM with a fixed key; IVs are supplied per call and must never
+/// repeat for the same key (the SecureChannel enforces this with counter
+/// nonces).
+class Aes256Gcm {
+ public:
+  explicit Aes256Gcm(BytesView key);
+
+  /// Encrypts and authenticates plaintext with associated data.
+  [[nodiscard]] GcmSealed seal(const GcmIv& iv, BytesView plaintext,
+                               BytesView aad) const;
+
+  /// Verifies tag then decrypts; nullopt on authentication failure.
+  [[nodiscard]] std::optional<Bytes> open(const GcmIv& iv,
+                                          BytesView ciphertext,
+                                          BytesView aad,
+                                          const GcmTag& tag) const;
+
+ private:
+  using Block128 = std::array<std::uint64_t, 2>;  // big-endian hi/lo halves
+
+  [[nodiscard]] Block128 ghash(BytesView aad, BytesView ciphertext) const;
+  void ctr_crypt(const GcmIv& iv, BytesView in, Bytes& out) const;
+  [[nodiscard]] GcmTag compute_tag(const GcmIv& iv, BytesView aad,
+                                   BytesView ciphertext) const;
+
+  Aes256 aes_;
+  Block128 h_{};  // GHASH subkey E_K(0^128)
+};
+
+}  // namespace triad::crypto

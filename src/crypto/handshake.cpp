@@ -1,0 +1,154 @@
+#include "crypto/handshake.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "util/rng.h"
+
+namespace triad::crypto {
+namespace {
+
+constexpr char kQuoteContext[] = "triad-attestation-quote-v1";
+constexpr char kSessionContext[] = "triad-session-v1";
+
+Bytes quote_signing_input(const Quote& quote) {
+  ByteWriter w;
+  w.put_string(kQuoteContext);
+  w.put_u32(quote.node);
+  w.put_bytes(BytesView(quote.measurement.data(), quote.measurement.size()));
+  w.put_bytes(BytesView(quote.dh_public.data(), quote.dh_public.size()));
+  return w.take();
+}
+
+}  // namespace
+
+Bytes Quote::encode() const {
+  ByteWriter w;
+  w.put_u32(node);
+  w.put_bytes(BytesView(measurement.data(), measurement.size()));
+  w.put_bytes(BytesView(dh_public.data(), dh_public.size()));
+  w.put_bytes(BytesView(mac.data(), mac.size()));
+  return w.take();
+}
+
+std::optional<Quote> Quote::decode(BytesView data) {
+  try {
+    ByteReader reader(data);
+    Quote quote;
+    quote.node = reader.get_u32();
+    const Bytes measurement = reader.get_bytes(kSha256DigestSize);
+    std::copy(measurement.begin(), measurement.end(),
+              quote.measurement.begin());
+    const Bytes dh = reader.get_bytes(kX25519KeySize);
+    std::copy(dh.begin(), dh.end(), quote.dh_public.begin());
+    const Bytes mac = reader.get_bytes(kSha256DigestSize);
+    std::copy(mac.begin(), mac.end(), quote.mac.begin());
+    reader.expect_end();
+    return quote;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+AttestationAuthority::AttestationAuthority(Bytes root_secret)
+    : root_secret_(std::move(root_secret)) {
+  if (root_secret_.size() < 16) {
+    throw std::invalid_argument("AttestationAuthority: secret too short");
+  }
+}
+
+Sha256Digest AttestationAuthority::mac_over(const Quote& quote) const {
+  return hmac_sha256(root_secret_, quote_signing_input(quote));
+}
+
+Quote AttestationAuthority::issue(NodeId node,
+                                  const Measurement& measurement,
+                                  const X25519Key& dh_public) const {
+  Quote quote;
+  quote.node = node;
+  quote.measurement = measurement;
+  quote.dh_public = dh_public;
+  quote.mac = mac_over(quote);
+  return quote;
+}
+
+bool AttestationAuthority::verify(const Quote& quote) const {
+  const Sha256Digest expected = mac_over(quote);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    diff |= static_cast<std::uint8_t>(expected[i] ^ quote.mac[i]);
+  }
+  return diff == 0;
+}
+
+HandshakeParty::HandshakeParty(const AttestationAuthority& authority,
+                               NodeId self, Measurement measurement,
+                               std::uint64_t seed)
+    : authority_(authority), self_(self), measurement_(measurement) {
+  // Deterministic scalar from the seed (enclave-internal randomness).
+  Rng rng(seed);
+  for (auto& byte : private_key_) {
+    byte = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  quote_ = authority_.issue(self_, measurement_,
+                            x25519_public_key(private_key_));
+}
+
+Bytes HandshakeParty::offer() const { return quote_.encode(); }
+
+std::optional<HandshakeParty::Result> HandshakeParty::accept(
+    BytesView peer_offer, const Measurement& expected_measurement) const {
+  const auto quote = Quote::decode(peer_offer);
+  if (!quote) return std::nullopt;
+  if (!authority_.verify(*quote)) return std::nullopt;       // forged
+  if (quote->measurement != expected_measurement) return std::nullopt;
+  if (quote->node == self_) return std::nullopt;             // reflection
+
+  X25519Key shared{};
+  if (!x25519_shared_secret(private_key_, quote->dh_public, &shared)) {
+    return std::nullopt;  // low-order point
+  }
+
+  // Both parties derive the same secret: the info binds the unordered
+  // pair of identities so a transcript cannot be replayed across pairs.
+  const NodeId lo = std::min(self_, quote->node);
+  const NodeId hi = std::max(self_, quote->node);
+  ByteWriter info;
+  info.put_string(kSessionContext);
+  info.put_u32(lo);
+  info.put_u32(hi);
+  Result result;
+  result.peer = quote->node;
+  result.session_secret =
+      hkdf({}, BytesView(shared.data(), shared.size()), info.data(), 32);
+  return result;
+}
+
+void SessionKeyring::install(NodeId peer, Bytes session_secret) {
+  if (session_secret.size() < 16) {
+    throw std::invalid_argument("SessionKeyring: secret too short");
+  }
+  sessions_[peer] = std::move(session_secret);
+}
+
+bool SessionKeyring::has_session(NodeId peer) const {
+  return sessions_.contains(peer);
+}
+
+Bytes SessionKeyring::direction_key(NodeId sender, NodeId receiver) const {
+  const NodeId remote = sender == self_ ? receiver : sender;
+  const auto it = sessions_.find(remote);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("SessionKeyring: no session with peer " +
+                            std::to_string(remote));
+  }
+  ByteWriter info;
+  info.put_string("triad-channel-v1");
+  info.put_u32(sender);
+  info.put_u32(receiver);
+  static constexpr std::uint8_t kSalt[] = "triad-trusted-time";
+  return hkdf(BytesView(kSalt, sizeof(kSalt) - 1), it->second, info.data(),
+              kAes256KeySize);
+}
+
+}  // namespace triad::crypto

@@ -1,0 +1,121 @@
+// Attestation-style authenticated key exchange.
+//
+// Real Triad deployments derive their channel keys from SGX remote
+// attestation: each enclave proves (via a quote signed by the platform's
+// quoting infrastructure) that a given key-exchange public key belongs
+// to an enclave with an expected measurement. We model the attestation
+// root as a symmetric provisioning secret held by the (trusted) quoting
+// infrastructure: a quote is an HMAC over (measurement, node id, X25519
+// public key). The OS/network attacker can observe and delay handshake
+// messages but holds neither the attestation root nor any enclave's
+// private scalar, so it can neither impersonate an enclave nor learn
+// session keys — and a binary with the wrong measurement is rejected.
+//
+// Session keys then come from X25519 ECDH + HKDF, and plug into
+// SecureChannel through the SessionKeyring.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "crypto/channel.h"
+#include "crypto/sha256.h"
+#include "crypto/x25519.h"
+#include "util/bytes.h"
+#include "util/types.h"
+
+namespace triad::crypto {
+
+/// Enclave code identity (MRENCLAVE stand-in).
+using Measurement = Sha256Digest;
+
+/// A quote binds (node, measurement, DH public key) under the
+/// attestation root.
+struct Quote {
+  NodeId node = 0;
+  Measurement measurement{};
+  X25519Key dh_public{};
+  Sha256Digest mac{};
+
+  /// Serialized form for embedding in handshake messages.
+  [[nodiscard]] Bytes encode() const;
+  static std::optional<Quote> decode(BytesView data);
+};
+
+/// The platform quoting infrastructure (trusted): issues and verifies
+/// quotes under the attestation root secret.
+class AttestationAuthority {
+ public:
+  explicit AttestationAuthority(Bytes root_secret);
+
+  [[nodiscard]] Quote issue(NodeId node, const Measurement& measurement,
+                            const X25519Key& dh_public) const;
+
+  [[nodiscard]] bool verify(const Quote& quote) const;
+
+ private:
+  [[nodiscard]] Sha256Digest mac_over(const Quote& quote) const;
+  Bytes root_secret_;
+};
+
+/// One side of the handshake. Usage:
+///   HandshakeParty alice(aa, 1, measurement, seed);
+///   HandshakeParty bob(aa, 2, measurement, seed);
+///   Bytes offer = alice.offer();                 // -> bob
+///   auto bob_result = bob.accept(offer);         // verify + derive
+///   Bytes answer = bob.offer();                  // -> alice
+///   auto alice_result = alice.accept(answer);
+/// Both sides end with the same session_secret iff both quotes verify
+/// and both expected measurements match.
+class HandshakeParty {
+ public:
+  /// The private scalar is derived deterministically from `seed` (the
+  /// simulation's randomness stands in for RDRAND inside the enclave).
+  HandshakeParty(const AttestationAuthority& authority, NodeId self,
+                 Measurement measurement, std::uint64_t seed);
+
+  /// The quote-carrying handshake message for the peer.
+  [[nodiscard]] Bytes offer() const;
+
+  struct Result {
+    NodeId peer = 0;
+    Bytes session_secret;  // 32 bytes, HKDF output
+  };
+
+  /// Verifies the peer's offer (quote authenticity + measurement match)
+  /// and derives the session secret. nullopt on any failure.
+  [[nodiscard]] std::optional<Result> accept(
+      BytesView peer_offer, const Measurement& expected_measurement) const;
+
+ private:
+  const AttestationAuthority& authority_;
+  NodeId self_;
+  Measurement measurement_;
+  X25519Key private_key_{};
+  Quote quote_{};
+};
+
+/// Keyring backed by handshake-derived pairwise session secrets; a
+/// drop-in for ClusterKeyring when building SecureChannels.
+class SessionKeyring : public Keyring {
+ public:
+  /// Installs the session secret shared with `peer`.
+  void install(NodeId peer, Bytes session_secret);
+
+  [[nodiscard]] bool has_session(NodeId peer) const;
+
+  /// Directional key derived from the pairwise session secret; throws
+  /// std::out_of_range if no session with the remote endpoint exists.
+  [[nodiscard]] Bytes direction_key(NodeId sender,
+                                    NodeId receiver) const override;
+
+  /// The keyring's owner (one end of every session).
+  void set_self(NodeId self) { self_ = self; }
+
+ private:
+  NodeId self_ = 0;
+  std::map<NodeId, Bytes> sessions_;
+};
+
+}  // namespace triad::crypto

@@ -1,0 +1,64 @@
+#include "crypto/hmac.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace triad::crypto {
+
+Sha256Digest hmac_sha256(BytesView key, BytesView message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const Sha256Digest hashed = sha256(key);
+    std::copy(hashed.begin(), hashed.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(message);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Sha256Digest hkdf_extract(BytesView salt, BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw std::invalid_argument("hkdf_expand: output too long");
+  }
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    const Sha256Digest digest = hmac_sha256(prk, input);
+    t.assign(digest.begin(), digest.end());
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  const Sha256Digest prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(BytesView(prk.data(), prk.size()), info, length);
+}
+
+}  // namespace triad::crypto

@@ -1,0 +1,22 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869), used to derive the
+// pairwise channel keys of a Triad cluster from a provisioned master
+// secret (standing in for the attested key exchange SGX would provide).
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace triad::crypto {
+
+Sha256Digest hmac_sha256(BytesView key, BytesView message);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand to `length` bytes (length <= 255 * 32).
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace triad::crypto

@@ -1,0 +1,36 @@
+// SHA-256 (FIPS 180-4). Used by HMAC/HKDF for channel key derivation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace triad::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(BytesView data);
+  /// Finalizes and returns the digest; the object must not be reused.
+  Sha256Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot convenience.
+Sha256Digest sha256(BytesView data);
+
+}  // namespace triad::crypto

@@ -1,0 +1,286 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+
+namespace triad::crypto {
+namespace {
+
+// Field element: 5 limbs of 51 bits, value = sum(limb[i] * 2^(51*i))
+// modulo p = 2^255 - 19.
+struct Fe {
+  std::uint64_t v[5];
+};
+
+constexpr std::uint64_t kMask51 = (1ULL << 51) - 1;
+
+Fe fe_zero() { return {{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return {{1, 0, 0, 0, 0}}; }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+/// a - b, with a bias of 2p added to keep limbs non-negative.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  // 2p in radix 2^51.
+  static constexpr std::uint64_t k2p[5] = {
+      0xfffffffffffda, 0xffffffffffffe, 0xffffffffffffe, 0xffffffffffffe,
+      0xffffffffffffe};
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + k2p[i] - b.v[i];
+  return r;
+}
+
+/// Weak reduction: brings limbs back under ~2^52.
+void fe_carry(Fe& a) {
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t carry = a.v[i] >> 51;
+      a.v[i] &= kMask51;
+      a.v[i + 1] += carry;
+    }
+    const std::uint64_t carry = a.v[4] >> 51;
+    a.v[4] &= kMask51;
+    a.v[0] += carry * 19;
+  }
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  using u128 = unsigned __int128;
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                      a4 = a.v[4];
+  const std::uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3],
+                      b4 = b.v[4];
+  const std::uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19,
+                      b4_19 = b4 * 19;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 +
+            (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 +
+            (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 +
+            (u128)a3 * b0 + (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 +
+            (u128)a3 * b1 + (u128)a4 * b0;
+
+  Fe r;
+  std::uint64_t carry;
+  r.v[0] = (std::uint64_t)t0 & kMask51;
+  carry = (std::uint64_t)(t0 >> 51);
+  t1 += carry;
+  r.v[1] = (std::uint64_t)t1 & kMask51;
+  carry = (std::uint64_t)(t1 >> 51);
+  t2 += carry;
+  r.v[2] = (std::uint64_t)t2 & kMask51;
+  carry = (std::uint64_t)(t2 >> 51);
+  t3 += carry;
+  r.v[3] = (std::uint64_t)t3 & kMask51;
+  carry = (std::uint64_t)(t3 >> 51);
+  t4 += carry;
+  r.v[4] = (std::uint64_t)t4 & kMask51;
+  carry = (std::uint64_t)(t4 >> 51);
+  r.v[0] += carry * 19;
+  carry = r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  r.v[1] += carry;
+  return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+/// Multiplication by a small constant (121666 in the ladder).
+Fe fe_mul_small(const Fe& a, std::uint64_t c) {
+  using u128 = unsigned __int128;
+  Fe r;
+  u128 t[5];
+  for (int i = 0; i < 5; ++i) t[i] = (u128)a.v[i] * c;
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 5; ++i) {
+    t[i] += carry;
+    r.v[i] = (std::uint64_t)t[i] & kMask51;
+    carry = (std::uint64_t)(t[i] >> 51);
+  }
+  r.v[0] += carry * 19;
+  carry = r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  r.v[1] += carry;
+  return r;
+}
+
+/// a^(p-2) = a^-1 mod p.
+Fe fe_invert(const Fe& a) {
+  // Addition chain from the curve25519 reference implementation.
+  Fe z2 = fe_sq(a);                       // 2
+  Fe z8 = fe_sq(fe_sq(z2));               // 8
+  Fe z9 = fe_mul(z8, a);                  // 9
+  Fe z11 = fe_mul(z9, z2);                // 11
+  Fe z22 = fe_sq(z11);                    // 22
+  Fe z_5_0 = fe_mul(z22, z9);             // 2^5 - 2^0
+  Fe t = fe_sq(z_5_0);
+  for (int i = 1; i < 5; ++i) t = fe_sq(t);
+  Fe z_10_0 = fe_mul(t, z_5_0);           // 2^10 - 2^0
+  t = fe_sq(z_10_0);
+  for (int i = 1; i < 10; ++i) t = fe_sq(t);
+  Fe z_20_0 = fe_mul(t, z_10_0);          // 2^20 - 2^0
+  t = fe_sq(z_20_0);
+  for (int i = 1; i < 20; ++i) t = fe_sq(t);
+  Fe z_40_0 = fe_mul(t, z_20_0);          // 2^40 - 2^0
+  t = fe_sq(z_40_0);
+  for (int i = 1; i < 10; ++i) t = fe_sq(t);
+  Fe z_50_0 = fe_mul(t, z_10_0);          // 2^50 - 2^0
+  t = fe_sq(z_50_0);
+  for (int i = 1; i < 50; ++i) t = fe_sq(t);
+  Fe z_100_0 = fe_mul(t, z_50_0);         // 2^100 - 2^0
+  t = fe_sq(z_100_0);
+  for (int i = 1; i < 100; ++i) t = fe_sq(t);
+  Fe z_200_0 = fe_mul(t, z_100_0);        // 2^200 - 2^0
+  t = fe_sq(z_200_0);
+  for (int i = 1; i < 50; ++i) t = fe_sq(t);
+  Fe z_250_0 = fe_mul(t, z_50_0);         // 2^250 - 2^0
+  t = fe_sq(z_250_0);
+  for (int i = 1; i < 5; ++i) t = fe_sq(t);
+  return fe_mul(t, z11);                  // 2^255 - 21
+}
+
+Fe fe_from_bytes(const std::uint8_t* s) {
+  auto load64 = [](const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= (std::uint64_t)p[i] << (8 * i);
+    return v;
+  };
+  Fe r;
+  r.v[0] = load64(s) & kMask51;
+  r.v[1] = (load64(s + 6) >> 3) & kMask51;
+  r.v[2] = (load64(s + 12) >> 6) & kMask51;
+  r.v[3] = (load64(s + 19) >> 1) & kMask51;
+  // The 51-bit mask keeps bits 204..254, dropping bit 255 as RFC 7748
+  // requires.
+  r.v[4] = (load64(s + 24) >> 12) & kMask51;
+  return r;
+}
+
+void fe_to_bytes(std::uint8_t* out, Fe a) {
+  fe_carry(a);
+  // Full reduction: subtract p if the value is >= p.
+  // First propagate once more precisely.
+  std::uint64_t q = (a.v[0] + 19) >> 51;
+  q = (a.v[1] + q) >> 51;
+  q = (a.v[2] + q) >> 51;
+  q = (a.v[3] + q) >> 51;
+  q = (a.v[4] + q) >> 51;
+  a.v[0] += 19 * q;
+  std::uint64_t carry = a.v[0] >> 51;
+  a.v[0] &= kMask51;
+  a.v[1] += carry;
+  carry = a.v[1] >> 51;
+  a.v[1] &= kMask51;
+  a.v[2] += carry;
+  carry = a.v[2] >> 51;
+  a.v[2] &= kMask51;
+  a.v[3] += carry;
+  carry = a.v[3] >> 51;
+  a.v[3] &= kMask51;
+  a.v[4] += carry;
+  a.v[4] &= kMask51;
+
+  const std::uint64_t limbs[4] = {
+      a.v[0] | (a.v[1] << 51),
+      (a.v[1] >> 13) | (a.v[2] << 38),
+      (a.v[2] >> 26) | (a.v[3] << 25),
+      (a.v[3] >> 39) | (a.v[4] << 12),
+  };
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = (std::uint8_t)(limbs[i] >> (8 * j));
+    }
+  }
+}
+
+void fe_cswap(Fe& a, Fe& b, std::uint64_t swap) {
+  const std::uint64_t mask = 0 - swap;  // all-ones when swap == 1
+  for (int i = 0; i < 5; ++i) {
+    const std::uint64_t x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+X25519Key clamp(const X25519Key& scalar) {
+  X25519Key k = scalar;
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+  return k;
+}
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u_bytes) {
+  const X25519Key k = clamp(scalar);
+  const Fe x1 = fe_from_bytes(u_bytes.data());
+
+  // Montgomery ladder (RFC 7748 §5).
+  Fe x2 = fe_one();
+  Fe z2 = fe_zero();
+  Fe x3 = x1;
+  Fe z3 = fe_one();
+  std::uint64_t swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    const std::uint64_t k_t = (k[static_cast<std::size_t>(t / 8)] >>
+                               (t % 8)) &
+                              1;
+    swap ^= k_t;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = k_t;
+
+    Fe a = fe_add(x2, z2);
+    Fe aa = fe_sq(a);
+    Fe b = fe_sub(x2, z2);
+    Fe bb = fe_sq(b);
+    Fe e = fe_sub(aa, bb);
+    Fe c = fe_add(x3, z3);
+    Fe d = fe_sub(x3, z3);
+    Fe da = fe_mul(d, a);
+    Fe cb = fe_mul(c, b);
+    Fe t0 = fe_add(da, cb);
+    x3 = fe_sq(t0);
+    Fe t1 = fe_sub(da, cb);
+    z3 = fe_mul(x1, fe_sq(t1));
+    x2 = fe_mul(aa, bb);
+    Fe t2 = fe_mul_small(e, 121665);
+    z2 = fe_mul(e, fe_add(aa, t2));
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  const Fe result = fe_mul(x2, fe_invert(z2));
+  X25519Key out{};
+  fe_to_bytes(out.data(), result);
+  return out;
+}
+
+X25519Key x25519_public_key(const X25519Key& private_key) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(private_key, base);
+}
+
+bool x25519_shared_secret(const X25519Key& private_key,
+                          const X25519Key& peer_public, X25519Key* out) {
+  *out = x25519(private_key, peer_public);
+  std::uint8_t acc = 0;
+  for (std::uint8_t b : *out) acc |= b;
+  if (acc == 0) {
+    out->fill(0);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace triad::crypto

@@ -1,0 +1,36 @@
+// X25519 Diffie-Hellman (RFC 7748), implemented from scratch.
+//
+// Used by the attestation-style handshake (crypto/handshake.h) to
+// establish per-session channel keys, modelling how a real SGX
+// deployment derives its AES-GCM keys from remote attestation instead
+// of pre-provisioned secrets.
+//
+// Field arithmetic over GF(2^255 - 19) in radix-2^51 (5 limbs, 64-bit,
+// products via __int128); Montgomery ladder with constant-time
+// conditional swaps.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace triad::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// Scalar multiplication: X25519(scalar, u-coordinate).
+/// The scalar is clamped per RFC 7748.
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u);
+
+/// Public key for a (clamped) private scalar: X25519(scalar, 9).
+X25519Key x25519_public_key(const X25519Key& private_key);
+
+/// Shared secret: X25519(private, peer_public). Returns false (and a
+/// zeroed output) when the result is all-zero — a contributory-behaviour
+/// check against low-order peer points.
+bool x25519_shared_secret(const X25519Key& private_key,
+                          const X25519Key& peer_public, X25519Key* out);
+
+}  // namespace triad::crypto

@@ -1,0 +1,158 @@
+#include "enclave/aex_source.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace triad::enclave {
+
+Duration TriadLikeAexDistribution::next_delay(Rng& rng) {
+  static constexpr Duration kDelays[] = {milliseconds(10), milliseconds(532),
+                                         milliseconds(1590)};
+  return kDelays[rng.next_below(3)];
+}
+
+Duration IsolatedCoreAexDistribution::next_delay(Rng& rng) {
+  // Mixture fitted to Figure 1b's CDF: the bulk of gaps cluster at
+  // ~5.4 min; a minority of shorter gaps fill the lower tail.
+  const double u = rng.next_double();
+  double delay_s;
+  if (u < 0.80) {
+    delay_s = rng.normal(324.0, 4.0);  // 5.4 min mode
+  } else if (u < 0.95) {
+    delay_s = rng.uniform(60.0, 324.0);
+  } else {
+    delay_s = rng.uniform(1.0, 60.0);
+  }
+  return std::max(from_seconds(delay_s), milliseconds(1));
+}
+
+namespace {
+constexpr Duration kTriadDelays[] = {milliseconds(10), milliseconds(532),
+                                     milliseconds(1590)};
+}  // namespace
+
+MarkovAexDistribution::MarkovAexDistribution(double stickiness)
+    : stickiness_(stickiness) {
+  if (stickiness < 0.0 || stickiness > 1.0) {
+    throw std::invalid_argument(
+        "MarkovAexDistribution: stickiness out of [0,1]");
+  }
+}
+
+Duration MarkovAexDistribution::next_delay(Rng& rng) {
+  if (last_index_ < 0 || !rng.chance(stickiness_)) {
+    // Fresh draw; when leaving a sticky state, pick one of the others.
+    if (last_index_ < 0) {
+      last_index_ = static_cast<int>(rng.next_below(3));
+    } else {
+      const auto other = static_cast<int>(rng.next_below(2));
+      last_index_ = (last_index_ + 1 + other) % 3;
+    }
+  }
+  return kTriadDelays[last_index_];
+}
+
+FixedAexDistribution::FixedAexDistribution(Duration period) : period_(period) {
+  if (period <= 0) {
+    throw std::invalid_argument("FixedAexDistribution: period must be > 0");
+  }
+}
+
+Duration FixedAexDistribution::next_delay(Rng& /*rng*/) { return period_; }
+
+AexDriver::AexDriver(sim::Simulation& sim, EnclaveThread& thread,
+                     std::unique_ptr<AexDistribution> distribution, Rng rng)
+    : sim_(sim), thread_(thread), distribution_(std::move(distribution)),
+      rng_(rng) {
+  if (!distribution_) {
+    throw std::invalid_argument("AexDriver: null distribution");
+  }
+}
+
+AexDriver::~AexDriver() { stop(); }
+
+void AexDriver::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void AexDriver::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = {};
+}
+
+void AexDriver::set_distribution(
+    std::unique_ptr<AexDistribution> distribution) {
+  if (!distribution) {
+    throw std::invalid_argument("AexDriver: null distribution");
+  }
+  distribution_ = std::move(distribution);
+}
+
+void AexDriver::arm() {
+  pending_ = sim_.schedule_after(distribution_->next_delay(rng_), [this] {
+    if (!running_) return;
+    thread_.deliver_aex();
+    if (running_) arm();  // the handler may have stopped us
+  });
+}
+
+MachineInterruptHub::MachineInterruptHub(
+    sim::Simulation& sim, std::unique_ptr<AexDistribution> distribution,
+    Rng rng, double full_hit_probability)
+    : sim_(sim), distribution_(std::move(distribution)), rng_(rng),
+      full_hit_probability_(full_hit_probability) {
+  if (!distribution_) {
+    throw std::invalid_argument("MachineInterruptHub: null distribution");
+  }
+  if (full_hit_probability < 0.0 || full_hit_probability > 1.0) {
+    throw std::invalid_argument(
+        "MachineInterruptHub: probability out of [0,1]");
+  }
+}
+
+MachineInterruptHub::~MachineInterruptHub() { stop(); }
+
+void MachineInterruptHub::register_thread(EnclaveThread* thread) {
+  if (thread == nullptr) {
+    throw std::invalid_argument("MachineInterruptHub: null thread");
+  }
+  threads_.push_back(thread);
+}
+
+void MachineInterruptHub::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void MachineInterruptHub::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = {};
+}
+
+void MachineInterruptHub::arm() {
+  pending_ = sim_.schedule_after(distribution_->next_delay(rng_), [this] {
+    if (!running_) return;
+    ++fired_;
+    if (rng_.chance(full_hit_probability_)) {
+      // All cores take the interrupt in the same instant — the
+      // correlated taint that forces whole-cluster TA fallback.
+      for (EnclaveThread* thread : threads_) thread->deliver_aex();
+    } else if (!threads_.empty()) {
+      // Partial hit: a random non-empty strict-ish subset of cores.
+      const std::size_t spared = rng_.next_below(threads_.size());
+      for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (i != spared) threads_[i]->deliver_aex();
+      }
+    }
+    if (running_) arm();
+  });
+}
+
+}  // namespace triad::enclave

@@ -1,0 +1,18 @@
+#include "enclave/enclave_thread.h"
+
+namespace triad::enclave {
+
+EnclaveThread::EnclaveThread(sim::Simulation& sim)
+    : sim_(sim), last_aex_(sim.now()) {}
+
+void EnclaveThread::set_aex_handler(AexHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void EnclaveThread::deliver_aex() {
+  last_aex_ = sim_.now();
+  ++aex_count_;
+  if (handler_) handler_();
+}
+
+}  // namespace triad::enclave

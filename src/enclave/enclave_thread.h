@@ -1,0 +1,51 @@
+// Enclave thread with AEX-Notify semantics.
+//
+// An Asynchronous Enclave Exit (AEX) preempts the enclave; with
+// AEX-Notify the enclave runs a registered handler when it resumes.
+// Everything Triad does is driven from this hook: the monitoring thread
+// knows its time-continuity was severed exactly when the handler fires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulation.h"
+#include "util/types.h"
+
+namespace triad::enclave {
+
+class EnclaveThread {
+ public:
+  explicit EnclaveThread(sim::Simulation& sim);
+
+  /// AEX-Notify handler, invoked on resume after each AEX. The simulated
+  /// preemption is instantaneous (resume time == exit time); what the
+  /// protocol cares about is that continuity was broken, plus any message
+  /// delays the attacker adds around it.
+  using AexHandler = std::function<void()>;
+  void set_aex_handler(AexHandler handler);
+
+  /// Delivers one AEX to this thread (called by AEX sources or directly
+  /// by an attacker injecting interrupts).
+  void deliver_aex();
+
+  /// Time of the most recent AEX, or the thread start time if none yet.
+  [[nodiscard]] SimTime last_aex_time() const { return last_aex_; }
+
+  /// How long the thread has been running uninterrupted.
+  [[nodiscard]] Duration uninterrupted_duration() const {
+    return sim_.now() - last_aex_;
+  }
+
+  [[nodiscard]] std::uint64_t aex_count() const { return aex_count_; }
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+ private:
+  sim::Simulation& sim_;
+  AexHandler handler_;
+  SimTime last_aex_;
+  std::uint64_t aex_count_ = 0;
+};
+
+}  // namespace triad::enclave

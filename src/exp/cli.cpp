@@ -1,0 +1,251 @@
+#include "exp/cli.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "exp/recorder.h"
+#include "exp/scenario.h"
+#include "resilient/triad_plus.h"
+
+namespace triad::exp {
+namespace {
+
+bool parse_u64(std::string_view text, std::uint64_t* out) {
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return result.ec == std::errc{} &&
+         result.ptr == text.data() + text.size();
+}
+
+/// Durations accept "<n>s", "<n>ms", "<n>m", "<n>h".
+bool parse_duration(std::string_view text, Duration* out) {
+  std::uint64_t value = 0;
+  std::string_view unit;
+  std::size_t split = 0;
+  while (split < text.size() &&
+         text[split] >= '0' && text[split] <= '9') {
+    ++split;
+  }
+  if (split == 0 || !parse_u64(text.substr(0, split), &value)) return false;
+  unit = text.substr(split);
+  const auto v = static_cast<std::int64_t>(value);
+  if (unit == "ms") {
+    *out = milliseconds(v);
+  } else if (unit == "s") {
+    *out = seconds(v);
+  } else if (unit == "m") {
+    *out = minutes(v);
+  } else if (unit == "h") {
+    *out = hours(v);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::optional<AexEnvironment> parse_environment(std::string_view text) {
+  if (text == "triad") return AexEnvironment::kTriadLike;
+  if (text == "low") return AexEnvironment::kLowAex;
+  if (text == "none") return AexEnvironment::kNone;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "triad_sim — run a Triad trusted-time scenario\n"
+      "  --seed N           RNG seed (default 1)\n"
+      "  --nodes N          cluster size (default 3)\n"
+      "  --duration D       virtual time, e.g. 30m, 8h, 90s (default 10m)\n"
+      "  --attack KIND      none | fplus | fminus (default none)\n"
+      "  --victim N         1-based attacked node (default 3)\n"
+      "  --attack-delay D   injected delay (default 100ms)\n"
+      "  --policy P         original | triadplus (default original)\n"
+      "  --env E            per-node AEX env: triad | low | none\n"
+      "                     (repeat per node; missing default to triad)\n"
+      "  --no-machine-interrupts   disable correlated residual interrupts\n"
+      "  --machine M        machine index for the next node (repeat per\n"
+      "                     node; geo-distributed deployments)\n"
+      "  --wan-delay D      one-way delay between machines (default 20ms)\n"
+      "  --attested         derive channel keys from X25519 attestation\n"
+      "                     handshakes instead of a provisioned secret\n"
+      "  --csv PATH         dump recorded series as CSV ('-' = stdout)\n"
+      "  --help             this text\n";
+}
+
+std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
+                                    std::string* error) {
+  CliOptions options;
+  auto fail = [error](std::string message) -> std::optional<CliOptions> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> std::optional<std::string_view> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string_view(argv[++i]);
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+      return options;
+    }
+    if (arg == "--no-machine-interrupts") {
+      options.machine_interrupts = false;
+      continue;
+    }
+    if (arg == "--attested") {
+      options.attested = true;
+      continue;
+    }
+    static constexpr std::string_view kValueFlags[] = {
+        "--seed",    "--nodes",        "--duration", "--attack",
+        "--victim",  "--policy",       "--env",      "--csv",
+        "--machine", "--attack-delay", "--wan-delay"};
+    const bool known =
+        std::find(std::begin(kValueFlags), std::end(kValueFlags), arg) !=
+        std::end(kValueFlags);
+    if (!known) return fail("unknown flag " + std::string(arg));
+
+    const auto v = value();
+    if (!v) return fail("missing value for " + std::string(arg));
+
+    if (arg == "--seed") {
+      if (!parse_u64(*v, &options.seed)) return fail("bad --seed");
+    } else if (arg == "--nodes") {
+      std::uint64_t n = 0;
+      if (!parse_u64(*v, &n) || n == 0) return fail("bad --nodes");
+      options.nodes = n;
+    } else if (arg == "--duration") {
+      if (!parse_duration(*v, &options.duration) || options.duration <= 0) {
+        return fail("bad --duration (use e.g. 90s, 30m, 8h)");
+      }
+    } else if (arg == "--attack") {
+      if (*v != "none" && *v != "fplus" && *v != "fminus") {
+        return fail("bad --attack (none|fplus|fminus)");
+      }
+      options.attack = std::string(*v);
+    } else if (arg == "--victim") {
+      std::uint64_t n = 0;
+      if (!parse_u64(*v, &n) || n == 0) return fail("bad --victim");
+      options.victim = n;
+    } else if (arg == "--attack-delay") {
+      if (!parse_duration(*v, &options.attack_delay)) {
+        return fail("bad --attack-delay");
+      }
+    } else if (arg == "--policy") {
+      if (*v != "original" && *v != "triadplus") {
+        return fail("bad --policy (original|triadplus)");
+      }
+      options.policy = std::string(*v);
+    } else if (arg == "--env") {
+      if (!parse_environment(*v)) return fail("bad --env (triad|low|none)");
+      options.environments.emplace_back(*v);
+    } else if (arg == "--machine") {
+      std::uint64_t m = 0;
+      if (!parse_u64(*v, &m)) return fail("bad --machine");
+      options.machines.push_back(m);
+    } else if (arg == "--wan-delay") {
+      if (!parse_duration(*v, &options.wan_delay) ||
+          options.wan_delay <= 0) {
+        return fail("bad --wan-delay");
+      }
+    } else if (arg == "--csv") {
+      options.csv_path = std::string(*v);
+    }
+  }
+
+  if (options.victim > options.nodes) {
+    return fail("--victim exceeds --nodes");
+  }
+  if (options.environments.size() > options.nodes) {
+    return fail("more --env entries than nodes");
+  }
+  if (options.machines.size() > options.nodes) {
+    return fail("more --machine entries than nodes");
+  }
+  return options;
+}
+
+int run_cli(const CliOptions& options, std::ostream& out) {
+  if (options.help) {
+    out << cli_usage();
+    return 0;
+  }
+
+  ScenarioConfig cfg;
+  cfg.seed = options.seed;
+  cfg.node_count = options.nodes;
+  cfg.machine_interrupts = options.machine_interrupts;
+  cfg.machine_of = options.machines;
+  cfg.wan_base_delay = options.wan_delay;
+  cfg.wan_jitter = std::max<Duration>(options.wan_delay / 10, 1);
+  cfg.attested_keys = options.attested;
+  for (const std::string& env : options.environments) {
+    cfg.environments.push_back(*parse_environment(env));
+  }
+  if (options.policy == "triadplus") {
+    cfg.node_template = resilient::harden(cfg.node_template);
+    cfg.policy_factory = [] { return resilient::make_triad_plus_policy(); };
+  }
+
+  Scenario scenario(std::move(cfg));
+  if (options.attack != "none") {
+    attacks::DelayAttackConfig attack;
+    attack.kind = options.attack == "fplus" ? attacks::AttackKind::kFPlus
+                                            : attacks::AttackKind::kFMinus;
+    attack.victim = scenario.node_address(options.victim - 1);
+    attack.ta_address = scenario.ta_address();
+    attack.added_delay = options.attack_delay;
+    scenario.add_delay_attack(attack);
+  }
+
+  Recorder recorder(scenario);
+  scenario.start();
+  scenario.run_until(options.duration);
+
+  out << "scenario: nodes=" << options.nodes << " seed=" << options.seed
+      << " duration=" << to_seconds(options.duration) << "s attack="
+      << options.attack << " policy=" << options.policy << "\n";
+  for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+    TriadNode& node = scenario.node(i);
+    std::ostringstream drift;
+    if (!recorder.drift_ms(i).empty()) {
+      drift << recorder.drift_ms(i).min_value() << ".."
+            << recorder.drift_ms(i).max_value();
+    } else {
+      drift << "n/a";
+    }
+    out << "node " << (i + 1) << ": state=" << to_string(node.state())
+        << " F_calib=" << node.calibrated_frequency_hz() / 1e6
+        << "MHz availability=" << node.availability() * 100.0
+        << "% aex=" << node.stats().aex_count
+        << " ta_refs=" << node.stats().ta_time_references
+        << " drift_ms=[" << drift.str() << "]\n";
+  }
+  out << "ta requests served: "
+      << scenario.time_authority().stats().requests_served << "\n";
+
+  if (options.csv_path) {
+    if (*options.csv_path == "-") {
+      recorder.series().write_csv(out);
+    } else {
+      std::ofstream file(*options.csv_path);
+      if (!file) {
+        out << "error: cannot open " << *options.csv_path << "\n";
+        return 1;
+      }
+      recorder.series().write_csv(file);
+      out << "series written to " << *options.csv_path << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace triad::exp

@@ -1,0 +1,53 @@
+// Command-line scenario runner (backs the `triad_sim` tool).
+//
+// Parses flags into a runnable experiment description and executes it,
+// printing a per-node summary and (optionally) plot-ready CSV series.
+// Kept in the library so the parser is unit-testable.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace triad::exp {
+
+struct CliOptions {
+  std::uint64_t seed = 1;
+  std::size_t nodes = 3;
+  Duration duration = minutes(10);
+  /// "none" | "fplus" | "fminus"
+  std::string attack = "none";
+  /// 1-based node index the attack targets.
+  std::size_t victim = 3;
+  Duration attack_delay = milliseconds(100);
+  /// "original" | "triadplus"
+  std::string policy = "original";
+  /// Per-node environments: "triad" | "low" | "none" (repeatable flag;
+  /// missing entries default to "triad").
+  std::vector<std::string> environments;
+  bool machine_interrupts = true;
+  /// Machine index per node (repeatable flag, geo-distribution).
+  std::vector<std::size_t> machines;
+  Duration wan_delay = milliseconds(20);
+  /// Derive channel keys from attestation handshakes.
+  bool attested = false;
+  /// Write the recorded series as CSV to this path ("-" = stdout).
+  std::optional<std::string> csv_path;
+  bool help = false;
+};
+
+/// Parses argv. On error returns nullopt and writes a message to `error`.
+std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
+                                    std::string* error);
+
+/// One-line-per-flag usage text.
+std::string cli_usage();
+
+/// Runs the described experiment, writing human-readable results (and
+/// CSV if requested) to `out`. Returns a process exit code.
+int run_cli(const CliOptions& options, std::ostream& out);
+
+}  // namespace triad::exp

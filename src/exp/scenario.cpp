@@ -1,0 +1,222 @@
+#include "exp/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace triad::exp {
+namespace {
+
+Bytes demo_master_secret() {
+  // The cluster master secret stands in for SGX attested key exchange;
+  // see crypto/channel.h. Fixed value: the attacker modelled here is the
+  // OS/network, which never learns enclave secrets.
+  return Bytes(32, 0x42);
+}
+
+}  // namespace
+
+std::unique_ptr<enclave::AexDistribution> make_distribution(
+    AexEnvironment environment) {
+  switch (environment) {
+    case AexEnvironment::kTriadLike:
+      return std::make_unique<enclave::TriadLikeAexDistribution>();
+    case AexEnvironment::kLowAex:
+      return std::make_unique<enclave::IsolatedCoreAexDistribution>();
+    case AexEnvironment::kNone:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)), sim_(config_.seed),
+      keyring_(demo_master_secret()) {
+  if (config_.node_count == 0) {
+    throw std::invalid_argument("Scenario: need at least one node");
+  }
+  config_.environments.resize(config_.node_count,
+                              AexEnvironment::kTriadLike);
+  config_.machine_of.resize(config_.node_count, 0);
+  for (std::size_t machine : config_.machine_of) {
+    machine_count_ = std::max(machine_count_, machine + 1);
+  }
+  machine_count_ = std::max(machine_count_, config_.ta_machine + 1);
+
+  network_ = std::make_unique<net::Network>(
+      sim_, std::make_unique<net::JitterDelay>(config_.net_base_delay,
+                                               config_.net_jitter,
+                                               microseconds(10)));
+
+  if (config_.attested_keys) {
+    // Production path: every endpoint (nodes + TA) attests its X25519
+    // key, pairwise handshakes derive the session secrets the channels
+    // run on. Handshake message flow happens "at deployment time" —
+    // before the simulated experiment starts.
+    const crypto::AttestationAuthority authority{Bytes(32, 0x7e)};
+    const crypto::Measurement measurement =
+        crypto::sha256(Bytes{'t', 'r', 'i', 'a', 'd'});
+    std::vector<NodeId> endpoints;
+    for (std::size_t i = 0; i < config_.node_count; ++i) {
+      endpoints.push_back(node_address(i));
+    }
+    endpoints.push_back(ta_address());
+    std::vector<crypto::HandshakeParty> parties;
+    parties.reserve(endpoints.size());
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      parties.emplace_back(authority, endpoints[i], measurement,
+                           config_.seed * 131 + i);
+    }
+    session_keyrings_.resize(endpoints.size());
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      session_keyrings_[i].set_self(endpoints[i]);
+      for (std::size_t j = 0; j < endpoints.size(); ++j) {
+        if (i == j) continue;
+        auto result = parties[i].accept(parties[j].offer(), measurement);
+        if (!result) {
+          throw std::logic_error("Scenario: attestation handshake failed");
+        }
+        session_keyrings_[i].install(endpoints[j],
+                                     std::move(result->session_secret));
+      }
+    }
+  }
+
+  // The TA caps the server-side sleep it will honour; keep it above the
+  // configured calibration probe so wait-spread experiments work.
+  const Duration ta_max_wait =
+      std::max(seconds(2), config_.node_template.calib_wait_high + seconds(1));
+  ta_ = std::make_unique<ta::TimeAuthority>(*network_, ta_address(),
+                                            keyring_for(ta_address()),
+                                            ta_max_wait);
+
+  if (config_.machine_interrupts) {
+    for (std::size_t machine = 0; machine < machine_count_; ++machine) {
+      hubs_.push_back(std::make_unique<enclave::MachineInterruptHub>(
+          sim_, std::make_unique<enclave::IsolatedCoreAexDistribution>(),
+          sim_.rng().fork("machine-hub-" + std::to_string(machine)),
+          config_.machine_full_hit_probability));
+    }
+  }
+
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    TriadConfig node_config = config_.node_template;
+    node_config.id = node_address(i);
+    node_config.ta_address = ta_address();
+    node_config.peers.clear();
+    for (std::size_t j = 0; j < config_.node_count; ++j) {
+      if (j != i) node_config.peers.push_back(node_address(j));
+    }
+
+    TriadNode::HardwareParams hardware;  // paper machine defaults
+    auto policy = config_.policy_factory ? config_.policy_factory() : nullptr;
+    nodes_.push_back(std::make_unique<TriadNode>(
+        sim_, *network_, keyring_for(node_config.id), node_config, hardware,
+        std::move(policy)));
+
+    // Every node gets a per-core AEX driver; it only runs in the
+    // Triad-like environment (low-AEX cores see just the machine hub).
+    auto distribution =
+        config_.aex_distribution_factory
+            ? config_.aex_distribution_factory()
+            : std::make_unique<enclave::TriadLikeAexDistribution>();
+    drivers_.push_back(std::make_unique<enclave::AexDriver>(
+        sim_, nodes_.back()->monitoring_thread(), std::move(distribution),
+        sim_.rng().fork("aex-" + std::to_string(i))));
+
+    if (!hubs_.empty() && config_.environments[i] != AexEnvironment::kNone) {
+      hubs_[config_.machine_of[i]]->register_thread(
+          &nodes_.back()->monitoring_thread());
+    }
+  }
+
+  // WAN delays between endpoints on different machines (both ways).
+  auto endpoint_machine = [this](NodeId address) {
+    return address == ta_address() ? config_.ta_machine
+                                   : config_.machine_of[address - 1];
+  };
+  std::vector<NodeId> endpoints;
+  for (std::size_t i = 0; i < config_.node_count; ++i) {
+    endpoints.push_back(node_address(i));
+  }
+  endpoints.push_back(ta_address());
+  for (NodeId a : endpoints) {
+    for (NodeId b : endpoints) {
+      if (a != b && endpoint_machine(a) != endpoint_machine(b)) {
+        network_->set_link_delay(
+            a, b,
+            std::make_unique<net::JitterDelay>(config_.wan_base_delay,
+                                               config_.wan_jitter,
+                                               microseconds(100)));
+      }
+    }
+  }
+}
+
+Scenario::~Scenario() {
+  // Drivers and the hub hold references into the nodes' threads; stop
+  // them first, then drop attacks registered with the network.
+  for (auto& driver : drivers_) driver->stop();
+  for (auto& hub : hubs_) hub->stop();
+  for (auto& attack : attacks_) network_->remove_middlebox(attack.get());
+}
+
+const crypto::Keyring& Scenario::keyring_for(NodeId address) const {
+  if (!config_.attested_keys) return keyring_;
+  // Endpoint addresses are 1..node_count for nodes, node_count+1 for the
+  // TA — exactly the session_keyrings_ indices shifted by one.
+  return session_keyrings_.at(address - 1);
+}
+
+NodeId Scenario::node_address(std::size_t i) const {
+  if (i >= config_.node_count) {
+    throw std::out_of_range("Scenario: node index out of range");
+  }
+  return static_cast<NodeId>(i + 1);
+}
+
+NodeId Scenario::ta_address() const {
+  return static_cast<NodeId>(config_.node_count + 1);
+}
+
+void Scenario::start() {
+  if (started_) throw std::logic_error("Scenario::start called twice");
+  started_ = true;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->start();
+    if (config_.environments[i] == AexEnvironment::kTriadLike) {
+      drivers_[i]->start();
+    }
+  }
+  for (auto& hub : hubs_) hub->start();
+}
+
+attacks::DelayAttack& Scenario::add_delay_attack(
+    attacks::DelayAttackConfig config) {
+  attacks_.push_back(std::make_unique<attacks::DelayAttack>(config));
+  network_->add_middlebox(attacks_.back().get());
+  return *attacks_.back();
+}
+
+void Scenario::switch_environment_at(std::size_t i,
+                                     AexEnvironment environment,
+                                     SimTime t) {
+  if (i >= nodes_.size()) {
+    throw std::out_of_range("Scenario: node index out of range");
+  }
+  sim_.schedule_at(t, [this, i, environment] {
+    switch (environment) {
+      case AexEnvironment::kTriadLike:
+        drivers_[i]->set_distribution(
+            std::make_unique<enclave::TriadLikeAexDistribution>());
+        drivers_[i]->start();
+        break;
+      case AexEnvironment::kLowAex:
+      case AexEnvironment::kNone:
+        drivers_[i]->stop();
+        break;
+    }
+  });
+}
+
+}  // namespace triad::exp

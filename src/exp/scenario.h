@@ -1,0 +1,145 @@
+// Experiment scenario builder: one simulated machine hosting N Triad
+// nodes and the Time Authority — the paper's testbed (§IV: three nodes +
+// TA on a 32-core SGX2 machine).
+//
+// Per-node AEX environments (Figure 1) and a machine-wide interrupt hub
+// model the interruption landscape; middlebox attacks and environment
+// switches can be layered on top. All benches, examples, and integration
+// tests build on this harness.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "attacks/delay_attack.h"
+#include "crypto/channel.h"
+#include "crypto/handshake.h"
+#include "enclave/aex_source.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "ta/time_authority.h"
+#include "triad/node.h"
+
+namespace triad::exp {
+
+/// Per-node interruption environment (paper Figure 1).
+enum class AexEnvironment {
+  kTriadLike,  // Fig. 1a: {10, 532, 1590} ms each w.p. 1/3
+  kLowAex,     // Fig. 1b: isolated core; only machine-wide interrupts
+  kNone,       // no interrupts at all (attacker fully isolates the core)
+};
+
+/// Creates the per-environment AEX distribution (kLowAex and kNone have
+/// no per-node distribution — machine-wide interrupts still apply).
+std::unique_ptr<enclave::AexDistribution> make_distribution(
+    AexEnvironment environment);
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  std::size_t node_count = 3;
+  /// Environment per node; missing entries default to kTriadLike.
+  std::vector<AexEnvironment> environments;
+
+  /// Machine-wide residual interrupts (Fig. 1b distribution) hitting all
+  /// (usually) cores of one machine at once.
+  bool machine_interrupts = true;
+  double machine_full_hit_probability = 0.8;
+
+  /// Machine placement: machine index per node (missing entries default
+  /// to machine 0 — the paper's single-machine testbed). Nodes on
+  /// different machines get WAN link delays and independent interrupt
+  /// hubs; the iExec-style geo-distributed deployment.
+  std::vector<std::size_t> machine_of;
+  std::size_t ta_machine = 0;
+  Duration wan_base_delay = milliseconds(20);
+  Duration wan_jitter = milliseconds(2);
+
+  /// Network delay: base + jitter (see net::JitterDelay). The jitter is
+  /// what limits Triad's short-window calibration quality; 120 µs puts
+  /// the fault-free calibration error near the paper's ~110 ppm.
+  Duration net_base_delay = microseconds(150);
+  Duration net_jitter = microseconds(120);
+
+  /// Template for every node's protocol config (id/ta/peers filled in).
+  TriadConfig node_template;
+
+  /// Policy factory; null -> original Triad untainting policy.
+  std::function<std::unique_ptr<UntaintPolicy>()> policy_factory;
+
+  /// Per-node AEX distribution factory for kTriadLike environments;
+  /// null -> the paper's iid TriadLikeAexDistribution. Used by the
+  /// correlation ablation (MarkovAexDistribution).
+  std::function<std::unique_ptr<enclave::AexDistribution>()>
+      aex_distribution_factory;
+
+  /// Derive channel keys from attestation-style X25519 handshakes
+  /// between every pair of endpoints (the production path) instead of
+  /// the provisioned cluster secret. External endpoints attached via
+  /// keyring() are not supported in this mode (they hold no sessions).
+  bool attested_keys = false;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Starts the TA (already live), nodes, and AEX machinery.
+  void start();
+
+  void run_until(SimTime t) { sim_.run_until(t); }
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  /// The cluster keyring (for attaching clients / extra endpoints).
+  [[nodiscard]] const crypto::Keyring& keyring() const {
+    return keyring_;
+  }
+  [[nodiscard]] ta::TimeAuthority& time_authority() { return *ta_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] TriadNode& node(std::size_t i) { return *nodes_.at(i); }
+  /// Hub of machine 0 (nullptr when machine interrupts are disabled).
+  [[nodiscard]] enclave::MachineInterruptHub* machine_hub() {
+    return hubs_.empty() ? nullptr : hubs_.front().get();
+  }
+  [[nodiscard]] std::size_t machine_count() const { return machine_count_; }
+  [[nodiscard]] std::size_t machine_of(std::size_t i) const {
+    return config_.machine_of.at(i);
+  }
+
+  /// Node addressing: node i (0-based) lives at address i+1; the TA at
+  /// node_count()+1.
+  [[nodiscard]] NodeId node_address(std::size_t i) const;
+  [[nodiscard]] NodeId ta_address() const;
+
+  /// Installs an F+/F- middlebox attack; the scenario owns it.
+  attacks::DelayAttack& add_delay_attack(attacks::DelayAttackConfig config);
+
+  /// Schedules an AEX-environment switch for node i at virtual time t
+  /// (Fig. 6: honest nodes go Triad-like at t = 104 s).
+  void switch_environment_at(std::size_t i, AexEnvironment environment,
+                             SimTime t);
+
+ private:
+  /// Keyring for endpoint `address` — the shared cluster keyring, or
+  /// that endpoint's handshake-derived session keyring in attested mode.
+  [[nodiscard]] const crypto::Keyring& keyring_for(NodeId address) const;
+
+  ScenarioConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<net::Network> network_;
+  crypto::ClusterKeyring keyring_;
+  std::vector<crypto::SessionKeyring> session_keyrings_;  // attested mode
+  std::unique_ptr<ta::TimeAuthority> ta_;
+  std::vector<std::unique_ptr<TriadNode>> nodes_;
+  std::vector<std::unique_ptr<enclave::AexDriver>> drivers_;
+  std::vector<std::unique_ptr<enclave::MachineInterruptHub>> hubs_;
+  std::vector<std::unique_ptr<attacks::DelayAttack>> attacks_;
+  std::size_t machine_count_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace triad::exp

@@ -1,0 +1,97 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace triad::net {
+namespace {
+
+std::uint64_t link_key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+
+}  // namespace
+
+Network::Network(sim::Simulation& sim,
+                 std::unique_ptr<DelayModel> default_delay)
+    : sim_(sim), rng_(sim.rng().fork("network")),
+      default_delay_(std::move(default_delay)) {
+  if (!default_delay_) {
+    throw std::invalid_argument("Network: null default delay model");
+  }
+}
+
+void Network::attach(NodeId addr, Handler handler) {
+  if (!handler) throw std::invalid_argument("Network::attach: null handler");
+  handlers_[addr] = std::move(handler);
+}
+
+void Network::detach(NodeId addr) { handlers_.erase(addr); }
+
+void Network::set_link_delay(NodeId src, NodeId dst,
+                             std::unique_ptr<DelayModel> model) {
+  if (!model) throw std::invalid_argument("Network: null link delay model");
+  link_delays_[link_key(src, dst)] = std::move(model);
+}
+
+void Network::set_loss_probability(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Network: loss probability out of [0,1]");
+  }
+  loss_probability_ = p;
+}
+
+void Network::add_middlebox(Middlebox* box) {
+  if (box == nullptr) throw std::invalid_argument("Network: null middlebox");
+  middleboxes_.push_back(box);
+}
+
+void Network::remove_middlebox(Middlebox* box) {
+  middleboxes_.erase(
+      std::remove(middleboxes_.begin(), middleboxes_.end(), box),
+      middleboxes_.end());
+}
+
+DelayModel& Network::model_for(NodeId src, NodeId dst) {
+  const auto it = link_delays_.find(link_key(src, dst));
+  return it != link_delays_.end() ? *it->second : *default_delay_;
+}
+
+void Network::send(NodeId src, NodeId dst, Bytes payload) {
+  ++stats_.sent;
+  Packet packet{src, dst, std::move(payload), sim_.now(), next_packet_id_++};
+
+  if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
+    ++stats_.dropped_by_loss;
+    return;
+  }
+
+  Duration delay = model_for(src, dst).sample(rng_);
+  for (Middlebox* box : middleboxes_) {
+    const Middlebox::Action action = box->on_packet(packet, sim_.now());
+    if (action.drop) {
+      ++stats_.dropped_by_middlebox;
+      TRIAD_LOG_DEBUG("net") << "packet " << packet.id << " " << src << "->"
+                             << dst << " dropped by middlebox";
+      return;
+    }
+    if (action.extra_delay < 0) {
+      throw std::logic_error("Middlebox returned negative extra delay");
+    }
+    delay += action.extra_delay;
+  }
+
+  sim_.schedule_after(delay, [this, packet = std::move(packet)]() mutable {
+    const auto it = handlers_.find(packet.dst);
+    if (it == handlers_.end()) {
+      ++stats_.dropped_no_receiver;
+      return;
+    }
+    ++stats_.delivered;
+    it->second(packet);
+  });
+}
+
+}  // namespace triad::net

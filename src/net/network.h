@@ -1,0 +1,99 @@
+// Simulated datagram network.
+//
+// Semantics mirror UDP: unordered, unreliable, unicast. Every packet
+// passes through the registered middleboxes, which model the
+// OS-/network-level attacker: they see source, destination, size, and
+// timing (never plaintext — payloads are sealed by crypto::SecureChannel)
+// and may add delay or drop the packet. This is exactly the paper's
+// attacker interface for the F+/F- calibration attacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/delay_model.h"
+#include "sim/simulation.h"
+#include "util/bytes.h"
+#include "util/types.h"
+
+namespace triad::net {
+
+/// A datagram in flight.
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Bytes payload;
+  SimTime sent_at = 0;
+  std::uint64_t id = 0;  // unique per network, for tracing
+};
+
+/// Attacker/observer hook on the wire. Middleboxes run in registration
+/// order; extra delays accumulate and any drop wins.
+class Middlebox {
+ public:
+  struct Action {
+    Duration extra_delay = 0;
+    bool drop = false;
+  };
+
+  virtual ~Middlebox() = default;
+  virtual Action on_packet(const Packet& packet, SimTime now) = 0;
+};
+
+/// Counters for tests and experiment reports.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_by_middlebox = 0;
+  std::uint64_t dropped_no_receiver = 0;
+  std::uint64_t dropped_by_loss = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+
+  /// The default delay model applies to every link without an override.
+  Network(sim::Simulation& sim, std::unique_ptr<DelayModel> default_delay);
+
+  /// Registers the receive handler for an address. One handler per
+  /// address; re-attaching replaces the previous handler.
+  void attach(NodeId addr, Handler handler);
+  void detach(NodeId addr);
+
+  /// Overrides the delay model for the directed link src -> dst.
+  void set_link_delay(NodeId src, NodeId dst,
+                      std::unique_ptr<DelayModel> model);
+
+  /// Random independent packet loss applied to every packet (default 0).
+  void set_loss_probability(double p);
+
+  /// Registers a middlebox (non-owning: caller keeps it alive as long as
+  /// the network is in use).
+  void add_middlebox(Middlebox* box);
+  void remove_middlebox(Middlebox* box);
+
+  /// Sends a datagram. Delivery (if any) is scheduled on the simulation.
+  void send(NodeId src, NodeId dst, Bytes payload);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+ private:
+  DelayModel& model_for(NodeId src, NodeId dst);
+
+  sim::Simulation& sim_;
+  Rng rng_;
+  std::unique_ptr<DelayModel> default_delay_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<DelayModel>> link_delays_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::vector<Middlebox*> middleboxes_;
+  double loss_probability_ = 0.0;
+  std::uint64_t next_packet_id_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace triad::net

@@ -1,0 +1,95 @@
+#include "ntp/disciplined_clock.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace triad::ntp {
+
+DisciplinedClock::DisciplinedClock(const tsc::Tsc& tsc,
+                                   double nominal_frequency_hz,
+                                   DisciplineConfig config)
+    : tsc_(tsc), nominal_hz_(nominal_frequency_hz), config_(config),
+      base_tsc_(tsc.read()) {
+  if (nominal_frequency_hz <= 0) {
+    throw std::invalid_argument("DisciplinedClock: bad nominal frequency");
+  }
+  if (config_.step_threshold <= 0 || config_.max_slew_ppm <= 0 ||
+      config_.frequency_gain <= 0 || config_.frequency_gain > 1 ||
+      config_.min_frequency_interval <= 0) {
+    throw std::invalid_argument("DisciplinedClock: bad config");
+  }
+}
+
+double DisciplinedClock::effective_rate() const {
+  return 1.0 + freq_correction_ppm_ * 1e-6;
+}
+
+SimTime DisciplinedClock::now() const {
+  const double ticks = static_cast<double>(tsc_.read()) -
+                       static_cast<double>(base_tsc_);
+  const double elapsed_s = ticks / nominal_hz_;
+  // The slew contributes only until its target offset is absorbed.
+  const double slew_s = std::min(elapsed_s, slew_duration_s_);
+  const double value_s =
+      elapsed_s * effective_rate() + slew_s * slew_ppm_ * 1e-6;
+  return base_value_ + static_cast<SimTime>(value_s * 1e9);
+}
+
+void DisciplinedClock::rebase(SimTime new_value) {
+  base_value_ = new_value;
+  base_tsc_ = tsc_.read();
+}
+
+bool DisciplinedClock::apply_offset(Duration offset) {
+  const SimTime local_now = now();
+  // Best available estimate of true reference time right now, paired
+  // with the raw tick count: the basis for frequency learning. The raw
+  // ticks are untouched by our own slew/correction, so the estimated
+  // tick rate is not contaminated by the control loop.
+  const SimTime reference_now = local_now + offset;
+  const double ticks_now = static_cast<double>(tsc_.read());
+  if (have_anchor_) {
+    const Duration span = reference_now - anchor_reference_;
+    if (span >= config_.min_frequency_interval) {
+      const double measured_hz =
+          (ticks_now - anchor_ticks_) / to_seconds(span);
+      if (measured_hz > 0) {
+        const double target_ppm =
+            (nominal_hz_ / measured_hz - 1.0) * 1e6;
+        freq_correction_ppm_ +=
+            config_.frequency_gain * (target_ppm - freq_correction_ppm_);
+      }
+      anchor_reference_ = reference_now;
+      anchor_ticks_ = ticks_now;
+    }
+  } else {
+    have_anchor_ = true;
+    anchor_reference_ = reference_now;
+    anchor_ticks_ = ticks_now;
+  }
+
+  if (std::abs(offset) >= config_.step_threshold) {
+    rebase(reference_now);
+    slew_ppm_ = 0.0;
+    slew_duration_s_ = 0.0;
+    ++steps_;
+    return true;
+  }
+
+  // Slew: absorb the offset at a bounded rate, for exactly as long as
+  // it takes to absorb it.
+  rebase(local_now);
+  const double wanted_ppm =
+      static_cast<double>(offset) /
+      static_cast<double>(config_.min_frequency_interval) * 1e6;
+  slew_ppm_ = std::clamp(wanted_ppm, -config_.max_slew_ppm,
+                         config_.max_slew_ppm);
+  slew_duration_s_ =
+      slew_ppm_ == 0.0
+          ? 0.0
+          : static_cast<double>(offset) / (slew_ppm_ * 1e-6) / 1e9;
+  return false;
+}
+
+}  // namespace triad::ntp

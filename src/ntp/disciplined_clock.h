@@ -1,0 +1,76 @@
+// A TSC-driven local clock disciplined by offset measurements.
+//
+// Simplified RFC 5905 clock discipline: offsets above the step threshold
+// step the clock; smaller offsets are corrected by slewing (bounded rate)
+// plus a frequency adjustment learned from consecutive offsets over long
+// intervals (the "long drift measurement timeframes" §V points at).
+#pragma once
+
+#include "tsc/tsc.h"
+#include "util/types.h"
+
+namespace triad::ntp {
+
+struct DisciplineConfig {
+  /// Offsets at or above this are stepped immediately (NTP: 125 ms).
+  Duration step_threshold = milliseconds(125);
+  /// Maximum slew rate applied to smaller offsets (NTP: 500 ppm).
+  double max_slew_ppm = 500.0;
+  /// Loop gain for the frequency term (fraction of the measured
+  /// rate error folded in per update).
+  double frequency_gain = 0.5;
+  /// Minimum spacing between samples used for frequency estimation.
+  Duration min_frequency_interval = seconds(16);
+};
+
+class DisciplinedClock {
+ public:
+  /// nominal_frequency_hz: the assumed TSC rate (e.g. the boot-time
+  /// measurement); the discipline learns the residual error.
+  DisciplinedClock(const tsc::Tsc& tsc, double nominal_frequency_hz,
+                   DisciplineConfig config = {});
+
+  /// Current clock value. Monotonic except across explicit steps.
+  [[nodiscard]] SimTime now() const;
+
+  /// Feeds one measured offset (reference - local, at local time now()).
+  /// Returns true if the clock stepped (vs slewed).
+  bool apply_offset(Duration offset);
+
+  /// Learned frequency correction in ppm (positive = TSC assumed slow).
+  [[nodiscard]] double frequency_correction_ppm() const {
+    return freq_correction_ppm_;
+  }
+
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+ private:
+  /// Re-bases the linear segment at the current instant.
+  void rebase(SimTime new_value);
+  [[nodiscard]] double effective_rate() const;
+
+  const tsc::Tsc& tsc_;
+  double nominal_hz_;
+  DisciplineConfig config_;
+
+  // Piecewise linear: value = base_value_ + (tsc - base_tsc_) / rate,
+  // where rate folds nominal frequency, learned correction, and a
+  // bounded-duration slew (it ends once its target offset is absorbed —
+  // a slew must never keep skewing the clock indefinitely).
+  TscValue base_tsc_ = 0;
+  SimTime base_value_ = 0;
+  double freq_correction_ppm_ = 0.0;
+  double slew_ppm_ = 0.0;
+  double slew_duration_s_ = 0.0;  // nominal seconds the slew stays active
+
+  // Frequency learning state: raw TSC ticks against estimated reference
+  // time (local + offset). Using raw ticks keeps the estimate immune to
+  // our own slew/correction feedback.
+  bool have_anchor_ = false;
+  SimTime anchor_reference_ = 0;
+  double anchor_ticks_ = 0.0;
+
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace triad::ntp

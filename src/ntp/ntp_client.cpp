@@ -1,0 +1,172 @@
+#include "ntp/ntp_client.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ntp/ntp_server.h"  // wire-format tags
+#include "resilient/marzullo.h"
+#include "util/bytes.h"
+#include "util/log.h"
+
+namespace triad::ntp {
+
+NtpClient::NtpClient(sim::Simulation& sim, net::Network& network,
+                     const crypto::Keyring& keyring, const tsc::Tsc& tsc,
+                     double nominal_frequency_hz, NtpClientConfig config)
+    : sim_(sim), network_(network), config_(std::move(config)),
+      channel_(config_.id, keyring),
+      clock_(tsc, nominal_frequency_hz, config_.discipline),
+      tau_(config_.min_tau) {
+  if (config_.servers.empty()) {
+    throw std::invalid_argument("NtpClientConfig: need at least one server");
+  }
+  if (config_.min_tau < 0 || config_.max_tau < config_.min_tau ||
+      config_.max_tau > 17) {
+    throw std::invalid_argument("NtpClientConfig: bad tau bounds");
+  }
+  if (config_.stable_offset <= 0 || config_.selection_margin < 0) {
+    throw std::invalid_argument("NtpClientConfig: bad thresholds");
+  }
+  for (NodeId server : config_.servers) {
+    sources_.push_back(Source{server});
+  }
+  network_.attach(config_.id,
+                  [this](const net::Packet& packet) { on_packet(packet); });
+}
+
+NtpClient::~NtpClient() {
+  sim_.cancel(next_poll_);
+  network_.detach(config_.id);
+}
+
+void NtpClient::start() {
+  if (started_) throw std::logic_error("NtpClient::start called twice");
+  started_ = true;
+  poll();
+}
+
+void NtpClient::poll() {
+  ++stats_.polls;
+  for (Source& source : sources_) {
+    source.outstanding_id = next_request_id_++;
+    source.outstanding_t1 = clock_.now();
+    ByteWriter w;
+    w.put_u8(kNtpRequestTag);
+    w.put_u64(source.outstanding_id);
+    w.put_i64(source.outstanding_t1);
+    network_.send(config_.id, source.server,
+                  channel_.seal(source.server, w.data()));
+  }
+
+  // Next poll at 2^tau seconds regardless of whether answers arrive
+  // (a lost datagram just means a missed sample).
+  next_poll_ = sim_.schedule_after(seconds(1) << tau_, [this] { poll(); });
+}
+
+void NtpClient::on_packet(const net::Packet& packet) {
+  const auto opened = channel_.open(packet.payload);
+  if (!opened) return;
+
+  Source* source = nullptr;
+  for (Source& candidate : sources_) {
+    if (candidate.server == opened->sender) {
+      source = &candidate;
+      break;
+    }
+  }
+  if (source == nullptr) return;
+
+  NtpSample sample;
+  std::uint64_t id = 0;
+  try {
+    ByteReader reader(opened->plaintext);
+    if (reader.get_u8() != kNtpResponseTag) return;
+    id = reader.get_u64();
+    sample.t1 = reader.get_i64();
+    sample.t2 = reader.get_i64();
+    sample.t3 = reader.get_i64();
+    reader.expect_end();
+  } catch (const DecodeError&) {
+    return;
+  }
+  if (id != source->outstanding_id || sample.t1 != source->outstanding_t1) {
+    return;
+  }
+  source->outstanding_id = 0;
+  sample.t4 = clock_.now();
+
+  if (!sample.plausible()) {
+    ++stats_.implausible;
+    return;
+  }
+  ++stats_.samples;
+  source->filter.add({sample.offset(), sample.delay(), sample.t4});
+  select_and_apply();
+}
+
+void NtpClient::select_and_apply() {
+  const SimTime local_now = clock_.now();
+  const Duration horizon = 4 * (seconds(1) << tau_);
+
+  // Stage 1: per-server candidate = its filter's min-delay fresh sample.
+  struct Candidate {
+    resilient::ClockSample sample;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<resilient::Interval> intervals;
+  for (Source& source : sources_) {
+    const auto best = source.filter.select(local_now, horizon);
+    if (!best) continue;
+    candidates.push_back({*best});
+    const Duration e = best->delay / 2 + config_.selection_margin;
+    intervals.push_back({best->offset - e, best->offset + e});
+  }
+  if (candidates.empty()) return;
+
+  // Stage 2: Marzullo over candidate offset intervals; a server whose
+  // interval misses the majority intersection is a falseticker. The
+  // quorum is over the *configured* server set — otherwise whichever
+  // (possibly lying) server answers first forms a majority of one.
+  const auto best_overlap = resilient::marzullo(intervals);
+  if (best_overlap.count * 2 <= config_.servers.size()) return;
+  const auto chimers = resilient::overlapping(intervals, best_overlap.best);
+  stats_.falsetickers_rejected += candidates.size() - chimers.size();
+
+  // Stage 3: among true-chimers, the freshest minimum-delay candidate
+  // drives the discipline — but only when it is genuinely new.
+  const resilient::ClockSample* chosen = nullptr;
+  for (std::size_t idx : chimers) {
+    const auto& sample = candidates[idx].sample;
+    if (chosen == nullptr || sample.delay < chosen->delay ||
+        (sample.delay == chosen->delay && sample.at > chosen->at)) {
+      chosen = &candidates[idx].sample;
+    }
+  }
+  if (chosen == nullptr || chosen->at == last_applied_sample_at_ ||
+      chosen->at != local_now) {
+    return;  // nothing fresh to act on
+  }
+  last_applied_sample_at_ = chosen->at;
+  ++stats_.applied;
+  const bool stepped = clock_.apply_offset(chosen->offset);
+  if (stepped) {
+    ++stats_.steps;
+    // Retained samples were measured against the pre-step timescale;
+    // mixing them with post-step ones would corrupt the selection.
+    for (Source& source : sources_) source.filter.clear();
+    last_applied_sample_at_ = -1;
+  }
+
+  // Poll-interval management.
+  if (std::abs(chosen->offset) < config_.stable_offset && !stepped) {
+    tau_ = std::min(tau_ + 1, config_.max_tau);
+  } else {
+    tau_ = std::max(tau_ - 1, config_.min_tau);
+  }
+  TRIAD_LOG_DEBUG("ntp") << "client " << config_.id << " offset "
+                         << to_milliseconds(chosen->offset) << "ms delay "
+                         << to_milliseconds(chosen->delay) << "ms tau "
+                         << tau_;
+}
+
+}  // namespace triad::ntp

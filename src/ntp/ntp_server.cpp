@@ -1,0 +1,55 @@
+#include "ntp/ntp_server.h"
+
+#include "util/bytes.h"
+
+namespace triad::ntp {
+
+NtpServer::NtpServer(net::Network& network, NodeId address,
+                     const crypto::Keyring& keyring,
+                     Duration processing_delay)
+    : network_(network), address_(address), channel_(address, keyring),
+      processing_delay_(processing_delay) {
+  network_.attach(address_,
+                  [this](const net::Packet& packet) { on_packet(packet); });
+}
+
+NtpServer::~NtpServer() { network_.detach(address_); }
+
+void NtpServer::on_packet(const net::Packet& packet) {
+  const auto opened = channel_.open(packet.payload);
+  if (!opened) {
+    ++stats_.rejected_frames;
+    return;
+  }
+  std::uint64_t id = 0;
+  SimTime t1 = 0;
+  try {
+    ByteReader reader(opened->plaintext);
+    if (reader.get_u8() != kNtpRequestTag) {
+      ++stats_.rejected_frames;
+      return;
+    }
+    id = reader.get_u64();
+    t1 = reader.get_i64();
+    reader.expect_end();
+  } catch (const DecodeError&) {
+    ++stats_.rejected_frames;
+    return;
+  }
+
+  const SimTime t2 = network_.simulation().now() + lie_offset_;
+  const NodeId client = opened->sender;
+  ++stats_.requests_served;
+  network_.simulation().schedule_after(
+      processing_delay_, [this, client, id, t1, t2] {
+        ByteWriter w;
+        w.put_u8(kNtpResponseTag);
+        w.put_u64(id);
+        w.put_i64(t1);
+        w.put_i64(t2);
+        w.put_i64(network_.simulation().now() + lie_offset_);  // t3
+        network_.send(address_, client, channel_.seal(client, w.data()));
+      });
+}
+
+}  // namespace triad::ntp

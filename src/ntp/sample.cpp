@@ -1,0 +1,17 @@
+#include "ntp/sample.h"
+
+namespace triad::ntp {
+
+Duration NtpSample::offset() const {
+  return ((t2 - t1) + (t3 - t4)) / 2;
+}
+
+Duration NtpSample::delay() const {
+  return (t4 - t1) - (t3 - t2);
+}
+
+bool NtpSample::plausible() const {
+  return t4 >= t1 && t3 >= t2 && delay() >= 0;
+}
+
+}  // namespace triad::ntp

@@ -1,0 +1,33 @@
+// NTP four-timestamp exchange arithmetic (RFC 5905 §8).
+//
+// Client sends at t1 (its clock), server receives at t2 and replies at
+// t3 (server clock), client receives at t4 (its clock):
+//   offset = ((t2 - t1) + (t3 - t4)) / 2      (server - client)
+//   delay  = (t4 - t1) - (t3 - t2)            (round-trip, queues only)
+// The offset error from asymmetric path delay is bounded by delay / 2 —
+// which is why the clock filter prefers minimum-delay samples and why a
+// message-delaying attacker is far weaker against NTP-style sync than
+// against Triad's wait-time regression (paper §V).
+#pragma once
+
+#include "util/types.h"
+
+namespace triad::ntp {
+
+struct NtpSample {
+  SimTime t1 = 0;  // client transmit (client clock)
+  SimTime t2 = 0;  // server receive (server clock)
+  SimTime t3 = 0;  // server transmit (server clock)
+  SimTime t4 = 0;  // client receive (client clock)
+
+  /// Estimated server-minus-client clock offset.
+  [[nodiscard]] Duration offset() const;
+
+  /// Round-trip network delay (excluding server processing time).
+  [[nodiscard]] Duration delay() const;
+
+  /// Sanity: t4 >= t1, t3 >= t2, and non-negative delay.
+  [[nodiscard]] bool plausible() const;
+};
+
+}  // namespace triad::ntp

@@ -1,0 +1,66 @@
+#include "resilient/chimer_registry.h"
+
+#include <algorithm>
+
+namespace triad::resilient {
+
+void ChimerRegistry::report(NodeId reporter,
+                            const std::vector<NodeId>& chimers) {
+  std::set<NodeId>& entry = reported_[reporter];
+  entry.clear();
+  for (NodeId peer : chimers) {
+    if (peer != reporter) entry.insert(peer);
+  }
+}
+
+std::vector<NodeId> ChimerRegistry::participants() const {
+  std::vector<NodeId> out;
+  out.reserve(reported_.size());
+  for (const auto& [reporter, chimers] : reported_) out.push_back(reporter);
+  return out;
+}
+
+bool ChimerRegistry::mutually_confirmed(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  const auto ita = reported_.find(a);
+  const auto itb = reported_.find(b);
+  return ita != reported_.end() && itb != reported_.end() &&
+         ita->second.contains(b) && itb->second.contains(a);
+}
+
+std::vector<NodeId> ChimerRegistry::maximum_clique() const {
+  const std::vector<NodeId> nodes = participants();
+  std::vector<NodeId> best;
+  std::vector<NodeId> current;
+
+  // Exact branch-and-bound over the (tiny) participant set. Nodes are
+  // visited in ascending id order, giving lexicographically-smallest
+  // tie-breaking among equal-size cliques.
+  auto extend = [&](auto&& self, std::size_t start) -> void {
+    if (current.size() > best.size()) best = current;
+    for (std::size_t i = start; i < nodes.size(); ++i) {
+      if (current.size() + (nodes.size() - i) <= best.size()) break;
+      const NodeId candidate = nodes[i];
+      const bool compatible = std::all_of(
+          current.begin(), current.end(), [&](NodeId member) {
+            return mutually_confirmed(member, candidate);
+          });
+      if (compatible) {
+        current.push_back(candidate);
+        self(self, i + 1);
+        current.pop_back();
+      }
+    }
+  };
+  extend(extend, 0);
+  return best;
+}
+
+std::vector<NodeId> ChimerRegistry::majority_clique(
+    std::size_t cluster_size) const {
+  std::vector<NodeId> clique = maximum_clique();
+  if (clique.size() * 2 <= cluster_size) return {};
+  return clique;
+}
+
+}  // namespace triad::resilient

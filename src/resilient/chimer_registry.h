@@ -1,0 +1,51 @@
+// True-chimer registry and majority-clique computation (paper §V).
+//
+// "Nodes may publish, e.g., on a blockchain, or simply to other nodes,
+//  their list of true-chimers. [...] a majority clique of true-chimers
+//  may be used to maintain clock consistency and rely less often on the
+//  TA."
+//
+// Each node reports which peers it currently considers true-chimers
+// (mutually consistent clocks). The registry builds an undirected graph
+// with an edge (a, b) when *both* a reports b and b reports a — one-sided
+// claims are free for a liar to make, mutual confirmation is not — and
+// finds the maximum clique. If that clique covers a majority of the
+// cluster, its members form the trusted core.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/types.h"
+
+namespace triad::resilient {
+
+class ChimerRegistry {
+ public:
+  /// Replaces `reporter`'s current view: the peers it deems consistent
+  /// with its own clock. Self-entries are ignored.
+  void report(NodeId reporter, const std::vector<NodeId>& chimers);
+
+  /// Nodes that have reported at least once.
+  [[nodiscard]] std::vector<NodeId> participants() const;
+
+  /// True when both endpoints currently confirm each other.
+  [[nodiscard]] bool mutually_confirmed(NodeId a, NodeId b) const;
+
+  /// The largest set of nodes that all mutually confirm each other
+  /// (maximum clique; ties broken toward lexicographically smallest).
+  /// Exact search — cluster sizes here are single digits.
+  [[nodiscard]] std::vector<NodeId> maximum_clique() const;
+
+  /// The maximum clique if it covers a strict majority of
+  /// `cluster_size` nodes; empty otherwise.
+  [[nodiscard]] std::vector<NodeId> majority_clique(
+      std::size_t cluster_size) const;
+
+ private:
+  std::map<NodeId, std::set<NodeId>> reported_;  // reporter -> claimed set
+};
+
+}  // namespace triad::resilient

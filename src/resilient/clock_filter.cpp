@@ -1,0 +1,63 @@
+#include "resilient/clock_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace triad::resilient {
+
+ClockFilter::ClockFilter(std::size_t window, Duration max_age)
+    : window_(window), max_age_(max_age) {
+  if (window == 0 || max_age <= 0) {
+    throw std::invalid_argument("ClockFilter: bad parameters");
+  }
+}
+
+void ClockFilter::add(ClockSample sample) {
+  if (sample.delay < 0) {
+    throw std::invalid_argument("ClockFilter: negative delay");
+  }
+  samples_.push_back(sample);
+  while (samples_.size() > window_) samples_.pop_front();
+}
+
+std::optional<ClockSample> ClockFilter::select(
+    SimTime now, Duration max_age_override) const {
+  const Duration horizon =
+      max_age_override > 0 ? std::min(max_age_override, max_age_) : max_age_;
+  std::optional<ClockSample> best;
+  for (const ClockSample& s : samples_) {
+    if (now - s.at > horizon) continue;
+    if (!best || s.delay < best->delay ||
+        (s.delay == best->delay && s.at > best->at)) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+Duration ClockFilter::dispersion(SimTime now) const {
+  const auto best = select(now);
+  if (!best) return 0;
+  // Weighted offset spread, newer-sample-dominant (1/2^i weights over
+  // samples sorted by delay, as in NTP's peer dispersion).
+  std::vector<const ClockSample*> live;
+  for (const ClockSample& s : samples_) {
+    if (now - s.at <= max_age_) live.push_back(&s);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const ClockSample* a, const ClockSample* b) {
+              return a->delay < b->delay;
+            });
+  double disp = 0.0;
+  double weight = 0.5;
+  for (const ClockSample* s : live) {
+    disp += weight *
+            std::abs(static_cast<double>(s->offset - best->offset));
+    weight *= 0.5;
+  }
+  return static_cast<Duration>(disp);
+}
+
+}  // namespace triad::resilient

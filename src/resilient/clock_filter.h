@@ -1,0 +1,53 @@
+// NTP-style clock filter (RFC 5905 §10-flavoured, simplified).
+//
+// Keeps the last N (offset, delay) samples from one time source and
+// selects the sample with the lowest round-trip delay — low-delay
+// samples carry the least asymmetric-queueing error, which is precisely
+// the error a message-delaying attacker injects. Dispersion grows as
+// samples age. Section V proposes replacing Triad's raw short-window
+// measurements with this kind of mature filtering.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "util/types.h"
+
+namespace triad::resilient {
+
+struct ClockSample {
+  Duration offset = 0;  // remote - local at the sample instant
+  Duration delay = 0;   // round-trip delay observed for the exchange
+  SimTime at = 0;       // local time the sample was taken
+};
+
+class ClockFilter {
+ public:
+  /// window: number of retained samples (NTP uses 8).
+  /// max_age: samples older than this are expired at selection time.
+  explicit ClockFilter(std::size_t window = 8,
+                       Duration max_age = minutes(30));
+
+  void add(ClockSample sample);
+
+  /// Best (minimum-delay) current sample, or nullopt if empty/expired.
+  /// Ties prefer the newest sample. max_age_override (>0) narrows the
+  /// freshness horizon for this call (e.g. to a few poll intervals).
+  [[nodiscard]] std::optional<ClockSample> select(
+      SimTime now, Duration max_age_override = 0) const;
+
+  /// Peer dispersion: weighted spread of retained offsets around the
+  /// selected one — a quality estimate for the source.
+  [[nodiscard]] Duration dispersion(SimTime now) const;
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::size_t window_;
+  Duration max_age_;
+  std::deque<ClockSample> samples_;
+};
+
+}  // namespace triad::resilient

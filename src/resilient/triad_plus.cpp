@@ -1,0 +1,17 @@
+#include "resilient/triad_plus.h"
+
+namespace triad::resilient {
+
+TriadConfig harden(TriadConfig base, const TriadPlusOptions& options) {
+  base.refresh_deadline = options.refresh_deadline;
+  base.long_window_calibration = options.long_window_calibration;
+  base.long_window_min = options.long_window_min;
+  return base;
+}
+
+std::unique_ptr<UntaintPolicy> make_triad_plus_policy(
+    const TriadPlusOptions& options) {
+  return make_true_chimer_policy(options.chimer);
+}
+
+}  // namespace triad::resilient

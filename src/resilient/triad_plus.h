@@ -1,0 +1,35 @@
+// "Triad+": the paper's §V hardening proposals bundled as a preset.
+//
+//   1. In-TCB refresh deadline — the enclave re-checks its clock on its
+//      own schedule, so an attacker suppressing AEXs can no longer let a
+//      miscalibrated clock run unchecked forever.
+//   2. True-chimer peer policy — majority interval intersection instead
+//      of follow-the-fastest (see true_chimer_policy.h).
+//   3. NTP-style long-window frequency refinement — re-estimates F_calib
+//      across TA timestamps minutes apart, cancelling the per-message
+//      delay bias that the F+/F- attacks inject into the short-window
+//      regression.
+#pragma once
+
+#include <memory>
+
+#include "resilient/true_chimer_policy.h"
+#include "triad/node.h"
+
+namespace triad::resilient {
+
+struct TriadPlusOptions {
+  Duration refresh_deadline = seconds(10);
+  bool long_window_calibration = true;
+  Duration long_window_min = seconds(60);
+  TrueChimerConfig chimer;
+};
+
+/// Applies the Triad+ hardening knobs to a base node config.
+TriadConfig harden(TriadConfig base, const TriadPlusOptions& options = {});
+
+/// Policy factory matching the hardened config.
+std::unique_ptr<UntaintPolicy> make_triad_plus_policy(
+    const TriadPlusOptions& options = {});
+
+}  // namespace triad::resilient

@@ -1,0 +1,102 @@
+#include "resilient/true_chimer_policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "resilient/marzullo.h"
+
+namespace triad::resilient {
+
+TrueChimerPolicy::TrueChimerPolicy(TrueChimerConfig config)
+    : config_(config) {
+  if (config_.margin < 0 || config_.quorum_fraction <= 0.0 ||
+      config_.quorum_fraction >= 1.0 || config_.max_local_error <= 0 ||
+      config_.adopt_error_ceiling <= 0) {
+    throw std::invalid_argument("TrueChimerConfig: bad parameters");
+  }
+}
+
+UntaintPolicy::Decision TrueChimerPolicy::decide(
+    SimTime local_now, Duration local_error,
+    const std::vector<PeerSample>& samples) {
+  Decision decision;
+  if (samples.empty() || local_error > config_.max_local_error) {
+    decision.action = Decision::Action::kAskTimeAuthority;
+    return decision;
+  }
+
+  // Intervals: index 0 is the local clock, then one per peer sample.
+  std::vector<Interval> intervals;
+  intervals.reserve(samples.size() + 1);
+  const Duration own_e = local_error + config_.margin;
+  intervals.push_back({local_now - own_e, local_now + own_e});
+  for (const PeerSample& s : samples) {
+    const Duration e = s.error_bound + config_.margin;
+    intervals.push_back({s.timestamp - e, s.timestamp + e});
+  }
+
+  const MarzulloResult best = marzullo(intervals);
+  const auto total = intervals.size();
+  const auto quorum = static_cast<std::size_t>(
+                          config_.quorum_fraction *
+                          static_cast<double>(total)) +
+                      1;
+  if (best.count < quorum) {
+    // No majority clique of true-chimers: do not guess, ask the root of
+    // trust.
+    decision.action = Decision::Action::kAskTimeAuthority;
+    return decision;
+  }
+
+  // The true-chimer criterion: a clock whose *interval* overlaps the
+  // majority intersection is a chimer. If our own clock is one, we keep
+  // it — stepping onto the intersection midpoint here would let a tight
+  // but false peer interval ratchet the whole cluster.
+  const auto chimers = overlapping(intervals, best.best);
+  if (config_.on_chimer_set) {
+    std::vector<NodeId> peer_chimers;
+    for (std::size_t idx : chimers) {
+      if (idx != 0) peer_chimers.push_back(samples[idx - 1].peer);
+    }
+    config_.on_chimer_set(peer_chimers);
+  }
+  const bool own_consistent =
+      std::find(chimers.begin(), chimers.end(), 0u) != chimers.end();
+  if (own_consistent) {
+    decision.action = Decision::Action::kKeepLocal;
+    return decision;
+  }
+
+  // Own clock is a false-ticker. Step onto the majority interval only if
+  // the whole clique is high-quality; a wide honest interval would let a
+  // tight attacker capture the intersection, so prefer the TA then.
+  Duration widest = 0;
+  for (std::size_t idx : chimers) {
+    if (idx == 0) continue;  // self
+    widest = std::max(widest, samples[idx - 1].error_bound);
+  }
+  if (widest > config_.adopt_error_ceiling) {
+    decision.action = Decision::Action::kAskTimeAuthority;
+    return decision;
+  }
+
+  decision.action = Decision::Action::kAdopt;
+  decision.adopted_time = best.midpoint();
+  Duration best_error = kSimTimeMax;
+  for (std::size_t idx : chimers) {
+    if (idx == 0) continue;  // self
+    const PeerSample& s = samples[idx - 1];
+    if (s.error_bound < best_error) {
+      best_error = s.error_bound;
+      decision.source = s.peer;
+    }
+  }
+  return decision;
+}
+
+std::unique_ptr<UntaintPolicy> make_true_chimer_policy(
+    TrueChimerConfig config) {
+  return std::make_unique<TrueChimerPolicy>(config);
+}
+
+}  // namespace triad::resilient

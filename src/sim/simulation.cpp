@@ -1,0 +1,118 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace triad::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() = default;
+
+EventId Simulation::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::logic_error("Simulation::schedule_at: time is in the past");
+  }
+  if (!fn) {
+    throw std::invalid_argument("Simulation::schedule_at: empty handler");
+  }
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Event{t, seq, seq});
+  handlers_.emplace(seq, std::move(fn));
+  return EventId{seq};
+}
+
+EventId Simulation::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < 0) {
+    throw std::logic_error("Simulation::schedule_after: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  if (!id.valid()) return false;
+  const auto it = handlers_.find(id.value);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+void Simulation::purge_cancelled_top() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool Simulation::step() {
+  purge_cancelled_top();
+  if (heap_.empty()) return false;
+  const Event ev = heap_.top();
+  heap_.pop();
+  const auto it = handlers_.find(ev.id);
+  if (it == handlers_.end()) {
+    throw std::logic_error("Simulation: live event without handler");
+  }
+  // Move the handler out before invoking: the handler may schedule or
+  // cancel other events (rehashing handlers_), or even re-enter step()
+  // indirectly through helper objects.
+  std::function<void()> fn = std::move(it->second);
+  handlers_.erase(it);
+  now_ = ev.time;
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+void Simulation::run_until(SimTime t) {
+  if (t < now_) {
+    throw std::logic_error("Simulation::run_until: time is in the past");
+  }
+  for (;;) {
+    // Tombstones must be purged before peeking: a cancelled head with
+    // time <= t must not let an event after t slip through step().
+    purge_cancelled_top();
+    if (heap_.empty() || heap_.top().time > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+PeriodicTimer::PeriodicTimer(Simulation& sim, Duration period,
+                             std::function<void()> fn)
+    : PeriodicTimer(sim, sim.now() + period, period, std::move(fn)) {}
+
+PeriodicTimer::PeriodicTimer(Simulation& sim, SimTime first, Duration period,
+                             std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  if (period_ <= 0) {
+    throw std::invalid_argument("PeriodicTimer: period must be positive");
+  }
+  arm(first);
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  sim_.cancel(pending_);
+}
+
+void PeriodicTimer::arm(SimTime t) {
+  pending_ = sim_.schedule_at(t, [this] {
+    if (stopped_) return;
+    fn_();
+    if (!stopped_) arm(sim_.now() + period_);
+  });
+}
+
+}  // namespace triad::sim

@@ -1,0 +1,120 @@
+// Deterministic discrete-event simulation engine.
+//
+// All of the reproduction runs on virtual time: an "8 hour" experiment is
+// a few hundred thousand events. Determinism rules:
+//   * events at equal timestamps fire in scheduling order (FIFO);
+//   * all randomness is drawn from Rng streams forked off the
+//     simulation's root generator;
+//   * handlers may schedule/cancel freely, including at the current time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace triad::sim {
+
+/// Token identifying a scheduled event; usable to cancel it.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Root RNG; components should fork() their own streams.
+  Rng& rng() { return rng_; }
+
+  /// Schedules fn at absolute virtual time t (must be >= now()).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules fn after a non-negative delay.
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or invalid id
+  /// is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Runs the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs all events with time <= t, then sets now() == t.
+  void run_until(SimTime t);
+
+  /// Runs until the event queue drains. Use run_until for open systems
+  /// (anything with periodic timers never drains).
+  void run();
+
+  /// Number of events executed so far (for micro-benchmarks/diagnostics).
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+
+  /// Number of currently pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const {
+    return heap_.size() - cancelled_.size();
+  }
+
+ private:
+  void purge_cancelled_top();
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    std::uint64_t id;
+    // Ordering for a min-heap via std::greater.
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_executed_ = 0;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  // Handlers live here so Event stays POD-ish and cancellation is O(1).
+  std::unordered_map<std::uint64_t, std::function<void()>> handlers_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// Periodic callback helper built on Simulation; cancels itself on
+/// destruction (RAII) so samplers cannot outlive their owners.
+class PeriodicTimer {
+ public:
+  /// Fires fn every `period` starting at now()+period (or `first` if given).
+  PeriodicTimer(Simulation& sim, Duration period, std::function<void()> fn);
+  PeriodicTimer(Simulation& sim, SimTime first, Duration period,
+                std::function<void()> fn);
+  ~PeriodicTimer();
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void stop();
+
+ private:
+  void arm(SimTime t);
+  Simulation& sim_;
+  Duration period_;
+  std::function<void()> fn_;
+  sim::EventId pending_{};
+  bool stopped_ = false;
+};
+
+}  // namespace triad::sim

@@ -1,0 +1,87 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace triad::stats {
+
+void EmpiricalCdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+}
+
+std::vector<CdfPoint> EmpiricalCdf::points() const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> out;
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse runs of equal values into the final (highest) step.
+    if (i + 1 < sorted.size() && sorted[i + 1] == sorted[i]) continue;
+    out.push_back({sorted[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf::at: empty");
+  std::size_t cnt = 0;
+  for (double s : samples_) {
+    if (s <= x) ++cnt;
+  }
+  return static_cast<double>(cnt) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  if (samples_.empty()) {
+    throw std::logic_error("EmpiricalCdf::quantile: empty");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("EmpiricalCdf::quantile: bad p");
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(idx == 0 ? 0 : idx - 1, sorted.size() - 1)];
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: bad range or bin count");
+  }
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / bin_width_);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const { return counts_.at(i); }
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        counts_[i] * width / max_count;
+    out << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace triad::stats

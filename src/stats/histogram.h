@@ -1,0 +1,61 @@
+// Empirical distributions: histogram and CDF, used by the Figure 1
+// inter-AEX-delay reproductions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace triad::stats {
+
+/// One point of an empirical CDF: P(X <= value) = cumulative.
+struct CdfPoint {
+  double value;
+  double cumulative;  // in (0, 1]
+};
+
+/// Empirical CDF over all added samples (exact, not binned).
+class EmpiricalCdf {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// Full step-function CDF (one point per distinct sample value).
+  [[nodiscard]] std::vector<CdfPoint> points() const;
+
+  /// CDF evaluated at x: fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+
+  /// Value below which fraction p of samples fall (inverse CDF).
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-width binned histogram over [lo, hi); out-of-range samples are
+/// clamped into the edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return total_; }
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+
+  /// Renders a compact ASCII bar chart (for bench/ binaries).
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace triad::stats

@@ -1,0 +1,48 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace triad::stats {
+
+void LinearRegression::add(double x, double y) {
+  ++n_;
+  sum_x_ += x;
+  sum_y_ += y;
+  sum_xx_ += x * x;
+  sum_xy_ += x * y;
+  sum_yy_ += y * y;
+}
+
+void LinearRegression::clear() { *this = LinearRegression{}; }
+
+LinearFit LinearRegression::fit() const {
+  if (n_ < 2) {
+    throw std::logic_error("LinearRegression::fit: need >= 2 points");
+  }
+  const auto n = static_cast<double>(n_);
+  const double sxx = sum_xx_ - sum_x_ * sum_x_ / n;
+  const double sxy = sum_xy_ - sum_x_ * sum_y_ / n;
+  const double syy = sum_yy_ - sum_y_ * sum_y_ / n;
+  if (sxx <= 0.0) {
+    throw std::logic_error("LinearRegression::fit: x values are constant");
+  }
+  LinearFit f;
+  f.n = n_;
+  f.slope = sxy / sxx;
+  f.intercept = (sum_y_ - f.slope * sum_x_) / n;
+  f.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return f;
+}
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_line: size mismatch");
+  }
+  LinearRegression reg;
+  for (std::size_t i = 0; i < xs.size(); ++i) reg.add(xs[i], ys[i]);
+  return reg.fit();
+}
+
+}  // namespace triad::stats

@@ -1,0 +1,41 @@
+// Ordinary least squares linear regression.
+//
+// Triad's calibration fits TSC increments against requested TA wait-times;
+// the slope is the calibrated TSC frequency. The F+/F- attacks work by
+// biasing this regression, so its numerical behaviour is central.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace triad::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // 1.0 when the fit is exact or variance is zero
+  std::size_t n = 0;
+};
+
+/// Accumulates (x, y) points and fits y = slope * x + intercept.
+class LinearRegression {
+ public:
+  void add(double x, double y);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+
+  /// Requires at least two points with distinct x values.
+  [[nodiscard]] LinearFit fit() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_x_ = 0.0, sum_y_ = 0.0, sum_xx_ = 0.0, sum_xy_ = 0.0,
+         sum_yy_ = 0.0;
+};
+
+/// Convenience: fit over explicit vectors (must be same, >= 2, length).
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+}  // namespace triad::stats

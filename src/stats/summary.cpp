@@ -1,0 +1,98 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace triad::stats {
+
+void SummaryStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::mean() const {
+  if (n_ == 0) throw std::logic_error("SummaryStats::mean: no samples");
+  return mean_;
+}
+
+double SummaryStats::variance() const {
+  if (n_ < 2) throw std::logic_error("SummaryStats::variance: need >= 2");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+double SummaryStats::min() const {
+  if (n_ == 0) throw std::logic_error("SummaryStats::min: no samples");
+  return min_;
+}
+
+double SummaryStats::max() const {
+  if (n_ == 0) throw std::logic_error("SummaryStats::max: no samples");
+  return max_;
+}
+
+SummaryStats summarize(const std::vector<double>& xs) {
+  SummaryStats s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+std::vector<double> drop_farthest_from_median(std::vector<double> xs,
+                                              std::size_t k) {
+  if (k >= xs.size()) return {};
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted.size() % 2 == 1
+                            ? sorted[sorted.size() / 2]
+                            : 0.5 * (sorted[sorted.size() / 2 - 1] +
+                                     sorted[sorted.size() / 2]);
+  std::stable_sort(xs.begin(), xs.end(), [median](double a, double b) {
+    return std::abs(a - median) < std::abs(b - median);
+  });
+  xs.resize(xs.size() - k);
+  return xs;
+}
+
+double autocorrelation(const std::vector<double>& xs, std::size_t lag) {
+  if (xs.size() <= lag + 1) {
+    throw std::invalid_argument("autocorrelation: series too short");
+  }
+  const auto n = xs.size();
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  if (var <= 0) {
+    throw std::invalid_argument("autocorrelation: zero variance");
+  }
+  double cov = 0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    cov += (xs[i] - mean) * (xs[i + lag] - mean);
+  }
+  return cov / var;
+}
+
+double quantile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("quantile: bad p");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+}  // namespace triad::stats

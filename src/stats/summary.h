@@ -1,0 +1,54 @@
+// Online summary statistics (Welford) plus outlier-robust helpers.
+//
+// RQ A.1 reports INC-count statistics before and after removing outliers;
+// SummaryStats supports both the streaming form and an exact recompute on
+// retained samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace triad::stats {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class SummaryStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator). Requires count() >= 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double range() const { return max() - min(); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary over an explicit sample vector.
+SummaryStats summarize(const std::vector<double>& xs);
+
+/// Removes the k samples farthest from the median (the paper drops two
+/// outliers from the INC experiment). Returns the retained samples.
+std::vector<double> drop_farthest_from_median(std::vector<double> xs,
+                                              std::size_t k);
+
+/// Exact p-quantile (linear interpolation between order statistics).
+/// Requires a non-empty sample and p in [0, 1].
+double quantile(std::vector<double> xs, double p);
+
+/// Sample autocorrelation at the given lag (Pearson correlation of the
+/// series with itself shifted by `lag`). Requires xs.size() > lag + 1
+/// and non-zero variance. Used to probe the paper's independence
+/// assumption on successive inter-AEX delays (§IV: "we assume in this
+/// work that their successive delays were independent").
+double autocorrelation(const std::vector<double>& xs, std::size_t lag);
+
+}  // namespace triad::stats

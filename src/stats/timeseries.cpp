@@ -1,0 +1,65 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+namespace triad::stats {
+
+double TimeSeries::value_at(SimTime t) const {
+  if (samples_.empty() || samples_.front().time > t) {
+    throw std::logic_error("TimeSeries::value_at: no sample at or before t");
+  }
+  // Samples are recorded in time order by construction.
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](SimTime lhs, const Sample& s) { return lhs < s.time; });
+  return std::prev(it)->value;
+}
+
+double TimeSeries::min_value() const {
+  if (samples_.empty()) throw std::logic_error("TimeSeries: empty");
+  return std::min_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+double TimeSeries::max_value() const {
+  if (samples_.empty()) throw std::logic_error("TimeSeries: empty");
+  return std::max_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+TimeSeries& SeriesSet::add(std::string name) {
+  series_.emplace_back(std::move(name));
+  return series_.back();
+}
+
+void SeriesSet::write_csv(std::ostream& out) const {
+  out << "time_s";
+  for (const auto& s : series_) out << "," << s.name();
+  out << "\n";
+
+  std::set<SimTime> times;
+  for (const auto& s : series_) {
+    for (const auto& sample : s.samples()) times.insert(sample.time);
+  }
+  for (SimTime t : times) {
+    out << to_seconds(t);
+    for (const auto& s : series_) {
+      out << ",";
+      if (!s.empty() && s.samples().front().time <= t) {
+        out << s.value_at(t);
+      }
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace triad::stats

@@ -1,0 +1,64 @@
+// Time series recording for figure reproduction.
+//
+// Every bench binary records (virtual time, value) series — clock drift,
+// cumulative TA references, AEX counts, node states — and dumps them in a
+// plot-ready column format.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace triad::stats {
+
+struct Sample {
+  SimTime time;
+  double value;
+};
+
+/// A named (time, value) series.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void record(SimTime t, double value) { samples_.push_back({t, value}); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Last value at or before t; throws if the series is empty or starts
+  /// after t.
+  [[nodiscard]] double value_at(SimTime t) const;
+
+  /// min/max of the value column. Requires non-empty.
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+/// A collection of series sharing one figure; writes CSV with a time
+/// column in seconds and one column per series (values step-held between
+/// samples so differently-sampled series align).
+class SeriesSet {
+ public:
+  /// Returned references stay valid across later add() calls.
+  TimeSeries& add(std::string name);
+  [[nodiscard]] const std::deque<TimeSeries>& series() const {
+    return series_;
+  }
+
+  /// Writes "time_s,<name>,<name>..." rows at each distinct sample time.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::deque<TimeSeries> series_;  // deque: stable references on growth
+};
+
+}  // namespace triad::stats

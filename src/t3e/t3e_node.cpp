@@ -1,0 +1,54 @@
+#include "t3e/t3e_node.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace triad::t3e {
+
+T3eNode::T3eNode(sim::Simulation& sim, Tpm& tpm, T3eConfig config)
+    : sim_(sim), tpm_(tpm), config_(config) {
+  if (config_.refresh_period <= 0 || config_.max_uses == 0) {
+    throw std::invalid_argument("T3eConfig: invalid parameters");
+  }
+}
+
+T3eNode::~T3eNode() = default;
+
+void T3eNode::start() {
+  if (started_) throw std::logic_error("T3eNode::start called twice");
+  started_ = true;
+  refresh();  // immediate first read
+  refresh_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, config_.refresh_period, [this] { refresh(); });
+}
+
+void T3eNode::refresh() {
+  ++stats_.tpm_reads;
+  tpm_.read_clock([this](SimTime tpm_time) {
+    // Stale responses (attacker reordering long-delayed ones) must not
+    // roll the reading backwards.
+    if (have_reading_ && tpm_time <= reading_tpm_time_) return;
+    have_reading_ = true;
+    reading_tpm_time_ = tpm_time;
+    uses_left_ = config_.max_uses;
+  });
+}
+
+bool T3eNode::available() const { return have_reading_ && uses_left_ > 0; }
+
+std::optional<SimTime> T3eNode::serve_timestamp() {
+  if (!available()) {
+    ++stats_.stalled;
+    return std::nullopt;
+  }
+  --uses_left_;
+  ++stats_.served;
+  // The raw TPM reading, monotonicized. No interpolation: the enclave
+  // has no trusted local timer to interpolate with — that is the whole
+  // reason for the use-quota design.
+  const SimTime ts = std::max(reading_tpm_time_, last_served_ + 1);
+  last_served_ = ts;
+  return ts;
+}
+
+}  // namespace triad::t3e

@@ -1,0 +1,76 @@
+// T3E-style trusted-time node (Hamidy, Philippaerts, Joosen — NSS'23),
+// as characterized in the paper's related work (§II-A): the baseline
+// Triad is compared against.
+//
+// Mechanism: the enclave periodically reads the colocated TPM's clock
+// and serves the *raw TPM timestamp* (monotonicized) to applications.
+// Crucially the enclave has no other trustworthy timer, so it cannot
+// measure how stale a reading is; instead each fetched timestamp may be
+// used to answer at most `max_uses` requests. When uses are depleted
+// before a fresh TPM reading arrives, the enclave STALLS. An attacker
+// who blocks or slows TPM responses to stretch one timestamp therefore
+// collapses the application's throughput (loud) instead of silently
+// shifting time; an attacker merely delaying every response by D shifts
+// served time back by at most ~D (bounded, unlike Triad's F- skew).
+// The flip sides, per the paper: `max_uses` is workload-dependent, and a
+// TPM owner can configure up to ±32.5 % clock drift T3E cannot see.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "sim/simulation.h"
+#include "t3e/tpm.h"
+#include "util/types.h"
+
+namespace triad::t3e {
+
+struct T3eConfig {
+  /// How often the enclave requests a fresh TPM timestamp.
+  Duration refresh_period = milliseconds(50);
+  /// Application requests servable per fetched TPM timestamp.
+  std::uint32_t max_uses = 100;
+};
+
+struct T3eStats {
+  std::uint64_t tpm_reads = 0;
+  std::uint64_t served = 0;
+  std::uint64_t stalled = 0;  // refusals: no usable reading
+};
+
+class T3eNode {
+ public:
+  T3eNode(sim::Simulation& sim, Tpm& tpm, T3eConfig config);
+  ~T3eNode();
+  T3eNode(const T3eNode&) = delete;
+  T3eNode& operator=(const T3eNode&) = delete;
+
+  void start();
+
+  /// Serves a trusted timestamp, or nullopt while stalled.
+  [[nodiscard]] std::optional<SimTime> serve_timestamp();
+
+  /// True when a request right now would be served.
+  [[nodiscard]] bool available() const;
+
+  [[nodiscard]] const T3eStats& stats() const { return stats_; }
+
+ private:
+  void refresh();
+
+  sim::Simulation& sim_;
+  Tpm& tpm_;
+  T3eConfig config_;
+  std::unique_ptr<sim::PeriodicTimer> refresh_timer_;
+  bool started_ = false;
+
+  // Last accepted TPM reading.
+  bool have_reading_ = false;
+  SimTime reading_tpm_time_ = 0;
+  std::uint32_t uses_left_ = 0;
+  SimTime last_served_ = 0;
+  T3eStats stats_;
+};
+
+}  // namespace triad::t3e

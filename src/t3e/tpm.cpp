@@ -1,0 +1,59 @@
+#include "t3e/tpm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace triad::t3e {
+
+Tpm::Tpm(sim::Simulation& sim, TpmParams params, Rng rng)
+    : sim_(sim), params_(params), rng_(rng),
+      segment_start_(sim.now()) {
+  if (params_.rate < 0.675 || params_.rate > 1.325) {
+    throw std::invalid_argument("Tpm: rate outside TPM2 spec envelope");
+  }
+  if (params_.command_latency < 0 || params_.latency_jitter < 0) {
+    throw std::invalid_argument("Tpm: negative latency");
+  }
+}
+
+SimTime Tpm::clock_now() const {
+  const double elapsed =
+      static_cast<double>(sim_.now() - segment_start_);
+  return static_cast<SimTime>(clock_base_ns_ + elapsed * params_.rate);
+}
+
+void Tpm::configure_rate(double rate) {
+  if (rate < 0.675 || rate > 1.325) {
+    throw std::invalid_argument("Tpm: rate outside TPM2 spec envelope");
+  }
+  clock_base_ns_ = static_cast<double>(clock_now());
+  segment_start_ = sim_.now();
+  params_.rate = rate;
+}
+
+void Tpm::set_response_delay_hook(std::function<Duration()> hook) {
+  delay_hook_ = std::move(hook);
+}
+
+void Tpm::read_clock(ReadCallback callback) {
+  if (!callback) throw std::invalid_argument("Tpm: null callback");
+  ++commands_;
+  // Command executes inside the TPM after half the honest latency; the
+  // response then travels back through the OS, where the attacker can
+  // sit on it.
+  const Duration jitter = static_cast<Duration>(std::abs(
+      rng_.normal(0.0, static_cast<double>(params_.latency_jitter))));
+  const Duration to_tpm = (params_.command_latency + jitter) / 2;
+  sim_.schedule_after(to_tpm, [this, callback = std::move(callback),
+                               jitter]() mutable {
+    const SimTime sampled = clock_now();
+    Duration back = (params_.command_latency + jitter) / 2;
+    if (delay_hook_) back += std::max<Duration>(0, delay_hook_());
+    sim_.schedule_after(back, [callback = std::move(callback), sampled] {
+      callback(sampled);
+    });
+  });
+}
+
+}  // namespace triad::t3e

@@ -1,0 +1,68 @@
+// Trusted Platform Module clock model (baseline substrate, paper §II-A).
+//
+// T3E uses a TPM colocated with the TEE as its time source. Relevant
+// properties from the paper's discussion:
+//  * TPM commands travel through the OS-controlled stack, so responses
+//    can be delayed arbitrarily by the attacker (but not forged — the
+//    TPM signs/sessions its responses; we model authenticity as given);
+//  * command latency is milliseconds even when honest;
+//  * the TPM's clock itself may be configured by its owner with up to a
+//    ±32.5 % drift rate relative to real time (TPM 2.0 library spec).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace triad::t3e {
+
+struct TpmParams {
+  /// TPM clock rate relative to real time (1.0 = nominal). The TPM
+  /// owner (the attacker, for a hostile host) may configure this within
+  /// TPM2 spec limits of ±32.5 %.
+  double rate = 1.0;
+  /// Honest base latency of a ReadClock command round-trip.
+  Duration command_latency = milliseconds(3);
+  /// Latency jitter (truncated normal).
+  Duration latency_jitter = microseconds(300);
+};
+
+class Tpm {
+ public:
+  Tpm(sim::Simulation& sim, TpmParams params, Rng rng);
+
+  /// Issues an asynchronous ReadClock. The callback receives the TPM's
+  /// clock value (ns of *TPM time*) as sampled when the command executes
+  /// inside the TPM; delivery is after command latency plus any
+  /// attacker-injected delay.
+  using ReadCallback = std::function<void(SimTime tpm_time)>;
+  void read_clock(ReadCallback callback);
+
+  /// The attacker owns the host: it may delay each response by the
+  /// duration this hook returns (called once per command).
+  void set_response_delay_hook(std::function<Duration()> hook);
+
+  /// TPM owner configuration (attack surface): change the clock rate.
+  /// Throws outside the TPM2 spec envelope [0.675, 1.325].
+  void configure_rate(double rate);
+
+  /// Current TPM clock value (continuous across rate changes).
+  [[nodiscard]] SimTime clock_now() const;
+
+  [[nodiscard]] std::uint64_t commands_served() const { return commands_; }
+
+ private:
+  sim::Simulation& sim_;
+  TpmParams params_;
+  Rng rng_;
+  std::function<Duration()> delay_hook_;
+  // Piecewise-linear clock (rate changes keep continuity).
+  SimTime segment_start_ = 0;
+  double clock_base_ns_ = 0.0;
+  std::uint64_t commands_ = 0;
+};
+
+}  // namespace triad::t3e

@@ -1,0 +1,58 @@
+#include "ta/time_authority.h"
+
+#include "util/log.h"
+
+namespace triad::ta {
+
+TimeAuthority::TimeAuthority(net::Network& network, NodeId address,
+                             const crypto::Keyring& keyring,
+                             Duration max_wait)
+    : network_(network), address_(address), channel_(address, keyring),
+      max_wait_(max_wait) {
+  network_.attach(address_,
+                  [this](const net::Packet& packet) { on_packet(packet); });
+}
+
+TimeAuthority::~TimeAuthority() { network_.detach(address_); }
+
+SimTime TimeAuthority::reference_now() const {
+  return network_.simulation().now();
+}
+
+void TimeAuthority::on_packet(const net::Packet& packet) {
+  const auto opened = channel_.open(packet.payload);
+  if (!opened) {
+    ++stats_.rejected_frames;
+    return;
+  }
+  const auto message = proto::decode(opened->plaintext);
+  if (!message || !std::holds_alternative<proto::TaRequest>(*message)) {
+    ++stats_.rejected_frames;
+    return;
+  }
+  const auto& request = std::get<proto::TaRequest>(*message);
+  if (request.wait > max_wait_) {
+    ++stats_.rejected_waits;
+    return;
+  }
+
+  const NodeId client = opened->sender;
+  const std::uint64_t request_id = request.request_id;
+  const Duration wait = request.wait;
+  ++stats_.requests_served;
+
+  network_.simulation().schedule_after(wait, [this, client, request_id,
+                                              wait] {
+    proto::TaResponse response;
+    response.request_id = request_id;
+    response.ta_time = reference_now();
+    response.requested_wait = wait;
+    TRIAD_LOG_DEBUG("ta") << "reply to node " << client << " req "
+                          << request_id << " wait " << to_seconds(wait)
+                          << "s";
+    network_.send(address_, client,
+                  channel_.seal(client, proto::encode(response)));
+  });
+}
+
+}  // namespace triad::ta

@@ -1,0 +1,54 @@
+// Time Authority: the protocol's root of trust (an NTP-server stand-in).
+//
+// The TA owns the reference clock. On a request asking for wait time s it
+// sleeps s, then replies with its current reference time. Requests are
+// authenticated/decrypted through the cluster's secure channels; garbage
+// or unauthenticated datagrams are counted and dropped.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/channel.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "triad/messages.h"
+#include "util/types.h"
+
+namespace triad::ta {
+
+struct TimeAuthorityStats {
+  std::uint64_t requests_served = 0;
+  std::uint64_t rejected_frames = 0;   // auth/replay/malformed failures
+  std::uint64_t rejected_waits = 0;    // wait above the allowed maximum
+};
+
+class TimeAuthority {
+ public:
+  /// max_wait bounds the server-side sleep a client may request (defends
+  /// the TA against resource-holding; 2 s covers Triad's 0 s/1 s probes).
+  TimeAuthority(net::Network& network, NodeId address,
+                const crypto::Keyring& keyring,
+                Duration max_wait = seconds(2));
+  ~TimeAuthority();
+  TimeAuthority(const TimeAuthority&) = delete;
+  TimeAuthority& operator=(const TimeAuthority&) = delete;
+
+  [[nodiscard]] NodeId address() const { return address_; }
+
+  /// Reference time. The TA *is* the root of trust, so this is the
+  /// simulation clock itself.
+  [[nodiscard]] SimTime reference_now() const;
+
+  [[nodiscard]] const TimeAuthorityStats& stats() const { return stats_; }
+
+ private:
+  void on_packet(const net::Packet& packet);
+
+  net::Network& network_;
+  NodeId address_;
+  crypto::SecureChannel channel_;
+  Duration max_wait_;
+  TimeAuthorityStats stats_;
+};
+
+}  // namespace triad::ta

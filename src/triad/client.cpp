@@ -1,0 +1,124 @@
+#include "triad/client.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace triad {
+
+TrustedTimeClient::TrustedTimeClient(sim::Simulation& sim,
+                                     net::Network& network,
+                                     const crypto::Keyring& keyring,
+                                     ClientConfig config)
+    : sim_(sim), network_(network), config_(std::move(config)),
+      channel_(config_.id, keyring) {
+  if (config_.cluster.empty()) {
+    throw std::invalid_argument("TrustedTimeClient: empty cluster");
+  }
+  if (config_.node_timeout <= 0) {
+    throw std::invalid_argument("TrustedTimeClient: bad timeout");
+  }
+  if (config_.max_attempts == 0 ||
+      config_.max_attempts > config_.cluster.size()) {
+    config_.max_attempts = config_.cluster.size();
+  }
+  network_.attach(config_.id,
+                  [this](const net::Packet& packet) { on_packet(packet); });
+}
+
+TrustedTimeClient::~TrustedTimeClient() {
+  for (auto& pending : pending_) sim_.cancel(pending.timeout);
+  network_.detach(config_.id);
+}
+
+void TrustedTimeClient::request_timestamp(Callback callback) {
+  if (!callback) {
+    throw std::invalid_argument("TrustedTimeClient: null callback");
+  }
+  ++stats_.requests;
+  Pending pending;
+  pending.request_id = next_request_id_++;
+  pending.start_offset = rotation_++ % config_.cluster.size();
+  pending.callback = std::move(callback);
+  try_next(std::move(pending));
+}
+
+void TrustedTimeClient::try_next(Pending pending) {
+  if (pending.attempt >= config_.max_attempts) {
+    finish(pending, std::nullopt);
+    return;
+  }
+  const NodeId target =
+      config_.cluster[(pending.start_offset + pending.attempt) %
+                      config_.cluster.size()];
+  ++pending.attempt;
+
+  proto::PeerTimeRequest request;
+  request.request_id = pending.request_id;
+  network_.send(config_.id, target,
+                channel_.seal(target, proto::encode(request)));
+
+  const std::uint64_t id = pending.request_id;
+  pending.timeout = sim_.schedule_after(config_.node_timeout, [this, id] {
+    const auto it = std::find_if(
+        pending_.begin(), pending_.end(),
+        [id](const Pending& p) { return p.request_id == id; });
+    if (it == pending_.end()) return;
+    ++stats_.timeouts;
+    Pending next = std::move(*it);
+    pending_.erase(it);
+    try_next(std::move(next));  // rotate to the next node
+  });
+  pending_.push_back(std::move(pending));
+}
+
+void TrustedTimeClient::finish(Pending& pending,
+                               std::optional<TrustedTimestamp> result) {
+  if (result) {
+    ++stats_.successes;
+  } else {
+    ++stats_.failures;
+  }
+  // Move the callback out: it may re-enter request_timestamp().
+  Callback callback = std::move(pending.callback);
+  callback(result);
+}
+
+void TrustedTimeClient::on_packet(const net::Packet& packet) {
+  const auto opened = channel_.open(packet.payload);
+  if (!opened) {
+    ++stats_.bad_frames;
+    return;
+  }
+  const auto message = proto::decode(opened->plaintext);
+  if (!message ||
+      !std::holds_alternative<proto::PeerTimeResponse>(*message)) {
+    ++stats_.bad_frames;
+    return;
+  }
+  const auto& response = std::get<proto::PeerTimeResponse>(*message);
+
+  const auto it = std::find_if(pending_.begin(), pending_.end(),
+                               [&](const Pending& p) {
+                                 return p.request_id == response.request_id;
+                               });
+  if (it == pending_.end()) return;  // stale answer after timeout rotation
+
+  if (response.tainted) {
+    ++stats_.tainted_answers;
+    sim_.cancel(it->timeout);
+    Pending next = std::move(*it);
+    pending_.erase(it);
+    try_next(std::move(next));
+    return;
+  }
+
+  sim_.cancel(it->timeout);
+  Pending done = std::move(*it);
+  pending_.erase(it);
+  finish(done, TrustedTimestamp{response.timestamp, response.error_bound,
+                                opened->sender});
+}
+
+}  // namespace triad

@@ -1,0 +1,511 @@
+#include "triad/node.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace triad {
+
+const char* to_string(NodeState state) {
+  switch (state) {
+    case NodeState::kFullCalib: return "FullCalib";
+    case NodeState::kRefCalib: return "RefCalib";
+    case NodeState::kOk: return "OK";
+    case NodeState::kTainted: return "Tainted";
+  }
+  return "?";
+}
+
+TriadNode::TriadNode(sim::Simulation& sim, net::Network& network,
+                     const crypto::Keyring& keyring,
+                     TriadConfig config, HardwareParams hardware,
+                     std::unique_ptr<UntaintPolicy> policy)
+    : sim_(sim), network_(network), config_(std::move(config)),
+      channel_(config_.id, keyring), thread_(sim),
+      tsc_(sim, hardware.tsc_frequency_hz, hardware.tsc_initial),
+      core_(hardware.core,
+            sim.rng().fork("core-" + std::to_string(config_.id))),
+      monitor_(tsc_, core_),
+      policy_(policy ? std::move(policy) : make_original_policy()) {
+  if (config_.calib_pairs < 1) {
+    throw std::invalid_argument("TriadConfig: calib_pairs must be >= 1");
+  }
+  if (config_.calib_wait_low >= config_.calib_wait_high) {
+    throw std::invalid_argument(
+        "TriadConfig: calib_wait_low must be < calib_wait_high");
+  }
+  if (config_.peer_timeout <= 0 || config_.ta_timeout <= 0) {
+    throw std::invalid_argument("TriadConfig: timeouts must be positive");
+  }
+  network_.attach(config_.id,
+                  [this](const net::Packet& packet) { on_packet(packet); });
+  thread_.set_aex_handler([this] { on_aex(); });
+}
+
+TriadNode::~TriadNode() {
+  // Cancel every pending event that captures `this`.
+  if (outstanding_ta_) sim_.cancel(outstanding_ta_->timeout);
+  if (peer_round_) sim_.cancel(peer_round_->timeout);
+  deadline_timer_.reset();
+  network_.detach(config_.id);
+}
+
+void TriadNode::start() {
+  if (started_) throw std::logic_error("TriadNode::start called twice");
+  started_ = true;
+  started_at_ = sim_.now();
+  state_since_ = sim_.now();
+  last_sync_ = sim_.now();
+
+  // Calibrate the INC monitor over uninterrupted windows (the paper's
+  // §IV-A1 measurement, run at enclave start).
+  inc_calibration_ =
+      monitor_.calibrate(config_.inc_window_ticks, config_.inc_calib_runs);
+  monitor_.reset_continuity();
+
+  if (config_.refresh_deadline > 0) {
+    deadline_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, config_.refresh_deadline, [this] {
+          if (state_ == NodeState::kOk) {
+            ++stats_.proactive_checks;
+            begin_peer_round(/*proactive=*/true);
+          }
+        });
+  }
+
+  begin_full_calibration();
+}
+
+// ---------------------------------------------------------------------
+// Clock
+
+SimTime TriadNode::current_time() const {
+  if (f_calib_hz_ <= 0.0) return ref_time_;
+  const double ticks =
+      static_cast<double>(tsc_.read()) - static_cast<double>(ref_tsc_);
+  return ref_time_ + static_cast<SimTime>(ticks / f_calib_hz_ * 1e9);
+}
+
+Duration TriadNode::current_error_bound() const {
+  const double elapsed_s = to_seconds(sim_.now() - last_sync_);
+  return error_at_sync_ +
+         static_cast<Duration>(config_.drift_bound_ppm * 1e-6 * elapsed_s *
+                               1e9);
+}
+
+void TriadNode::sync_clock_to(SimTime new_time, Duration new_error,
+                              NodeId source) {
+  const SimTime before = current_time();
+  ref_time_ = new_time;
+  ref_tsc_ = tsc_.read();
+  last_sync_ = sim_.now();
+  error_at_sync_ = new_error;
+  if (hooks_.on_adoption) hooks_.on_adoption(before, new_time, source);
+  TRIAD_LOG_DEBUG("node") << "node " << config_.id << " clock set to "
+                          << to_seconds(new_time) << "s (source " << source
+                          << ", step "
+                          << to_milliseconds(new_time - before) << "ms)";
+}
+
+std::optional<TriadNode::TimeInterval> TriadNode::now_interval() {
+  if (state_ != NodeState::kOk) {
+    ++stats_.serve_unavailable;
+    return std::nullopt;
+  }
+  const SimTime now = current_time();
+  const Duration error = current_error_bound();
+  TimeInterval interval{now - error, now + error};
+  // Monotonicity of both endpoints across calls: intervals may only
+  // move forward (callers use earliest/latest for ordering decisions).
+  interval.earliest = std::max(interval.earliest, last_interval_.earliest);
+  interval.latest = std::max(interval.latest, last_interval_.latest);
+  last_interval_ = interval;
+  ++stats_.timestamps_served;
+  return interval;
+}
+
+std::optional<SimTime> TriadNode::serve_timestamp() {
+  if (state_ != NodeState::kOk) {
+    ++stats_.serve_unavailable;
+    return std::nullopt;
+  }
+  const SimTime ts = std::max(current_time(), last_served_ + 1);
+  last_served_ = ts;
+  ++stats_.timestamps_served;
+  return ts;
+}
+
+// ---------------------------------------------------------------------
+// State accounting
+
+void TriadNode::set_state(NodeState next) {
+  if (next == state_) return;
+  state_time_[static_cast<std::size_t>(state_)] += sim_.now() - state_since_;
+  const NodeState prev = state_;
+  state_ = next;
+  state_since_ = sim_.now();
+  if (hooks_.on_state_change) hooks_.on_state_change(prev, next);
+  TRIAD_LOG_DEBUG("node") << "node " << config_.id << " " << to_string(prev)
+                          << " -> " << to_string(next);
+}
+
+std::array<Duration, 4> TriadNode::state_durations() const {
+  std::array<Duration, 4> result = state_time_;
+  result[static_cast<std::size_t>(state_)] += sim_.now() - state_since_;
+  return result;
+}
+
+double TriadNode::availability() const {
+  const Duration total = sim_.now() - started_at_;
+  if (total <= 0) return 0.0;
+  const auto durations = state_durations();
+  return to_seconds(durations[static_cast<std::size_t>(NodeState::kOk)]) /
+         to_seconds(total);
+}
+
+// ---------------------------------------------------------------------
+// AEX handling
+
+void TriadNode::on_aex() {
+  if (!started_) return;
+  ++stats_.aex_count;
+
+  // The monitoring thread re-validates the TSC whenever continuity
+  // breaks: the most recent window checks for an ongoing rate mismatch,
+  // and the whole uninterrupted interval checks for offset jumps. Either
+  // discrepancy forces a full recalibration.
+  if (inc_calibration_.window_ticks != 0) {
+    const bool window_ok =
+        monitor_.check(inc_calibration_, config_.inc_tolerance_sigmas);
+    const bool interval_ok =
+        monitor_.check_continuity(inc_calibration_).consistent;
+    monitor_.reset_continuity();
+    if (!window_ok || !interval_ok) {
+      ++stats_.inc_check_failures;
+      TRIAD_LOG_WARN("node") << "node " << config_.id
+                             << " INC monitor detected TSC manipulation ("
+                             << (window_ok ? "interval" : "window") << ")";
+      begin_full_calibration();
+      return;
+    }
+  }
+
+  switch (state_) {
+    case NodeState::kOk:
+      set_state(NodeState::kTainted);
+      begin_peer_round(/*proactive=*/false);
+      break;
+    case NodeState::kTainted:
+      // Already recovering (peer round or TA ref-calib in flight).
+      break;
+    case NodeState::kFullCalib:
+    case NodeState::kRefCalib:
+      // In-flight calibration samples are invalidated by the AEX
+      // timestamp check when the response arrives; nothing to do now.
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------
+// TA round-trips
+
+void TriadNode::begin_full_calibration() {
+  ++stats_.full_calibrations;
+  have_ta_anchor_ = false;  // a fresh regression invalidates the anchor
+  if (started_ && stats_.full_calibrations > 1) {
+    // Recalibrate the INC monitor against the (possibly manipulated)
+    // current TSC rate: the monitor can only pin rate *stability*, never
+    // absolute truth — the paper's key limitation of INC monitoring.
+    inc_calibration_ =
+        monitor_.calibrate(config_.inc_window_ticks, config_.inc_calib_runs);
+    monitor_.reset_continuity();
+  }
+  if (outstanding_ta_) {
+    sim_.cancel(outstanding_ta_->timeout);
+    outstanding_ta_.reset();
+  }
+  if (peer_round_) {
+    sim_.cancel(peer_round_->timeout);
+    peer_round_.reset();
+  }
+  calib_regression_.clear();
+  calib_samples_low_ = 0;
+  calib_samples_high_ = 0;
+  set_state(NodeState::kFullCalib);
+  send_calibration_request();
+}
+
+void TriadNode::send_calibration_request() {
+  // Alternate 0 s / 1 s probes until both clusters have calib_pairs
+  // samples.
+  const Duration wait = calib_samples_low_ <= calib_samples_high_
+                            ? config_.calib_wait_low
+                            : config_.calib_wait_high;
+  send_ta_request(wait);
+}
+
+void TriadNode::begin_ref_calibration() {
+  if (outstanding_ta_) {
+    sim_.cancel(outstanding_ta_->timeout);
+    outstanding_ta_.reset();
+  }
+  set_state(NodeState::kRefCalib);
+  send_ta_request(config_.calib_wait_low);
+}
+
+void TriadNode::send_ta_request(Duration wait) {
+  OutstandingTa ota;
+  ota.request_id = next_request_id_++;
+  ota.wait = wait;
+  ota.sent_at = sim_.now();
+  ota.sent_tsc = tsc_.read();
+  ota.for_full_calibration = state_ == NodeState::kFullCalib;
+  ota.timeout = sim_.schedule_after(
+      config_.ta_timeout + wait,
+      [this, id = ota.request_id] { on_ta_timeout(id); });
+  outstanding_ta_ = ota;
+
+  proto::TaRequest request;
+  request.request_id = ota.request_id;
+  request.wait = wait;
+  send_message(config_.ta_address, request);
+}
+
+void TriadNode::on_ta_timeout(std::uint64_t request_id) {
+  if (!outstanding_ta_ || outstanding_ta_->request_id != request_id) return;
+  const Duration wait = outstanding_ta_->wait;
+  outstanding_ta_.reset();
+  TRIAD_LOG_DEBUG("node") << "node " << config_.id << " TA request "
+                          << request_id << " timed out; resending";
+  send_ta_request(wait);
+}
+
+void TriadNode::on_ta_response(const proto::TaResponse& response) {
+  if (!outstanding_ta_ ||
+      outstanding_ta_->request_id != response.request_id) {
+    return;  // stale or duplicate
+  }
+  const OutstandingTa ota = *outstanding_ta_;
+  sim_.cancel(ota.timeout);
+  outstanding_ta_.reset();
+
+  if (ota.for_full_calibration && state_ == NodeState::kFullCalib) {
+    // The measurement is only usable if the monitoring thread ran
+    // uninterrupted across the whole round-trip (paper §III-C).
+    if (thread_.last_aex_time() > ota.sent_at) {
+      ++stats_.calib_samples_rejected;
+      send_calibration_request();
+      return;
+    }
+    const double ticks = static_cast<double>(tsc_.read()) -
+                         static_cast<double>(ota.sent_tsc);
+    calib_regression_.add(to_seconds(ota.wait), ticks);
+    if (ota.wait == config_.calib_wait_low) {
+      ++calib_samples_low_;
+    } else {
+      ++calib_samples_high_;
+    }
+
+    if (calib_samples_low_ >= config_.calib_pairs &&
+        calib_samples_high_ >= config_.calib_pairs) {
+      const stats::LinearFit fit = calib_regression_.fit();
+      f_calib_hz_ = fit.slope;
+      TRIAD_LOG_INFO("node")
+          << "node " << config_.id << " calibrated F = "
+          << f_calib_hz_ / 1e6 << " MHz (r2 " << fit.r_squared << ")";
+      ++stats_.ta_time_references;
+      maybe_refine_frequency(response.ta_time);  // seeds the anchor
+      sync_clock_to(response.ta_time, config_.base_sync_error,
+                    config_.ta_address);
+      set_state(NodeState::kOk);
+    } else {
+      send_calibration_request();
+    }
+    return;
+  }
+
+  if (state_ == NodeState::kRefCalib) {
+    ++stats_.ta_time_references;
+    maybe_refine_frequency(response.ta_time);
+    sync_clock_to(response.ta_time, config_.base_sync_error,
+                  config_.ta_address);
+    set_state(NodeState::kOk);
+  }
+}
+
+void TriadNode::maybe_refine_frequency(SimTime ta_time) {
+  if (!config_.long_window_calibration) return;
+  const TscValue tsc_now = tsc_.read();
+  if (have_ta_anchor_) {
+    const Duration window = ta_time - anchor_ta_time_;
+    if (window >= config_.long_window_min) {
+      // Two TA timestamps far apart share (roughly) the same one-way
+      // delay and the same attacker-injected offset, so the ratio of TSC
+      // ticks to TA seconds across the window isolates the true rate —
+      // the NTP-style long-timeframe drift measurement of §V.
+      const double ticks = static_cast<double>(tsc_now) -
+                           static_cast<double>(anchor_tsc_);
+      double refined = ticks / to_seconds(window);
+      if (refined > 0) {
+        if (config_.long_window_max_revision_ppm > 0 && f_calib_hz_ > 0) {
+          // Clamp the revision: a ramping-delay attacker needs large
+          // per-window jumps; honest refinements are small.
+          const double bound =
+              f_calib_hz_ * config_.long_window_max_revision_ppm * 1e-6;
+          refined = std::clamp(refined, f_calib_hz_ - bound,
+                               f_calib_hz_ + bound);
+        }
+        TRIAD_LOG_INFO("node")
+            << "node " << config_.id << " long-window refine F: "
+            << f_calib_hz_ / 1e6 << " -> " << refined / 1e6 << " MHz over "
+            << to_seconds(window) << "s";
+        f_calib_hz_ = refined;
+      }
+    } else {
+      return;  // keep the old anchor until the window is long enough
+    }
+  }
+  have_ta_anchor_ = true;
+  anchor_ta_time_ = ta_time;
+  anchor_tsc_ = tsc_now;
+}
+
+// ---------------------------------------------------------------------
+// Peer untainting
+
+void TriadNode::begin_peer_round(bool proactive) {
+  if (peer_round_) {
+    sim_.cancel(peer_round_->timeout);
+    peer_round_.reset();
+  }
+  if (config_.peers.empty()) {
+    if (!proactive) {
+      ++stats_.ta_fallbacks;
+      begin_ref_calibration();
+    }
+    return;
+  }
+  ++stats_.peer_rounds;
+  PeerRound round;
+  round.request_id = next_request_id_++;
+  round.proactive = proactive;
+  round.timeout =
+      sim_.schedule_after(config_.peer_timeout, [this] { finish_peer_round(); });
+  peer_round_ = std::move(round);
+
+  proto::PeerTimeRequest request;
+  request.request_id = peer_round_->request_id;
+  for (NodeId peer : config_.peers) send_message(peer, request);
+}
+
+void TriadNode::on_peer_response(NodeId peer,
+                                 const proto::PeerTimeResponse& response) {
+  if (!peer_round_ || peer_round_->request_id != response.request_id) return;
+  ++peer_round_->answers;
+  if (!response.tainted) {
+    peer_round_->samples.push_back(PeerSample{peer, response.timestamp,
+                                              response.error_bound,
+                                              sim_.now()});
+  }
+
+  const bool first_response_mode =
+      policy_->mode() == UntaintPolicy::Mode::kFirstResponse;
+  if (first_response_mode && !peer_round_->samples.empty()) {
+    finish_peer_round();
+    return;
+  }
+  if (peer_round_->answers >= config_.peers.size()) {
+    finish_peer_round();
+  }
+}
+
+void TriadNode::finish_peer_round() {
+  if (!peer_round_) return;
+  sim_.cancel(peer_round_->timeout);
+  const PeerRound round = std::move(*peer_round_);
+  peer_round_.reset();
+
+  if (round.samples.empty()) {
+    if (round.proactive) return;  // stay Ok on our own clock
+    ++stats_.ta_fallbacks;
+    begin_ref_calibration();
+    return;
+  }
+
+  const UntaintPolicy::Decision decision = policy_->decide(
+      current_time(), current_error_bound(), round.samples);
+
+  switch (decision.action) {
+    case UntaintPolicy::Decision::Action::kAdopt: {
+      ++stats_.peer_adoptions;
+      Duration source_error = config_.base_sync_error;
+      for (const PeerSample& s : round.samples) {
+        if (s.peer == decision.source) {
+          source_error += s.error_bound;
+          break;
+        }
+      }
+      sync_clock_to(decision.adopted_time, source_error, decision.source);
+      if (!round.proactive) set_state(NodeState::kOk);
+      break;
+    }
+    case UntaintPolicy::Decision::Action::kKeepLocal:
+      // Original protocol: bump the local timestamp by the smallest
+      // increment — serve_timestamp()'s monotonicity provides that.
+      ++stats_.kept_local;
+      if (!round.proactive) set_state(NodeState::kOk);
+      break;
+    case UntaintPolicy::Decision::Action::kAskTimeAuthority:
+      ++stats_.ta_fallbacks;
+      begin_ref_calibration();
+      break;
+  }
+}
+
+void TriadNode::answer_peer_request(NodeId peer,
+                                    const proto::PeerTimeRequest& request) {
+  proto::PeerTimeResponse response;
+  response.request_id = request.request_id;
+  response.tainted = state_ != NodeState::kOk;
+  response.timestamp = current_time();
+  response.error_bound = current_error_bound();
+  send_message(peer, response);
+}
+
+// ---------------------------------------------------------------------
+// Networking
+
+void TriadNode::send_message(NodeId to, const proto::Message& message) {
+  network_.send(config_.id, to, channel_.seal(to, proto::encode(message)));
+}
+
+void TriadNode::on_packet(const net::Packet& packet) {
+  const auto opened = channel_.open(packet.payload);
+  if (!opened) {
+    ++stats_.bad_frames;
+    return;
+  }
+  const auto message = proto::decode(opened->plaintext);
+  if (!message) {
+    ++stats_.bad_frames;
+    return;
+  }
+  std::visit(
+      [this, sender = opened->sender](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::TaResponse>) {
+          if (sender == config_.ta_address) on_ta_response(m);
+        } else if constexpr (std::is_same_v<T, proto::PeerTimeRequest>) {
+          answer_peer_request(sender, m);
+        } else if constexpr (std::is_same_v<T, proto::PeerTimeResponse>) {
+          on_peer_response(sender, m);
+        } else {
+          // Nodes never serve TaRequest.
+          ++stats_.bad_frames;
+        }
+      },
+      *message);
+}
+
+}  // namespace triad

@@ -1,0 +1,29 @@
+#include "triad/policy.h"
+
+namespace triad {
+
+UntaintPolicy::Decision OriginalUntaintPolicy::decide(
+    SimTime local_now, Duration /*local_error*/,
+    const std::vector<PeerSample>& samples) {
+  Decision decision;
+  if (samples.empty()) {
+    decision.action = Decision::Action::kAskTimeAuthority;
+    return decision;
+  }
+  // kFirstResponse mode delivers exactly one sample here.
+  const PeerSample& sample = samples.front();
+  if (sample.timestamp > local_now) {
+    decision.action = Decision::Action::kAdopt;
+    decision.adopted_time = sample.timestamp;
+    decision.source = sample.peer;
+  } else {
+    decision.action = Decision::Action::kKeepLocal;
+  }
+  return decision;
+}
+
+std::unique_ptr<UntaintPolicy> make_original_policy() {
+  return std::make_unique<OriginalUntaintPolicy>();
+}
+
+}  // namespace triad

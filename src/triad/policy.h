@@ -1,0 +1,67 @@
+// Peer-timestamp handling policies.
+//
+// The original Triad rule — adopt any peer timestamp ahead of the local
+// clock, never step back — is what lets a single fast (F- attacked)
+// clock drag the whole cluster forward. Section V of the paper proposes
+// interval-consistency ("true-chimer") checking instead; both are
+// implemented behind this interface so experiments can swap them
+// (original in this module, hardened ones in src/resilient/).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/types.h"
+
+namespace triad {
+
+/// One peer answer collected during an untaint round.
+struct PeerSample {
+  NodeId peer = 0;
+  SimTime timestamp = 0;      // peer clock value when it answered
+  Duration error_bound = 0;   // peer's self-reported clock error estimate
+  SimTime received_at = 0;    // local receive time (reference frame: sim)
+};
+
+class UntaintPolicy {
+ public:
+  /// kFirstResponse: act on the first usable peer answer (original Triad).
+  /// kCollectAll: wait for all peers (or timeout), then decide once.
+  enum class Mode { kFirstResponse, kCollectAll };
+
+  struct Decision {
+    enum class Action {
+      kAdopt,            // set the clock to adopted_time
+      kKeepLocal,        // keep extrapolating the local clock
+      kAskTimeAuthority  // no trustworthy peer evidence: go to the TA
+    };
+    Action action = Action::kKeepLocal;
+    SimTime adopted_time = 0;
+    NodeId source = 0;  // peer whose evidence was adopted (0 = none)
+  };
+
+  virtual ~UntaintPolicy() = default;
+
+  [[nodiscard]] virtual Mode mode() const = 0;
+
+  /// local_now: the node's extrapolated clock at decision time.
+  /// local_error: the node's own error-bound estimate.
+  [[nodiscard]] virtual Decision decide(
+      SimTime local_now, Duration local_error,
+      const std::vector<PeerSample>& samples) = 0;
+};
+
+/// The original Triad policy: first untainted response wins; if it is
+/// ahead of the local clock, adopt it, otherwise keep the local clock
+/// (bumped by the smallest increment — monotonic serving handles that).
+class OriginalUntaintPolicy final : public UntaintPolicy {
+ public:
+  [[nodiscard]] Mode mode() const override { return Mode::kFirstResponse; }
+  [[nodiscard]] Decision decide(
+      SimTime local_now, Duration local_error,
+      const std::vector<PeerSample>& samples) override;
+};
+
+std::unique_ptr<UntaintPolicy> make_original_policy();
+
+}  // namespace triad

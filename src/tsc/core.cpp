@@ -1,0 +1,33 @@
+#include "tsc/core.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace triad::tsc {
+
+Core::Core(CoreParams params, Rng rng) : params_(params), rng_(rng) {
+  if (params_.frequency_hz <= 0 || params_.cycles_per_iteration <= 0 ||
+      params_.inc_noise_stddev < 0) {
+    throw std::invalid_argument("Core: invalid parameters");
+  }
+}
+
+double Core::expected_inc_count(Duration dt) const {
+  if (dt < 0) throw std::invalid_argument("Core: negative duration");
+  return params_.frequency_hz * to_seconds(dt) /
+         params_.cycles_per_iteration;
+}
+
+std::uint64_t Core::inc_count(Duration dt) {
+  const double expected = expected_inc_count(dt);
+  const double noisy =
+      expected + rng_.normal(0.0, params_.inc_noise_stddev);
+  return noisy <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(noisy));
+}
+
+void Core::set_frequency_hz(double hz) {
+  if (hz <= 0) throw std::invalid_argument("Core: frequency must be positive");
+  params_.frequency_hz = hz;
+}
+
+}  // namespace triad::tsc

@@ -1,0 +1,54 @@
+// CPU core model for the TSC monitoring thread.
+//
+// The monitoring loop executes INC instructions and polls the TSC. The
+// number of INCs per unit real time depends on the core's clock frequency
+// (set by the frequency-scaling governor) and the loop's cycle cost.
+// Parameters are fitted to the paper's measurement: at 3500 MHz
+// ("performance" governor) the thread retires ~632182 INCs while the
+// 2899.999 MHz TSC advances 15e6 ticks (~5.17 ms), with a ~2.9 INC
+// standard deviation once warm.
+#pragma once
+
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace triad::tsc {
+
+/// Paper's monitoring core at the "performance" governor setting.
+inline constexpr double kPaperCoreFrequencyHz = 3500.0e6;
+
+/// Loop cost fitted so that 5.172 ms of real time yields ~632182 INCs.
+inline constexpr double kPaperCyclesPerIteration = 28.6365;
+
+struct CoreParams {
+  double frequency_hz = kPaperCoreFrequencyHz;
+  double cycles_per_iteration = kPaperCyclesPerIteration;
+  /// Per-measurement jitter (instruction-level noise), in INC units.
+  double inc_noise_stddev = 2.05;
+};
+
+class Core {
+ public:
+  Core(CoreParams params, Rng rng);
+
+  /// INC instructions a busy loop retires in `dt` of real time, with
+  /// measurement noise. dt must be non-negative.
+  [[nodiscard]] std::uint64_t inc_count(Duration dt);
+
+  /// Noise-free expected INC count for `dt` of real time.
+  [[nodiscard]] double expected_inc_count(Duration dt) const;
+
+  /// Intel cores switch between discrete P-state frequencies; the
+  /// governor (OS-controlled, i.e. attacker-controlled) picks one.
+  void set_frequency_hz(double hz);
+  [[nodiscard]] double frequency_hz() const { return params_.frequency_hz; }
+
+  [[nodiscard]] const CoreParams& params() const { return params_; }
+
+ private:
+  CoreParams params_;
+  Rng rng_;
+};
+
+}  // namespace triad::tsc

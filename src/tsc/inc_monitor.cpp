@@ -1,0 +1,87 @@
+#include "tsc/inc_monitor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace triad::tsc {
+
+IncMonitor::IncMonitor(const Tsc& tsc, Core& core) : tsc_(tsc), core_(core) {}
+
+std::uint64_t IncMonitor::measure_window(TscValue window_ticks) {
+  if (window_ticks == 0) {
+    throw std::invalid_argument("IncMonitor: zero window");
+  }
+  // Real time needed for the guest TSC to advance window_ticks at its
+  // current effective (possibly hypervisor-scaled) rate.
+  const double dt_s =
+      static_cast<double>(window_ticks) / tsc_.effective_frequency_hz();
+  return core_.inc_count(from_seconds(dt_s));
+}
+
+IncCalibration IncMonitor::calibrate(TscValue window_ticks, int runs) {
+  if (runs < 2) throw std::invalid_argument("IncMonitor: need >= 2 runs");
+  IncCalibration cal;
+  cal.window_ticks = window_ticks;
+  cal.runs = static_cast<std::size_t>(runs);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    const auto inc = static_cast<double>(measure_window(window_ticks));
+    sum += inc;
+    sum_sq += inc * inc;
+  }
+  const auto n = static_cast<double>(runs);
+  cal.mean_inc = sum / n;
+  const double var = (sum_sq - sum * sum / n) / (n - 1);
+  cal.stddev_inc = var > 0 ? std::sqrt(var) : 0.0;
+  return cal;
+}
+
+bool IncMonitor::check(const IncCalibration& calibration,
+                       double tolerance_sigmas, double min_tolerance_inc) {
+  if (calibration.window_ticks == 0) {
+    throw std::invalid_argument("IncMonitor::check: uncalibrated");
+  }
+  const auto measured =
+      static_cast<double>(measure_window(calibration.window_ticks));
+  const double tolerance = std::max(
+      tolerance_sigmas * calibration.stddev_inc, min_tolerance_inc);
+  return std::abs(measured - calibration.mean_inc) <= tolerance;
+}
+
+void IncMonitor::reset_continuity() {
+  tracking_ = true;
+  continuity_tsc_ = tsc_.read();
+  continuity_time_ = tsc_.simulation().now();
+}
+
+IncMonitor::ContinuityCheck IncMonitor::check_continuity(
+    const IncCalibration& calibration, double rate_tolerance_ppm,
+    double min_tolerance_ticks) {
+  if (calibration.window_ticks == 0 || calibration.mean_inc <= 0) {
+    throw std::invalid_argument("IncMonitor::check_continuity: uncalibrated");
+  }
+  if (!tracking_) {
+    throw std::logic_error(
+        "IncMonitor::check_continuity: reset_continuity not called");
+  }
+  ContinuityCheck result;
+  const SimTime now = tsc_.simulation().now();
+  const Duration dt = now - continuity_time_;
+
+  result.observed_ticks = static_cast<double>(tsc_.read()) -
+                          static_cast<double>(continuity_tsc_);
+  // INCs the loop retired over the uninterrupted interval, converted to
+  // ticks through the calibrated INC-per-window ratio.
+  const double ticks_per_inc =
+      static_cast<double>(calibration.window_ticks) / calibration.mean_inc;
+  result.expected_ticks =
+      static_cast<double>(core_.inc_count(dt)) * ticks_per_inc;
+
+  const double tolerance = std::max(
+      min_tolerance_ticks, rate_tolerance_ppm * 1e-6 * result.expected_ticks);
+  result.consistent =
+      std::abs(result.observed_ticks - result.expected_ticks) <= tolerance;
+  return result;
+}
+
+}  // namespace triad::tsc

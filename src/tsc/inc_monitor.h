@@ -1,0 +1,83 @@
+// Enclave-thread INC-instruction TSC monitor (paper §IV-A1, RQ A.1).
+//
+// The monitoring thread busy-loops, counting INC instructions until the
+// TSC advances by a fixed window. With a fixed core frequency the INC
+// count per window is extremely stable (the paper measures a range of 10
+// INCs over 10k runs once warm), so deviations expose TSC manipulation:
+//  * hypervisor scaling: window completes in the wrong real time;
+//  * offset jumps: window completes almost instantly or very late.
+// The catch — the paper's central observation — is that this mechanism
+// only ties TSC ticks to *core cycles*, not to true seconds; an attacker
+// who biases the TA calibration (F+/F-) never trips it.
+#pragma once
+
+#include <cstdint>
+
+#include "tsc/core.h"
+#include "tsc/tsc.h"
+
+namespace triad::tsc {
+
+/// Paper's measurement window: 15e6 TSC ticks (~5.17 ms at 2.9 GHz).
+inline constexpr TscValue kPaperWindowTicks = 15'000'000;
+
+struct IncCalibration {
+  TscValue window_ticks = 0;
+  double mean_inc = 0.0;
+  double stddev_inc = 0.0;
+  std::size_t runs = 0;
+};
+
+class IncMonitor {
+ public:
+  /// The monitor reads the guest-visible TSC and runs on `core`.
+  IncMonitor(const Tsc& tsc, Core& core);
+
+  /// Simulates one uninterrupted measurement: INCs retired while the
+  /// guest TSC advances `window_ticks`.
+  [[nodiscard]] std::uint64_t measure_window(TscValue window_ticks);
+
+  /// Runs `runs` uninterrupted measurements and summarizes them.
+  [[nodiscard]] IncCalibration calibrate(TscValue window_ticks, int runs);
+
+  /// Takes one measurement and compares it with the calibration.
+  /// Tolerance is max(tolerance_sigmas * stddev, min_tolerance_inc).
+  /// Returns true when the measurement is consistent (no manipulation
+  /// detected). Catches an *ongoing* rate mismatch between the TSC and
+  /// the core (hypervisor scaling, governor change).
+  [[nodiscard]] bool check(const IncCalibration& calibration,
+                           double tolerance_sigmas = 6.0,
+                           double min_tolerance_inc = 8.0);
+
+  // --- continuity tracking --------------------------------------------
+  // The monitoring thread runs windows back-to-back while uninterrupted;
+  // the INC counts accumulated over an interval predict how many ticks
+  // the TSC must have advanced. An offset jump (forward or backward)
+  // breaks that prediction even if the rate is untouched.
+
+  /// (Re)starts continuity tracking from the current instant — called at
+  /// monitor start and after every handled AEX.
+  void reset_continuity();
+
+  struct ContinuityCheck {
+    double observed_ticks = 0.0;  // actual TSC advance over the interval
+    double expected_ticks = 0.0;  // advance predicted from INC counting
+    bool consistent = false;
+  };
+
+  /// Compares the TSC's advance since the last reset against the
+  /// INC-predicted advance. Tolerance: max(min_tolerance_ticks,
+  /// rate_tolerance_ppm * expected).
+  [[nodiscard]] ContinuityCheck check_continuity(
+      const IncCalibration& calibration, double rate_tolerance_ppm = 50.0,
+      double min_tolerance_ticks = 1.0e6);
+
+ private:
+  const Tsc& tsc_;
+  Core& core_;
+  bool tracking_ = false;
+  TscValue continuity_tsc_ = 0;
+  SimTime continuity_time_ = 0;
+};
+
+}  // namespace triad::tsc

@@ -1,0 +1,43 @@
+#include "tsc/tsc.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace triad::tsc {
+
+Tsc::Tsc(sim::Simulation& sim, double frequency_hz, TscValue initial_value)
+    : sim_(sim), frequency_hz_(frequency_hz),
+      segment_start_(sim.now()),
+      value_base_(static_cast<double>(initial_value)) {
+  if (frequency_hz <= 0) {
+    throw std::invalid_argument("Tsc: frequency must be positive");
+  }
+}
+
+double Tsc::raw_value_at_now() const {
+  const double elapsed_s = to_seconds(sim_.now() - segment_start_);
+  return value_base_ + elapsed_s * frequency_hz_ * scale_;
+}
+
+TscValue Tsc::read() const {
+  const double v = raw_value_at_now();
+  // A manipulated counter can in principle go negative; clamp at zero as
+  // the register is unsigned.
+  if (v <= 0.0) return 0;
+  return static_cast<TscValue>(v);
+}
+
+void Tsc::hv_add_offset(std::int64_t ticks) {
+  value_base_ = raw_value_at_now() + static_cast<double>(ticks);
+  segment_start_ = sim_.now();
+}
+
+void Tsc::hv_set_scale(double scale) {
+  if (scale <= 0) throw std::invalid_argument("Tsc: scale must be positive");
+  // Close the current segment so the value is continuous at the switch.
+  value_base_ = raw_value_at_now();
+  segment_start_ = sim_.now();
+  scale_ = scale;
+}
+
+}  // namespace triad::tsc

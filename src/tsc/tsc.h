@@ -1,0 +1,65 @@
+// TimeStamp Counter model.
+//
+// The TSC ticks at a fixed hardware frequency relative to reference
+// (simulation) time. A malicious hypervisor may virtualize it with an
+// offset and a scaling factor — the manipulation surface Section III-A of
+// the paper grants the attacker. Reads are whole ticks and are strictly
+// non-decreasing as long as the hypervisor does not apply a negative
+// offset (time-jump attacks do exactly that, and the INC monitor is what
+// should catch them).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.h"
+#include "util/types.h"
+
+namespace triad::tsc {
+
+/// Paper's machine: F_TSC = 2899.999 MHz as measured by the OS at boot.
+inline constexpr double kPaperTscFrequencyHz = 2899.999e6;
+
+class Tsc {
+ public:
+  /// initial_value lets scenarios start the counter at a non-zero point,
+  /// as a real machine would after boot.
+  Tsc(sim::Simulation& sim, double frequency_hz,
+      TscValue initial_value = 0);
+
+  /// Guest-visible TSC value at the current simulation time.
+  [[nodiscard]] TscValue read() const;
+
+  /// The true hardware tick rate (ticks per reference second).
+  [[nodiscard]] double true_frequency_hz() const { return frequency_hz_; }
+
+  /// Guest-visible tick rate = true frequency * hypervisor scale.
+  [[nodiscard]] double effective_frequency_hz() const {
+    return frequency_hz_ * scale_;
+  }
+
+  // --- Hypervisor attack surface -------------------------------------
+
+  /// Jumps the guest-visible TSC by `ticks` (may be negative: back in
+  /// time — architecturally possible for a malicious VMM on SGX1/SGX2).
+  void hv_add_offset(std::int64_t ticks);
+
+  /// Changes the guest-visible tick rate. The value stays continuous at
+  /// the switch instant (as TSC-scaling virtualization behaves).
+  void hv_set_scale(double scale);
+
+  [[nodiscard]] double scale() const { return scale_; }
+
+  [[nodiscard]] sim::Simulation& simulation() const { return sim_; }
+
+ private:
+  [[nodiscard]] double raw_value_at_now() const;
+
+  sim::Simulation& sim_;
+  double frequency_hz_;
+  double scale_ = 1.0;
+  // Piecewise-linear segments: value_base_ at time segment_start_.
+  SimTime segment_start_ = 0;
+  double value_base_ = 0.0;
+};
+
+}  // namespace triad::tsc

@@ -1,0 +1,23 @@
+// Checked narrowing conversions, in the spirit of gsl::narrow.
+#pragma once
+
+#include <stdexcept>
+#include <type_traits>
+
+namespace triad {
+
+/// Converts between arithmetic types, throwing std::range_error when the
+/// value does not survive the round trip (C++ Core Guidelines ES.46).
+template <typename To, typename From>
+constexpr To narrow(From v) {
+  static_assert(std::is_arithmetic_v<To> && std::is_arithmetic_v<From>);
+  const To result = static_cast<To>(v);
+  if (static_cast<From>(result) != v ||
+      (std::is_signed_v<From> != std::is_signed_v<To> &&
+       ((v < From{}) != (result < To{})))) {
+    throw std::range_error("narrowing conversion lost information");
+  }
+  return result;
+}
+
+}  // namespace triad

@@ -1,0 +1,18 @@
+// Hex encode/decode, mainly for test vectors and diagnostics.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace triad {
+
+/// Lower-case hex encoding.
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string (case-insensitive). Throws DecodeError on odd
+/// length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace triad

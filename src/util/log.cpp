@@ -1,0 +1,48 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace triad {
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_time_source(std::function<SimTime()> source) {
+  time_source_ = std::move(source);
+}
+
+void Logger::clear_time_source() { time_source_ = nullptr; }
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  if (!enabled(level)) return;
+  if (time_source_) {
+    std::fprintf(stderr, "[%12.6fs] %s %.*s: %.*s\n",
+                 to_seconds(time_source_()), level_name(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  } else {
+    std::fprintf(stderr, "[   real    ] %s %.*s: %.*s\n", level_name(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+}
+
+}  // namespace triad

@@ -1,0 +1,72 @@
+// Minimal leveled logger.
+//
+// The simulator tags lines with virtual time when a clock hook is
+// installed. Logging defaults to Warn so tests and benches stay quiet;
+// examples turn on Info to narrate protocol behaviour.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "util/types.h"
+
+namespace triad {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Installs a callback that reports current virtual time for log tags.
+  void set_time_source(std::function<SimTime()> source);
+  void clear_time_source();
+
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::function<SimTime()> time_source_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace triad
+
+#define TRIAD_LOG(level, component)                         \
+  if (!::triad::Logger::instance().enabled(level)) {        \
+  } else                                                    \
+    ::triad::detail::LogLine(level, component)
+
+#define TRIAD_LOG_DEBUG(component) TRIAD_LOG(::triad::LogLevel::Debug, component)
+#define TRIAD_LOG_INFO(component) TRIAD_LOG(::triad::LogLevel::Info, component)
+#define TRIAD_LOG_WARN(component) TRIAD_LOG(::triad::LogLevel::Warn, component)
+#define TRIAD_LOG_ERROR(component) TRIAD_LOG(::triad::LogLevel::Error, component)

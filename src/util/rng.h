@@ -1,0 +1,64 @@
+// Deterministic random number generation.
+//
+// Every scenario owns a single root Rng; components derive child streams
+// with fork(label) so adding a new consumer never perturbs the draws seen
+// by existing ones. The generator is xoshiro256**, seeded via splitmix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace triad {
+
+/// splitmix64 step — used for seeding and stream derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic PRNG (xoshiro256**) with convenience distributions.
+///
+/// Not cryptographically secure: this drives *simulation* randomness
+/// (network jitter, AEX schedules). Key material uses crypto::... instead.
+class Rng {
+ public:
+  /// Seeds the generator from a 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Derives an independent child stream. The label is hashed into the
+  /// seed so distinct consumers get decorrelated streams.
+  Rng fork(std::string_view label);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Requires bound > 0. Unbiased (rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed (Box–Muller, cached spare value).
+  double normal(double mean, double stddev);
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t pick_weighted(const double* weights, std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace triad

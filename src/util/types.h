@@ -1,0 +1,49 @@
+// Core scalar types shared by every module.
+//
+// All simulated time is an integer count of nanoseconds (SimTime). Using a
+// single integral representation keeps event ordering exact and the whole
+// simulation reproducible; floating point only appears at the edges
+// (statistics, figure output).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace triad {
+
+/// Virtual (reference) time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Duration in nanoseconds.
+using Duration = std::int64_t;
+
+/// TimeStamp Counter value (ticks). 64-bit like the hardware register.
+using TscValue = std::uint64_t;
+
+/// Identifies a node (Triad node, Time Authority, client...) in a scenario.
+using NodeId = std::uint32_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+inline constexpr Duration nanoseconds(std::int64_t v) { return v; }
+inline constexpr Duration microseconds(std::int64_t v) { return v * 1'000; }
+inline constexpr Duration milliseconds(std::int64_t v) { return v * 1'000'000; }
+inline constexpr Duration seconds(std::int64_t v) { return v * 1'000'000'000; }
+inline constexpr Duration minutes(std::int64_t v) { return v * 60'000'000'000; }
+inline constexpr Duration hours(std::int64_t v) { return v * 3'600'000'000'000; }
+
+/// Seconds as a double, for statistics and figure output.
+inline constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / 1e9;
+}
+inline constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+/// Converts a (possibly fractional) second count to nanoseconds, rounding
+/// to nearest. Used where protocol parameters are given in seconds.
+inline constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+}  // namespace triad

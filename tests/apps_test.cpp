@@ -1,0 +1,179 @@
+// Application-layer components (trusted leases, RFC 3161-style TSA) on a
+// controllable fake time source, plus integration against a live Triad
+// cluster.
+#include <gtest/gtest.h>
+
+#include "apps/lease.h"
+#include "apps/tsa.h"
+#include "exp/scenario.h"
+
+namespace triad::apps {
+namespace {
+
+/// Manually driven time source: set the time, or go unavailable.
+struct FakeClock {
+  std::optional<SimTime> now = SimTime{0};
+  LeaseManager::TimeSource source() {
+    return [this] { return now; };
+  }
+};
+
+TEST(LeaseManager, GrantAndExpiry) {
+  FakeClock clock;
+  LeaseManager mgr(clock.source(), seconds(5));
+
+  const auto lease = mgr.grant("gpu-0");
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(lease->resource, "gpu-0");
+  EXPECT_EQ(lease->expires_at, seconds(5));
+
+  clock.now = seconds(3);
+  EXPECT_EQ(mgr.valid(lease->id), std::optional<bool>(true));
+  clock.now = seconds(5);
+  EXPECT_EQ(mgr.valid(lease->id), std::optional<bool>(false));
+}
+
+TEST(LeaseManager, HeldResourceDenied) {
+  FakeClock clock;
+  LeaseManager mgr(clock.source(), seconds(5));
+  ASSERT_TRUE(mgr.grant("gpu-0").has_value());
+  EXPECT_FALSE(mgr.grant("gpu-0").has_value());  // still held
+  EXPECT_EQ(mgr.stats().denied_held, 1u);
+  EXPECT_TRUE(mgr.grant("gpu-1").has_value());   // other resource fine
+}
+
+TEST(LeaseManager, ExpiredResourceRegrantable) {
+  FakeClock clock;
+  LeaseManager mgr(clock.source(), seconds(5));
+  const auto first = mgr.grant("gpu-0");
+  ASSERT_TRUE(first.has_value());
+  clock.now = seconds(6);
+  const auto second = mgr.grant("gpu-0");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->id, first->id);
+  // The evicted lease is gone.
+  EXPECT_EQ(mgr.valid(first->id), std::optional<bool>(false));
+}
+
+TEST(LeaseManager, RenewExtendsHeldLease) {
+  FakeClock clock;
+  LeaseManager mgr(clock.source(), seconds(5));
+  const auto lease = mgr.grant("disk");
+  ASSERT_TRUE(lease.has_value());
+  clock.now = seconds(4);
+  const auto renewed = mgr.renew(lease->id);
+  ASSERT_TRUE(renewed.has_value());
+  EXPECT_EQ(renewed->expires_at, seconds(9));
+  // Renewing an expired lease fails.
+  clock.now = seconds(20);
+  EXPECT_FALSE(mgr.renew(lease->id).has_value());
+}
+
+TEST(LeaseManager, ReleaseFreesResource) {
+  FakeClock clock;
+  LeaseManager mgr(clock.source(), seconds(5));
+  const auto lease = mgr.grant("net");
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_TRUE(mgr.release(lease->id));
+  EXPECT_FALSE(mgr.release(lease->id));  // idempotence: already gone
+  EXPECT_TRUE(mgr.grant("net").has_value());
+}
+
+TEST(LeaseManager, UnavailableTimeSourceRefusesEverything) {
+  FakeClock clock;
+  LeaseManager mgr(clock.source(), seconds(5));
+  const auto lease = mgr.grant("x");
+  ASSERT_TRUE(lease.has_value());
+  clock.now = std::nullopt;  // tainted node
+  EXPECT_FALSE(mgr.grant("y").has_value());
+  EXPECT_FALSE(mgr.renew(lease->id).has_value());
+  EXPECT_FALSE(mgr.valid(lease->id).has_value());
+  EXPECT_EQ(mgr.stats().denied_unavailable, 3u);
+}
+
+TEST(LeaseManager, InvalidConstructionThrows) {
+  FakeClock clock;
+  EXPECT_THROW(LeaseManager(nullptr, seconds(1)), std::invalid_argument);
+  EXPECT_THROW(LeaseManager(clock.source(), 0), std::invalid_argument);
+  LeaseManager mgr(clock.source(), seconds(1));
+  EXPECT_THROW((void)mgr.grant("r", -seconds(1)), std::invalid_argument);
+}
+
+TEST(Tsa, IssueVerifyRoundTrip) {
+  FakeClock clock;
+  clock.now = seconds(100);
+  TimestampingAuthority tsa(clock.source(), Bytes(32, 1));
+  const Bytes doc = {1, 2, 3};
+  const auto token = tsa.issue(doc);
+  ASSERT_TRUE(token.has_value());
+  EXPECT_EQ(token->timestamp, seconds(100));
+  EXPECT_EQ(token->serial, 1u);
+  EXPECT_TRUE(tsa.verify(*token));
+}
+
+TEST(Tsa, TamperedTokensRejected) {
+  FakeClock clock;
+  TimestampingAuthority tsa(clock.source(), Bytes(32, 1));
+  const auto token = tsa.issue(Bytes{5});
+  ASSERT_TRUE(token.has_value());
+
+  auto backdated = *token;
+  backdated.timestamp -= seconds(3600);
+  EXPECT_FALSE(tsa.verify(backdated));
+
+  auto redocumented = *token;
+  redocumented.document_digest[0] ^= 1;
+  EXPECT_FALSE(tsa.verify(redocumented));
+
+  auto reserialed = *token;
+  reserialed.serial = 999;
+  EXPECT_FALSE(tsa.verify(reserialed));
+  EXPECT_EQ(tsa.stats().verified_bad, 3u);
+}
+
+TEST(Tsa, TimestampsStrictlyMonotonicEvenIfClockStalls) {
+  FakeClock clock;
+  clock.now = seconds(10);
+  TimestampingAuthority tsa(clock.source(), Bytes(32, 1));
+  const auto first = tsa.issue(Bytes{1});
+  const auto second = tsa.issue(Bytes{2});  // clock unchanged
+  ASSERT_TRUE(first && second);
+  EXPECT_GT(second->timestamp, first->timestamp);
+  EXPECT_EQ(second->serial, first->serial + 1);
+}
+
+TEST(Tsa, RefusesWhileUnavailable) {
+  FakeClock clock;
+  clock.now = std::nullopt;
+  TimestampingAuthority tsa(clock.source(), Bytes(32, 1));
+  EXPECT_FALSE(tsa.issue(Bytes{1}).has_value());
+  EXPECT_EQ(tsa.stats().refused_unavailable, 1u);
+}
+
+TEST(Tsa, InvalidConstructionThrows) {
+  FakeClock clock;
+  EXPECT_THROW(TimestampingAuthority(nullptr, Bytes(32, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(TimestampingAuthority(clock.source(), Bytes(8, 1)),
+               std::invalid_argument);
+}
+
+TEST(AppsIntegration, LeaseManagerOnLiveTriadNode) {
+  exp::ScenarioConfig cfg;
+  cfg.seed = 61;
+  exp::Scenario sc(std::move(cfg));
+  sc.start();
+  sc.run_until(minutes(1));
+
+  LeaseManager mgr(
+      [&sc] { return sc.node(0).serve_timestamp(); }, seconds(5));
+  const auto lease = mgr.grant("task-42");
+  ASSERT_TRUE(lease.has_value());
+  sc.run_until(sc.simulation().now() + seconds(3));
+  EXPECT_EQ(mgr.valid(lease->id), std::optional<bool>(true));
+  sc.run_until(sc.simulation().now() + seconds(3));
+  EXPECT_EQ(mgr.valid(lease->id), std::optional<bool>(false));
+}
+
+}  // namespace
+}  // namespace triad::apps

@@ -1,0 +1,152 @@
+// ChimerRegistry: mutual confirmation, maximum clique, majority cliques
+// (paper §V: published true-chimer lists / majority clique of chimers) —
+// including property checks against a brute-force clique search.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "resilient/chimer_registry.h"
+#include "util/rng.h"
+
+namespace triad::resilient {
+namespace {
+
+TEST(ChimerRegistry, EmptyRegistryHasNoClique) {
+  ChimerRegistry reg;
+  EXPECT_TRUE(reg.participants().empty());
+  EXPECT_TRUE(reg.maximum_clique().empty());
+  EXPECT_TRUE(reg.majority_clique(3).empty());
+}
+
+TEST(ChimerRegistry, MutualConfirmationRequiresBothSides) {
+  ChimerRegistry reg;
+  reg.report(1, {2});
+  EXPECT_FALSE(reg.mutually_confirmed(1, 2));  // 2 has not confirmed 1
+  reg.report(2, {1});
+  EXPECT_TRUE(reg.mutually_confirmed(1, 2));
+  EXPECT_TRUE(reg.mutually_confirmed(2, 1));
+  EXPECT_FALSE(reg.mutually_confirmed(1, 1));  // no self edges
+}
+
+TEST(ChimerRegistry, OneSidedClaimsByLiarDoNotCount) {
+  // A compromised node claims everyone is consistent with it; nobody
+  // confirms back -> the liar stays out of the clique.
+  ChimerRegistry reg;
+  reg.report(1, {2});
+  reg.report(2, {1});
+  reg.report(3, {1, 2});  // liar claims both
+  const auto clique = reg.maximum_clique();
+  EXPECT_EQ(clique, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(ChimerRegistry, ReportReplacesPreviousView) {
+  ChimerRegistry reg;
+  reg.report(1, {2});
+  reg.report(2, {1});
+  ASSERT_TRUE(reg.mutually_confirmed(1, 2));
+  reg.report(1, {});  // 1 now distrusts 2
+  EXPECT_FALSE(reg.mutually_confirmed(1, 2));
+}
+
+TEST(ChimerRegistry, SelfEntriesIgnored) {
+  ChimerRegistry reg;
+  reg.report(1, {1, 2});
+  reg.report(2, {2, 1});
+  EXPECT_TRUE(reg.mutually_confirmed(1, 2));
+  EXPECT_EQ(reg.maximum_clique(), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(ChimerRegistry, ThreeNodeFullAgreement) {
+  ChimerRegistry reg;
+  reg.report(1, {2, 3});
+  reg.report(2, {1, 3});
+  reg.report(3, {1, 2});
+  EXPECT_EQ(reg.maximum_clique(), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(reg.majority_clique(3), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(ChimerRegistry, FMinusVictimExcludedFromMajorityClique) {
+  // The Fig. 6 situation through §V's lens: nodes 1 and 2 see each other
+  // as chimers; the fast node 3 is consistent with nobody.
+  ChimerRegistry reg;
+  reg.report(1, {2});
+  reg.report(2, {1});
+  reg.report(3, {});
+  EXPECT_EQ(reg.majority_clique(3), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(ChimerRegistry, MajorityRequiresStrictMajority) {
+  ChimerRegistry reg;
+  reg.report(1, {2});
+  reg.report(2, {1});
+  // 2 of 4 is not a strict majority.
+  EXPECT_TRUE(reg.majority_clique(4).empty());
+  EXPECT_EQ(reg.majority_clique(3), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(ChimerRegistry, TwoCompetingCliquesPicksLarger) {
+  ChimerRegistry reg;
+  // Clique A: {1,2}; clique B: {3,4,5}.
+  reg.report(1, {2});
+  reg.report(2, {1});
+  reg.report(3, {4, 5});
+  reg.report(4, {3, 5});
+  reg.report(5, {3, 4});
+  EXPECT_EQ(reg.maximum_clique(), (std::vector<NodeId>{3, 4, 5}));
+  EXPECT_EQ(reg.majority_clique(5), (std::vector<NodeId>{3, 4, 5}));
+}
+
+// Property: exact search agrees with brute force over random graphs.
+class CliqueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CliqueProperty, MatchesBruteForceMaximumCliqueSize) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.next_below(7);  // 2..8 participants
+  ChimerRegistry reg;
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      adj[i][j] = adj[j][i] = rng.chance(0.5);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<NodeId> claims;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (adj[i][j]) claims.push_back(static_cast<NodeId>(j + 1));
+    }
+    reg.report(static_cast<NodeId>(i + 1), claims);
+  }
+
+  // Brute force: enumerate all subsets.
+  std::size_t best = 0;
+  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+    bool clique = true;
+    std::size_t size = 0;
+    for (std::size_t i = 0; i < n && clique; ++i) {
+      if (!(mask & (1u << i))) continue;
+      ++size;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if ((mask & (1u << j)) && !adj[i][j]) {
+          clique = false;
+          break;
+        }
+      }
+    }
+    if (clique) best = std::max(best, size);
+  }
+
+  const auto found = reg.maximum_clique();
+  EXPECT_EQ(found.size(), best);
+  // And the returned set is actually a clique.
+  for (std::size_t a = 0; a < found.size(); ++a) {
+    for (std::size_t b = a + 1; b < found.size(); ++b) {
+      EXPECT_TRUE(reg.mutually_confirmed(found[a], found[b]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CliqueProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace triad::resilient

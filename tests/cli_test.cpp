@@ -1,0 +1,144 @@
+// CLI parser and runner (the triad_sim tool's engine).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "exp/cli.h"
+
+namespace triad::exp {
+namespace {
+
+std::optional<CliOptions> parse(std::vector<const char*> args,
+                                std::string* error = nullptr) {
+  args.insert(args.begin(), "triad_sim");
+  std::string local_error;
+  return parse_cli(static_cast<int>(args.size()), args.data(),
+                   error != nullptr ? error : &local_error);
+}
+
+TEST(CliParser, DefaultsWhenNoFlags) {
+  const auto options = parse({});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->nodes, 3u);
+  EXPECT_EQ(options->seed, 1u);
+  EXPECT_EQ(options->duration, minutes(10));
+  EXPECT_EQ(options->attack, "none");
+  EXPECT_EQ(options->policy, "original");
+  EXPECT_FALSE(options->csv_path.has_value());
+  EXPECT_FALSE(options->help);
+}
+
+TEST(CliParser, ParsesAllFlags) {
+  const auto options =
+      parse({"--seed", "42", "--nodes", "5", "--duration", "30m",
+             "--attack", "fminus", "--victim", "2", "--attack-delay",
+             "250ms", "--policy", "triadplus", "--env", "low", "--env",
+             "triad", "--no-machine-interrupts", "--csv", "out.csv"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->seed, 42u);
+  EXPECT_EQ(options->nodes, 5u);
+  EXPECT_EQ(options->duration, minutes(30));
+  EXPECT_EQ(options->attack, "fminus");
+  EXPECT_EQ(options->victim, 2u);
+  EXPECT_EQ(options->attack_delay, milliseconds(250));
+  EXPECT_EQ(options->policy, "triadplus");
+  EXPECT_EQ(options->environments,
+            (std::vector<std::string>{"low", "triad"}));
+  EXPECT_FALSE(options->machine_interrupts);
+  EXPECT_EQ(options->csv_path, "out.csv");
+}
+
+TEST(CliParser, DurationUnits) {
+  EXPECT_EQ(parse({"--duration", "90s"})->duration, seconds(90));
+  EXPECT_EQ(parse({"--duration", "500ms"})->duration, milliseconds(500));
+  EXPECT_EQ(parse({"--duration", "8h"})->duration, hours(8));
+}
+
+TEST(CliParser, HelpShortCircuits) {
+  EXPECT_TRUE(parse({"--help"})->help);
+  EXPECT_TRUE(parse({"-h", "--bogus-after-help-is-fine"})->help);
+  EXPECT_FALSE(cli_usage().empty());
+}
+
+TEST(CliParser, RejectsBadInput) {
+  std::string error;
+  EXPECT_FALSE(parse({"--bogus"}, &error).has_value());
+  EXPECT_NE(error.find("unknown flag"), std::string::npos);
+  EXPECT_FALSE(parse({"--seed"}, &error).has_value());      // missing value
+  EXPECT_FALSE(parse({"--seed", "xyz"}, &error).has_value());
+  EXPECT_FALSE(parse({"--nodes", "0"}, &error).has_value());
+  EXPECT_FALSE(parse({"--duration", "10"}, &error).has_value());  // no unit
+  EXPECT_FALSE(parse({"--duration", "m10"}, &error).has_value());
+  EXPECT_FALSE(parse({"--attack", "f?"}, &error).has_value());
+  EXPECT_FALSE(parse({"--policy", "magic"}, &error).has_value());
+  EXPECT_FALSE(parse({"--env", "chaotic"}, &error).has_value());
+  EXPECT_FALSE(parse({"--victim", "9"}, &error).has_value());  // > nodes
+  EXPECT_FALSE(
+      parse({"--nodes", "1", "--env", "low", "--env", "low"}, &error)
+          .has_value());
+}
+
+TEST(CliParser, GeoAndAttestationFlags) {
+  const auto options =
+      parse({"--machine", "0", "--machine", "0", "--machine", "1",
+             "--wan-delay", "50ms", "--attested"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->machines, (std::vector<std::size_t>{0, 0, 1}));
+  EXPECT_EQ(options->wan_delay, milliseconds(50));
+  EXPECT_TRUE(options->attested);
+  std::string error;
+  EXPECT_FALSE(parse({"--machine", "x"}, &error).has_value());
+  EXPECT_FALSE(parse({"--wan-delay", "0ms"}, &error).has_value());
+  EXPECT_FALSE(parse({"--nodes", "1", "--machine", "0", "--machine", "1"},
+                     &error)
+                   .has_value());
+}
+
+TEST(CliRunner, GeoDistributedAttestedRun) {
+  const auto options = parse({"--duration", "2m", "--machine", "0",
+                              "--machine", "1", "--machine", "2",
+                              "--attested"});
+  ASSERT_TRUE(options.has_value());
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(*options, out), 0);
+  EXPECT_NE(out.str().find("node 3:"), std::string::npos);
+}
+
+TEST(CliRunner, RunsAndSummarizes) {
+  const auto options = parse({"--duration", "2m", "--seed", "9"});
+  ASSERT_TRUE(options.has_value());
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(*options, out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("node 1:"), std::string::npos);
+  EXPECT_NE(text.find("node 3:"), std::string::npos);
+  EXPECT_NE(text.find("F_calib="), std::string::npos);
+  EXPECT_NE(text.find("ta requests served"), std::string::npos);
+}
+
+TEST(CliRunner, AttackFlagChangesOutcome) {
+  std::ostringstream clean_out, attacked_out;
+  run_cli(*parse({"--duration", "5m", "--seed", "9"}), clean_out);
+  run_cli(*parse({"--duration", "5m", "--seed", "9", "--attack", "fminus"}),
+          attacked_out);
+  EXPECT_NE(clean_out.str(), attacked_out.str());
+  // The attacked run shows a grossly miscalibrated victim (≈2610 MHz).
+  EXPECT_NE(attacked_out.str().find("F_calib=2609"), std::string::npos);
+}
+
+TEST(CliRunner, CsvToStdout) {
+  std::ostringstream out;
+  EXPECT_EQ(
+      run_cli(*parse({"--duration", "1m", "--csv", "-"}), out), 0);
+  EXPECT_NE(out.str().find("time_s,drift_ms_node1"), std::string::npos);
+}
+
+TEST(CliRunner, HelpPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(*parse({"--help"}), out), 0);
+  EXPECT_NE(out.str().find("--attack"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace triad::exp

@@ -1,0 +1,203 @@
+// AES-256 against FIPS 197 / SP 800-38A vectors and AES-256-GCM against
+// the classic GCM specification test cases (256-bit key set), plus
+// tamper-rejection property tests.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/gcm.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace triad::crypto {
+namespace {
+
+GcmIv iv_from_hex(const std::string& hex) {
+  const Bytes raw = from_hex(hex);
+  GcmIv iv{};
+  std::copy(raw.begin(), raw.end(), iv.begin());
+  return iv;
+}
+
+std::string tag_hex(const GcmTag& tag) {
+  return to_hex(BytesView(tag.data(), tag.size()));
+}
+
+// SP 800-38A F.1.5: AES-256 ECB encryption.
+TEST(Aes256, Sp80038aEcbVectors) {
+  const Bytes key = from_hex(
+      "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  Aes256 aes(key);
+  const struct {
+    const char* pt;
+    const char* ct;
+  } cases[] = {
+      {"6bc1bee22e409f96e93d7e117393172a",
+       "f3eed1bdb5d2a03c064b5a7e3db181f8"},
+      {"ae2d8a571e03ac9c9eb76fac45af8e51",
+       "591ccb10d410ed26dc5ba74a31362870"},
+      {"30c81c46a35ce411e5fbc1191a0a52ef",
+       "b6ed21b99ca6f4f9f153e7b1beafed1d"},
+      {"f69f2445df4f9b17ad2b417be66c3710",
+       "23304b7a39f9f3ff067d8d8f9e24ecc7"},
+  };
+  for (const auto& c : cases) {
+    const Bytes pt = from_hex(c.pt);
+    Bytes ct(16);
+    aes.encrypt_block(pt.data(), ct.data());
+    EXPECT_EQ(to_hex(ct), c.ct);
+  }
+}
+
+// FIPS 197 Appendix C.3 example.
+TEST(Aes256, Fips197AppendixC3) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Aes256 aes(key);
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  Bytes ct(16);
+  aes.encrypt_block(pt.data(), ct.data());
+  EXPECT_EQ(to_hex(ct), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes256, InPlaceEncryptionAllowed) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Aes256 aes(key);
+  Bytes buf = from_hex("00112233445566778899aabbccddeeff");
+  aes.encrypt_block(buf.data(), buf.data());
+  EXPECT_EQ(to_hex(buf), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes256, WrongKeySizeThrows) {
+  const Bytes short_key(16, 0);
+  EXPECT_THROW(Aes256{BytesView(short_key)}, std::invalid_argument);
+}
+
+// GCM spec test case 13: zero key, empty plaintext.
+TEST(Aes256Gcm, Case13EmptyPlaintext) {
+  Aes256Gcm gcm(Bytes(32, 0));
+  const auto sealed = gcm.seal(iv_from_hex("000000000000000000000000"), {}, {});
+  EXPECT_TRUE(sealed.ciphertext.empty());
+  EXPECT_EQ(tag_hex(sealed.tag), "530f8afbc74536b9a963b4f1c4cb738b");
+}
+
+// GCM spec test case 14: zero key, 16 zero bytes.
+TEST(Aes256Gcm, Case14OneBlock) {
+  Aes256Gcm gcm(Bytes(32, 0));
+  const auto sealed = gcm.seal(iv_from_hex("000000000000000000000000"),
+                               Bytes(16, 0), {});
+  EXPECT_EQ(to_hex(sealed.ciphertext), "cea7403d4d606b6e074ec5d3baf39d18");
+  EXPECT_EQ(tag_hex(sealed.tag), "d0d1c8a799996bf0265b98b5d48ab919");
+}
+
+// GCM spec test case 15: 4 blocks, no AAD.
+TEST(Aes256Gcm, Case15FourBlocks) {
+  Aes256Gcm gcm(from_hex(
+      "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308"));
+  const Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  const auto sealed = gcm.seal(iv_from_hex("cafebabefacedbaddecaf888"), pt, {});
+  EXPECT_EQ(to_hex(sealed.ciphertext),
+            "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa"
+            "8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662898015ad");
+  EXPECT_EQ(tag_hex(sealed.tag), "b094dac5d93471bdec1a502270e3cc6c");
+}
+
+// GCM spec test case 16: truncated plaintext with AAD.
+TEST(Aes256Gcm, Case16WithAad) {
+  Aes256Gcm gcm(from_hex(
+      "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308"));
+  const Bytes pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  const Bytes aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  const auto sealed =
+      gcm.seal(iv_from_hex("cafebabefacedbaddecaf888"), pt, aad);
+  EXPECT_EQ(to_hex(sealed.ciphertext),
+            "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa"
+            "8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662");
+  EXPECT_EQ(tag_hex(sealed.tag), "76fc6ece0f4e1768cddf8853bb2d551b");
+}
+
+TEST(Aes256Gcm, OpenRoundTrip) {
+  Aes256Gcm gcm(Bytes(32, 7));
+  const Bytes pt = {1, 2, 3, 4, 5};
+  const Bytes aad = {9, 9};
+  const GcmIv iv{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  const auto sealed = gcm.seal(iv, pt, aad);
+  const auto opened = gcm.open(iv, sealed.ciphertext, aad, sealed.tag);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST(Aes256Gcm, TamperedCiphertextRejected) {
+  Aes256Gcm gcm(Bytes(32, 7));
+  const Bytes pt(40, 0xaa);
+  const GcmIv iv{};
+  auto sealed = gcm.seal(iv, pt, {});
+  sealed.ciphertext[17] ^= 0x01;
+  EXPECT_FALSE(gcm.open(iv, sealed.ciphertext, {}, sealed.tag).has_value());
+}
+
+TEST(Aes256Gcm, TamperedTagRejected) {
+  Aes256Gcm gcm(Bytes(32, 7));
+  const GcmIv iv{};
+  auto sealed = gcm.seal(iv, Bytes{1, 2, 3}, {});
+  sealed.tag[0] ^= 0x80;
+  EXPECT_FALSE(gcm.open(iv, sealed.ciphertext, {}, sealed.tag).has_value());
+}
+
+TEST(Aes256Gcm, TamperedAadRejected) {
+  Aes256Gcm gcm(Bytes(32, 7));
+  const GcmIv iv{};
+  const auto sealed = gcm.seal(iv, Bytes{1, 2, 3}, Bytes{1});
+  EXPECT_FALSE(
+      gcm.open(iv, sealed.ciphertext, Bytes{2}, sealed.tag).has_value());
+}
+
+TEST(Aes256Gcm, WrongIvRejected) {
+  Aes256Gcm gcm(Bytes(32, 7));
+  const auto sealed = gcm.seal(GcmIv{1}, Bytes{1, 2, 3}, {});
+  EXPECT_FALSE(
+      gcm.open(GcmIv{2}, sealed.ciphertext, {}, sealed.tag).has_value());
+}
+
+TEST(Aes256Gcm, WrongKeyRejected) {
+  Aes256Gcm a(Bytes(32, 1));
+  Aes256Gcm b(Bytes(32, 2));
+  const GcmIv iv{};
+  const auto sealed = a.seal(iv, Bytes{1, 2, 3}, {});
+  EXPECT_FALSE(b.open(iv, sealed.ciphertext, {}, sealed.tag).has_value());
+}
+
+// Property: round trip for many random sizes, keys, and IVs.
+class GcmRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GcmRoundTrip, SealOpenIdentity) {
+  Rng rng(GetParam() * 1000 + 17);
+  Bytes key(32);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+  Aes256Gcm gcm(key);
+
+  Bytes pt(GetParam());
+  for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_u64());
+  Bytes aad(GetParam() % 23);
+  for (auto& b : aad) b = static_cast<std::uint8_t>(rng.next_u64());
+  GcmIv iv;
+  for (auto& b : iv) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  const auto sealed = gcm.seal(iv, pt, aad);
+  EXPECT_EQ(sealed.ciphertext.size(), pt.size());
+  if (!pt.empty()) EXPECT_NE(sealed.ciphertext, pt);
+  const auto opened = gcm.open(iv, sealed.ciphertext, aad, sealed.tag);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmRoundTrip,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 63,
+                                           64, 100, 255, 1024, 4096));
+
+}  // namespace
+}  // namespace triad::crypto

@@ -1,0 +1,182 @@
+// SecureChannel: key derivation, framing, authentication, replay and
+// misdelivery handling — the guarantees the Triad attacker must NOT be
+// able to break (it can only delay/drop/reorder).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/channel.h"
+
+namespace triad::crypto {
+namespace {
+
+Bytes secret() { return Bytes(32, 0x5a); }
+
+TEST(ClusterKeyring, DirectionKeysAreDistinct) {
+  ClusterKeyring keyring(secret());
+  const Bytes k12 = keyring.direction_key(1, 2);
+  const Bytes k21 = keyring.direction_key(2, 1);
+  const Bytes k13 = keyring.direction_key(1, 3);
+  EXPECT_EQ(k12.size(), kAes256KeySize);
+  EXPECT_NE(k12, k21);
+  EXPECT_NE(k12, k13);
+}
+
+TEST(ClusterKeyring, DeterministicDerivation) {
+  ClusterKeyring a(secret());
+  ClusterKeyring b(secret());
+  EXPECT_EQ(a.direction_key(4, 9), b.direction_key(4, 9));
+}
+
+TEST(ClusterKeyring, DifferentMasterSecretsDiffer) {
+  ClusterKeyring a(secret());
+  ClusterKeyring b(Bytes(32, 0xa5));
+  EXPECT_NE(a.direction_key(1, 2), b.direction_key(1, 2));
+}
+
+class SecureChannelTest : public ::testing::Test {
+ protected:
+  ClusterKeyring keyring_{secret()};
+  SecureChannel alice_{1, keyring_};
+  SecureChannel bob_{2, keyring_};
+  SecureChannel carol_{3, keyring_};
+};
+
+TEST_F(SecureChannelTest, RoundTrip) {
+  const Bytes msg = {10, 20, 30};
+  const Bytes frame = alice_.seal(2, msg);
+  const auto opened = bob_.open(frame);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->sender, 1u);
+  EXPECT_EQ(opened->plaintext, msg);
+}
+
+TEST_F(SecureChannelTest, CiphertextHidesPlaintext) {
+  const Bytes msg(64, 0x77);
+  const Bytes frame = alice_.seal(2, msg);
+  // The payload bytes must not appear in the clear anywhere in the frame.
+  for (std::size_t i = 0; i + msg.size() <= frame.size(); ++i) {
+    EXPECT_NE(0, std::memcmp(frame.data() + i, msg.data(), msg.size()));
+  }
+}
+
+TEST_F(SecureChannelTest, WrongReceiverRejected) {
+  const Bytes frame = alice_.seal(2, Bytes{1});
+  OpenError err{};
+  EXPECT_FALSE(carol_.open(frame, &err).has_value());
+  EXPECT_EQ(err, OpenError::kWrongReceiver);
+}
+
+TEST_F(SecureChannelTest, TamperedFrameRejected) {
+  Bytes frame = alice_.seal(2, Bytes{1, 2, 3, 4});
+  frame[frame.size() - 1] ^= 0x01;  // flip a tag bit
+  OpenError err{};
+  EXPECT_FALSE(bob_.open(frame, &err).has_value());
+  EXPECT_EQ(err, OpenError::kAuthFailed);
+}
+
+TEST_F(SecureChannelTest, TamperedHeaderRejected) {
+  Bytes frame = alice_.seal(2, Bytes{1, 2, 3, 4});
+  frame[0] ^= 0x02;  // corrupt sender id (part of AAD)
+  OpenError err{};
+  EXPECT_FALSE(bob_.open(frame, &err).has_value());
+  EXPECT_EQ(err, OpenError::kAuthFailed);
+}
+
+TEST_F(SecureChannelTest, TruncatedFrameMalformed) {
+  Bytes frame = alice_.seal(2, Bytes{1, 2, 3, 4});
+  frame.resize(frame.size() / 2);
+  OpenError err{};
+  EXPECT_FALSE(bob_.open(frame, &err).has_value());
+  EXPECT_EQ(err, OpenError::kMalformed);
+}
+
+TEST_F(SecureChannelTest, EmptyFrameMalformed) {
+  OpenError err{};
+  EXPECT_FALSE(bob_.open(Bytes{}, &err).has_value());
+  EXPECT_EQ(err, OpenError::kMalformed);
+}
+
+TEST_F(SecureChannelTest, ReplayRejected) {
+  const Bytes frame = alice_.seal(2, Bytes{5});
+  EXPECT_TRUE(bob_.open(frame).has_value());
+  OpenError err{};
+  EXPECT_FALSE(bob_.open(frame, &err).has_value());
+  EXPECT_EQ(err, OpenError::kReplayed);
+}
+
+TEST_F(SecureChannelTest, ReorderedFrameWithinWindowAccepted) {
+  // UDP reorders datagrams; the sliding window must tolerate that.
+  const Bytes f1 = alice_.seal(2, Bytes{1});
+  const Bytes f2 = alice_.seal(2, Bytes{2});
+  EXPECT_TRUE(bob_.open(f2).has_value());
+  const auto late = bob_.open(f1);
+  ASSERT_TRUE(late.has_value());
+  EXPECT_EQ(late->plaintext, Bytes{1});
+  // ...but the late frame still cannot be replayed afterwards.
+  OpenError err{};
+  EXPECT_FALSE(bob_.open(f1, &err).has_value());
+  EXPECT_EQ(err, OpenError::kReplayed);
+}
+
+TEST_F(SecureChannelTest, FrameOlderThanWindowRejected) {
+  const Bytes ancient = alice_.seal(2, Bytes{0});
+  for (int i = 0; i < 70; ++i) {
+    ASSERT_TRUE(bob_.open(alice_.seal(2, Bytes{1})).has_value());
+  }
+  OpenError err{};
+  EXPECT_FALSE(bob_.open(ancient, &err).has_value());
+  EXPECT_EQ(err, OpenError::kReplayed);
+}
+
+TEST_F(SecureChannelTest, HeavyReorderingAllFramesAcceptedOnce) {
+  // Deliver 64 frames in reverse order: all fresh, then all replays.
+  std::vector<Bytes> frames;
+  for (int i = 0; i < 64; ++i) {
+    frames.push_back(alice_.seal(2, Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    EXPECT_TRUE(bob_.open(*it).has_value());
+  }
+  for (const Bytes& frame : frames) {
+    EXPECT_FALSE(bob_.open(frame).has_value());
+  }
+}
+
+TEST_F(SecureChannelTest, CountersIndependentPerSender) {
+  const Bytes fa = alice_.seal(2, Bytes{1});
+  const Bytes fc = carol_.seal(2, Bytes{2});
+  EXPECT_TRUE(bob_.open(fa).has_value());
+  EXPECT_TRUE(bob_.open(fc).has_value());
+}
+
+TEST_F(SecureChannelTest, ManyMessagesBothDirections) {
+  for (int i = 0; i < 100; ++i) {
+    const Bytes msg = {static_cast<std::uint8_t>(i)};
+    const auto to_bob = bob_.open(alice_.seal(2, msg));
+    ASSERT_TRUE(to_bob.has_value());
+    EXPECT_EQ(to_bob->plaintext, msg);
+    const auto to_alice = alice_.open(bob_.seal(1, msg));
+    ASSERT_TRUE(to_alice.has_value());
+    EXPECT_EQ(to_alice->sender, 2u);
+  }
+}
+
+TEST_F(SecureChannelTest, CrossChannelFramesDoNotConfuse) {
+  // A frame alice->bob must not open as carol->bob even if delivered to
+  // the right node (distinct direction keys).
+  const Bytes frame = alice_.seal(2, Bytes{9});
+  const auto opened = bob_.open(frame);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->sender, 1u);
+}
+
+TEST_F(SecureChannelTest, EmptyPayloadSupported) {
+  const auto opened = bob_.open(alice_.seal(2, Bytes{}));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->plaintext.empty());
+}
+
+}  // namespace
+}  // namespace triad::crypto

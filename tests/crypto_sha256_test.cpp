@@ -1,0 +1,145 @@
+// SHA-256 / HMAC / HKDF against FIPS 180-4, RFC 4231, and RFC 5869
+// published test vectors.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/hex.h"
+
+namespace triad::crypto {
+namespace {
+
+Bytes ascii(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string digest_hex(const Sha256Digest& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(sha256(ascii("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(sha256(ascii(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = ascii("The quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(BytesView(msg.data(), split));
+    h.update(BytesView(msg.data() + split, msg.size() - split));
+    EXPECT_EQ(h.finish(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Lengths around the 55/56/64-byte padding boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const Bytes msg(len, 0x5a);
+    Sha256 incremental;
+    for (std::size_t i = 0; i < len; ++i) {
+      incremental.update(BytesView(&msg[i], 1));
+    }
+    EXPECT_EQ(incremental.finish(), sha256(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256, ReuseAfterFinishThrows) {
+  Sha256 h;
+  h.update(ascii("x"));
+  (void)h.finish();
+  EXPECT_THROW(h.update(ascii("y")), std::logic_error);
+  EXPECT_THROW(h.finish(), std::logic_error);
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto mac = hmac_sha256(key, ascii("Hi There"));
+  EXPECT_EQ(to_hex(BytesView(mac.data(), mac.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2: short key "Jefe".
+TEST(HmacSha256, Rfc4231Case2) {
+  const auto mac =
+      hmac_sha256(ascii("Jefe"), ascii("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(BytesView(mac.data(), mac.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  const auto mac = hmac_sha256(key, data);
+  EXPECT_EQ(to_hex(BytesView(mac.data(), mac.size())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key larger than one block (131 bytes of 0xaa).
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const auto mac = hmac_sha256(
+      key, ascii("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(BytesView(mac.data(), mac.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// RFC 5869 test case 1 (SHA-256).
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Sha256Digest prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(BytesView(prk.data(), prk.size())),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3: empty salt and info.
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, OutputLengthLimit) {
+  const Bytes ikm(10, 1);
+  EXPECT_NO_THROW(hkdf({}, ikm, {}, 255 * 32));
+  EXPECT_THROW(hkdf({}, ikm, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+TEST(Hkdf, DistinctInfoYieldsDistinctKeys) {
+  const Bytes ikm(32, 0x42);
+  const Bytes a = hkdf({}, ikm, ascii("key-a"), 32);
+  const Bytes b = hkdf({}, ikm, ascii("key-b"), 32);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace triad::crypto

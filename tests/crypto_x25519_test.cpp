@@ -1,0 +1,120 @@
+// X25519 against RFC 7748 test vectors plus Diffie-Hellman properties.
+#include <gtest/gtest.h>
+
+#include "crypto/x25519.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace triad::crypto {
+namespace {
+
+X25519Key key(const std::string& hex_str) {
+  const Bytes raw = from_hex(hex_str);
+  X25519Key k{};
+  std::copy(raw.begin(), raw.end(), k.begin());
+  return k;
+}
+
+std::string hex(const X25519Key& k) {
+  return to_hex(BytesView(k.data(), k.size()));
+}
+
+// RFC 7748 §5.2 test vector 1.
+TEST(X25519, Rfc7748Vector1) {
+  const auto out = x25519(
+      key("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4"),
+      key("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c"));
+  EXPECT_EQ(hex(out),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+// RFC 7748 §5.2 test vector 2 (u with high bit set — must be masked).
+TEST(X25519, Rfc7748Vector2) {
+  const auto out = x25519(
+      key("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d"),
+      key("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493"));
+  EXPECT_EQ(hex(out),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+// RFC 7748 §5.2 iterated test, 1 iteration.
+TEST(X25519, Rfc7748IteratedOnce) {
+  X25519Key k{};
+  k[0] = 9;
+  const auto out = x25519(k, k);
+  EXPECT_EQ(hex(out),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+}
+
+// RFC 7748 §5.2 iterated test, 1000 iterations.
+TEST(X25519, Rfc7748Iterated1000) {
+  X25519Key k{};
+  k[0] = 9;
+  X25519Key u = k;
+  for (int i = 0; i < 1000; ++i) {
+    const X25519Key next = x25519(k, u);
+    u = k;
+    k = next;
+  }
+  EXPECT_EQ(hex(k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+// RFC 7748 §6.1 Diffie-Hellman example.
+TEST(X25519, Rfc7748DiffieHellman) {
+  const auto alice_private =
+      key("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_private =
+      key("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  const auto alice_public = x25519_public_key(alice_private);
+  const auto bob_public = x25519_public_key(bob_private);
+  EXPECT_EQ(hex(alice_public),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(hex(bob_public),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  X25519Key shared_a{}, shared_b{};
+  ASSERT_TRUE(x25519_shared_secret(alice_private, bob_public, &shared_a));
+  ASSERT_TRUE(x25519_shared_secret(bob_private, alice_public, &shared_b));
+  EXPECT_EQ(shared_a, shared_b);
+  EXPECT_EQ(hex(shared_a),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, LowOrderPointRejected) {
+  const auto private_key =
+      key("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  X25519Key zero_point{};  // low-order: result is all-zero
+  X25519Key out{};
+  EXPECT_FALSE(x25519_shared_secret(private_key, zero_point, &out));
+  for (std::uint8_t b : out) EXPECT_EQ(b, 0);
+}
+
+// Property: DH agreement holds for random key pairs.
+class X25519Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(X25519Property, RandomPairsAgree) {
+  Rng rng(GetParam());
+  X25519Key a{}, b{};
+  for (auto& byte : a) byte = static_cast<std::uint8_t>(rng.next_u64());
+  for (auto& byte : b) byte = static_cast<std::uint8_t>(rng.next_u64());
+  const auto pub_a = x25519_public_key(a);
+  const auto pub_b = x25519_public_key(b);
+  EXPECT_NE(pub_a, pub_b);
+  X25519Key s1{}, s2{};
+  ASSERT_TRUE(x25519_shared_secret(a, pub_b, &s1));
+  ASSERT_TRUE(x25519_shared_secret(b, pub_a, &s2));
+  EXPECT_EQ(s1, s2);
+  // Different third party disagrees.
+  X25519Key c{};
+  for (auto& byte : c) byte = static_cast<std::uint8_t>(rng.next_u64());
+  X25519Key s3{};
+  ASSERT_TRUE(x25519_shared_secret(c, pub_b, &s3));
+  EXPECT_NE(s3, s1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, X25519Property,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace triad::crypto

@@ -1,0 +1,227 @@
+// Enclave thread + AEX generation: distributions (Figure 1 shapes),
+// drivers, machine-wide correlated interrupts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "enclave/aex_source.h"
+#include "enclave/enclave_thread.h"
+#include "sim/simulation.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+
+namespace triad::enclave {
+namespace {
+
+TEST(EnclaveThread, TracksAexTimesAndCounts) {
+  sim::Simulation sim;
+  EnclaveThread thread(sim);
+  EXPECT_EQ(thread.aex_count(), 0u);
+  EXPECT_EQ(thread.last_aex_time(), 0);
+
+  sim.run_until(seconds(5));
+  EXPECT_EQ(thread.uninterrupted_duration(), seconds(5));
+
+  thread.deliver_aex();
+  EXPECT_EQ(thread.aex_count(), 1u);
+  EXPECT_EQ(thread.last_aex_time(), seconds(5));
+  EXPECT_EQ(thread.uninterrupted_duration(), 0);
+}
+
+TEST(EnclaveThread, HandlerInvokedOnEachAex) {
+  sim::Simulation sim;
+  EnclaveThread thread(sim);
+  int calls = 0;
+  thread.set_aex_handler([&] { ++calls; });
+  thread.deliver_aex();
+  thread.deliver_aex();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(TriadLikeDistribution, OnlyTheThreePaperDelays) {
+  Rng rng(1);
+  TriadLikeAexDistribution dist;
+  std::map<Duration, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[dist.next_delay(rng)];
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_TRUE(counts.contains(milliseconds(10)));
+  EXPECT_TRUE(counts.contains(milliseconds(532)));
+  EXPECT_TRUE(counts.contains(milliseconds(1590)));
+  for (const auto& [delay, count] : counts) {
+    EXPECT_NEAR(count / static_cast<double>(n), 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(IsolatedCoreDistribution, MassConcentratesNearFiveMinutes) {
+  Rng rng(2);
+  IsolatedCoreAexDistribution dist;
+  int near_mode = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const Duration d = dist.next_delay(rng);
+    EXPECT_GT(d, 0);
+    if (d > seconds(310) && d < seconds(340)) ++near_mode;
+  }
+  // Paper: "most AEXs occur every 5.4 minutes".
+  EXPECT_GT(near_mode / static_cast<double>(n), 0.7);
+}
+
+TEST(MarkovDistribution, StickinessCorrelatesSuccessiveDelays) {
+  Rng rng(5);
+  MarkovAexDistribution sticky(0.8);
+  std::vector<double> delays;
+  for (int i = 0; i < 20000; ++i) {
+    delays.push_back(to_seconds(sticky.next_delay(rng)));
+  }
+  // Strong lag-1 autocorrelation, and only the three paper delays.
+  EXPECT_GT(stats::autocorrelation(delays, 1), 0.5);
+  for (double d : delays) {
+    EXPECT_TRUE(d == 0.010 || d == 0.532 || d == 1.590);
+  }
+}
+
+TEST(MarkovDistribution, OneThirdStickinessIsIid) {
+  Rng rng(6);
+  MarkovAexDistribution iid_like(1.0 / 3.0);
+  std::vector<double> delays;
+  std::map<double, int> counts;
+  for (int i = 0; i < 30000; ++i) {
+    const double d = to_seconds(iid_like.next_delay(rng));
+    delays.push_back(d);
+    ++counts[d];
+  }
+  EXPECT_LT(std::abs(stats::autocorrelation(delays, 1)), 0.02);
+  for (const auto& [delay, count] : counts) {
+    EXPECT_NEAR(count / 30000.0, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(MarkovDistribution, IidPaperDistributionHasNoAutocorrelation) {
+  Rng rng(7);
+  TriadLikeAexDistribution dist;
+  std::vector<double> delays;
+  for (int i = 0; i < 20000; ++i) {
+    delays.push_back(to_seconds(dist.next_delay(rng)));
+  }
+  EXPECT_LT(std::abs(stats::autocorrelation(delays, 1)), 0.02);
+}
+
+TEST(MarkovDistribution, InvalidStickinessThrows) {
+  EXPECT_THROW(MarkovAexDistribution(-0.1), std::invalid_argument);
+  EXPECT_THROW(MarkovAexDistribution(1.1), std::invalid_argument);
+}
+
+TEST(FixedDistribution, ConstantAndValidated) {
+  Rng rng(3);
+  FixedAexDistribution dist(seconds(2));
+  EXPECT_EQ(dist.next_delay(rng), seconds(2));
+  EXPECT_THROW(FixedAexDistribution(0), std::invalid_argument);
+}
+
+TEST(AexDriver, FiresAtDistributionDelays) {
+  sim::Simulation sim(7);
+  EnclaveThread thread(sim);
+  AexDriver driver(sim, thread, std::make_unique<FixedAexDistribution>(
+                                    seconds(1)),
+                   sim.rng().fork("d"));
+  driver.start();
+  sim.run_until(seconds(10) + 1);
+  EXPECT_EQ(thread.aex_count(), 10u);
+}
+
+TEST(AexDriver, StopHaltsDelivery) {
+  sim::Simulation sim(7);
+  EnclaveThread thread(sim);
+  AexDriver driver(sim, thread,
+                   std::make_unique<FixedAexDistribution>(seconds(1)),
+                   sim.rng().fork("d"));
+  driver.start();
+  sim.run_until(seconds(3) + 1);
+  driver.stop();
+  EXPECT_FALSE(driver.running());
+  sim.run_until(seconds(20));
+  EXPECT_EQ(thread.aex_count(), 3u);
+}
+
+TEST(AexDriver, RestartAndSwapDistribution) {
+  sim::Simulation sim(7);
+  EnclaveThread thread(sim);
+  AexDriver driver(sim, thread,
+                   std::make_unique<FixedAexDistribution>(seconds(10)),
+                   sim.rng().fork("d"));
+  driver.start();
+  driver.stop();
+  driver.set_distribution(
+      std::make_unique<FixedAexDistribution>(seconds(1)));
+  driver.start();
+  sim.run_until(seconds(5) + 1);
+  EXPECT_EQ(thread.aex_count(), 5u);
+}
+
+TEST(AexDriver, DoubleStartIsIdempotent) {
+  sim::Simulation sim(7);
+  EnclaveThread thread(sim);
+  AexDriver driver(sim, thread,
+                   std::make_unique<FixedAexDistribution>(seconds(1)),
+                   sim.rng().fork("d"));
+  driver.start();
+  driver.start();
+  sim.run_until(seconds(2) + 1);
+  EXPECT_EQ(thread.aex_count(), 2u);  // not doubled
+}
+
+TEST(MachineInterruptHub, FullHitsReachAllThreads) {
+  sim::Simulation sim(9);
+  EnclaveThread t1(sim), t2(sim), t3(sim);
+  MachineInterruptHub hub(sim,
+                          std::make_unique<FixedAexDistribution>(seconds(5)),
+                          sim.rng().fork("hub"), 1.0);
+  hub.register_thread(&t1);
+  hub.register_thread(&t2);
+  hub.register_thread(&t3);
+  hub.start();
+  sim.run_until(seconds(16));
+  EXPECT_EQ(hub.interrupts_fired(), 3u);
+  EXPECT_EQ(t1.aex_count(), 3u);
+  EXPECT_EQ(t2.aex_count(), 3u);
+  EXPECT_EQ(t3.aex_count(), 3u);
+  // Correlation: all three saw the AEX at the same instant.
+  EXPECT_EQ(t1.last_aex_time(), t2.last_aex_time());
+  EXPECT_EQ(t2.last_aex_time(), t3.last_aex_time());
+}
+
+TEST(MachineInterruptHub, PartialHitsSpareExactlyOneThread) {
+  sim::Simulation sim(11);
+  EnclaveThread t1(sim), t2(sim);
+  MachineInterruptHub hub(sim,
+                          std::make_unique<FixedAexDistribution>(seconds(1)),
+                          sim.rng().fork("hub"), 0.0);  // always partial
+  hub.register_thread(&t1);
+  hub.register_thread(&t2);
+  hub.start();
+  sim.run_until(seconds(100) + 1);
+  EXPECT_EQ(hub.interrupts_fired(), 100u);
+  // Each interrupt hits exactly one of the two threads.
+  EXPECT_EQ(t1.aex_count() + t2.aex_count(), 100u);
+  EXPECT_GT(t1.aex_count(), 20u);  // roughly balanced
+  EXPECT_GT(t2.aex_count(), 20u);
+}
+
+TEST(MachineInterruptHub, InvalidParametersThrow) {
+  sim::Simulation sim;
+  EXPECT_THROW(MachineInterruptHub(sim, nullptr, Rng(1)),
+               std::invalid_argument);
+  MachineInterruptHub hub(sim,
+                          std::make_unique<FixedAexDistribution>(seconds(1)),
+                          Rng(1));
+  EXPECT_THROW(hub.register_thread(nullptr), std::invalid_argument);
+  EXPECT_THROW(MachineInterruptHub(
+                   sim, std::make_unique<FixedAexDistribution>(seconds(1)),
+                   Rng(1), 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace triad::enclave

@@ -1,0 +1,180 @@
+// Wire message codec: round trips, malformed-input rejection, and the
+// Time Authority's request/response behaviour over the network.
+#include <gtest/gtest.h>
+
+#include "crypto/channel.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "ta/time_authority.h"
+#include "triad/messages.h"
+
+namespace triad::proto {
+namespace {
+
+template <typename T>
+T round_trip(const T& in) {
+  const auto decoded = decode(encode(Message{in}));
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<T>(*decoded));
+  return std::get<T>(*decoded);
+}
+
+TEST(Messages, TaRequestRoundTrip) {
+  TaRequest m{.request_id = 42, .wait = seconds(1)};
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, TaResponseRoundTrip) {
+  TaResponse m{.request_id = 7,
+               .ta_time = seconds(12345) + 678,
+               .requested_wait = 0};
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, PeerTimeRequestRoundTrip) {
+  PeerTimeRequest m{.request_id = 99};
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, PeerTimeResponseRoundTrip) {
+  PeerTimeResponse m{.request_id = 3,
+                     .timestamp = hours(2),
+                     .error_bound = milliseconds(4),
+                     .tainted = true};
+  EXPECT_EQ(round_trip(m), m);
+  m.tainted = false;
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(Messages, NegativeTaWaitRejected) {
+  TaRequest m{.request_id = 1, .wait = -seconds(1)};
+  EXPECT_FALSE(decode(encode(Message{m})).has_value());
+}
+
+TEST(Messages, MalformedInputsRejectedNotThrown) {
+  EXPECT_FALSE(decode(Bytes{}).has_value());
+  EXPECT_FALSE(decode(Bytes{0}).has_value());     // tag 0 unknown
+  EXPECT_FALSE(decode(Bytes{99}).has_value());    // unknown tag
+  EXPECT_FALSE(decode(Bytes{1, 2, 3}).has_value());  // truncated TaRequest
+  // Valid message with trailing garbage.
+  Bytes ok = encode(Message{PeerTimeRequest{.request_id = 1}});
+  ok.push_back(0);
+  EXPECT_FALSE(decode(ok).has_value());
+}
+
+TEST(Messages, TruncationAtEveryPointRejected) {
+  const Bytes full = encode(Message{TaResponse{
+      .request_id = 5, .ta_time = seconds(9), .requested_wait = seconds(1)}});
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(decode(BytesView(full.data(), len)).has_value())
+        << "length " << len;
+  }
+  EXPECT_TRUE(decode(full).has_value());
+}
+
+}  // namespace
+}  // namespace triad::proto
+
+namespace triad::ta {
+namespace {
+
+struct TaFixture {
+  sim::Simulation sim{5};
+  net::Network net{sim, std::make_unique<net::FixedDelay>(milliseconds(1))};
+  crypto::ClusterKeyring keyring{Bytes(32, 1)};
+  TimeAuthority ta{net, 100, keyring};
+  crypto::SecureChannel client{1, keyring};
+
+  void send(const proto::Message& m) {
+    net.send(1, 100, client.seal(100, proto::encode(m)));
+  }
+};
+
+TEST(TimeAuthority, RespondsAfterRequestedWait) {
+  TaFixture f;
+  std::optional<proto::TaResponse> response;
+  SimTime arrival = 0;
+  f.net.attach(1, [&](const net::Packet& p) {
+    const auto opened = f.client.open(p.payload);
+    ASSERT_TRUE(opened.has_value());
+    const auto msg = proto::decode(opened->plaintext);
+    ASSERT_TRUE(msg.has_value());
+    response = std::get<proto::TaResponse>(*msg);
+    arrival = f.sim.now();
+  });
+
+  f.send(proto::TaRequest{.request_id = 9, .wait = seconds(1)});
+  f.sim.run();
+
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->request_id, 9u);
+  EXPECT_EQ(response->requested_wait, seconds(1));
+  // 1 ms up + 1 s wait; timestamp taken at send time.
+  EXPECT_EQ(response->ta_time, milliseconds(1) + seconds(1));
+  EXPECT_EQ(arrival, milliseconds(2) + seconds(1));
+  EXPECT_EQ(f.ta.stats().requests_served, 1u);
+}
+
+TEST(TimeAuthority, ZeroWaitAnswersImmediately) {
+  TaFixture f;
+  SimTime arrival = -1;
+  f.net.attach(1, [&](const net::Packet&) { arrival = f.sim.now(); });
+  f.send(proto::TaRequest{.request_id = 1, .wait = 0});
+  f.sim.run();
+  EXPECT_EQ(arrival, milliseconds(2));
+}
+
+TEST(TimeAuthority, RejectsExcessiveWait) {
+  TaFixture f;
+  int responses = 0;
+  f.net.attach(1, [&](const net::Packet&) { ++responses; });
+  f.send(proto::TaRequest{.request_id = 1, .wait = minutes(10)});
+  f.sim.run();
+  EXPECT_EQ(responses, 0);
+  EXPECT_EQ(f.ta.stats().rejected_waits, 1u);
+}
+
+TEST(TimeAuthority, RejectsGarbageAndWrongMessageTypes) {
+  TaFixture f;
+  int responses = 0;
+  f.net.attach(1, [&](const net::Packet&) { ++responses; });
+
+  f.net.send(1, 100, Bytes{1, 2, 3});  // not even a sealed frame
+  f.send(proto::PeerTimeRequest{.request_id = 5});  // wrong type
+  f.sim.run();
+  EXPECT_EQ(responses, 0);
+  EXPECT_EQ(f.ta.stats().rejected_frames, 2u);
+}
+
+TEST(TimeAuthority, UnauthenticatedSenderRejected) {
+  TaFixture f;
+  crypto::ClusterKeyring wrong_keyring{Bytes(32, 0xee)};
+  crypto::SecureChannel rogue{2, wrong_keyring};
+  int responses = 0;
+  f.net.attach(2, [&](const net::Packet&) { ++responses; });
+  f.net.send(2, 100,
+             rogue.seal(100, proto::encode(proto::Message{proto::TaRequest{
+                                 .request_id = 1, .wait = 0}})));
+  f.sim.run();
+  EXPECT_EQ(responses, 0);
+  EXPECT_EQ(f.ta.stats().rejected_frames, 1u);
+}
+
+TEST(TimeAuthority, ServesManyClientsIndependently) {
+  TaFixture f;
+  crypto::SecureChannel client2{2, f.keyring};
+  int r1 = 0, r2 = 0;
+  f.net.attach(1, [&](const net::Packet&) { ++r1; });
+  f.net.attach(2, [&](const net::Packet&) { ++r2; });
+  f.send(proto::TaRequest{.request_id = 1, .wait = 0});
+  f.net.send(2, 100,
+             client2.seal(100, proto::encode(proto::Message{proto::TaRequest{
+                                   .request_id = 2, .wait = 0}})));
+  f.sim.run();
+  EXPECT_EQ(r1, 1);
+  EXPECT_EQ(r2, 1);
+  EXPECT_EQ(f.ta.stats().requests_served, 2u);
+}
+
+}  // namespace
+}  // namespace triad::ta

@@ -1,0 +1,278 @@
+// NTP substrate: sample arithmetic, the disciplined clock, and the
+// client/server loop — convergence, attack resistance, poll adaptation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/network.h"
+#include "ntp/disciplined_clock.h"
+#include "ntp/ntp_client.h"
+#include "ntp/ntp_server.h"
+#include "ntp/sample.h"
+#include "sim/simulation.h"
+#include "tsc/tsc.h"
+
+namespace triad::ntp {
+namespace {
+
+TEST(NtpSample, OffsetAndDelayFormulas) {
+  // Client 10 ms behind server; 4 ms symmetric path; 1 ms processing.
+  NtpSample s;
+  s.t1 = milliseconds(100);            // client clock
+  s.t2 = milliseconds(112);            // server clock = client + 10 + 2
+  s.t3 = milliseconds(113);            // +1 ms processing
+  s.t4 = milliseconds(105);            // client: t1 + 2 + 1 + 2
+  EXPECT_EQ(s.offset(), milliseconds(10));
+  EXPECT_EQ(s.delay(), milliseconds(4));
+  EXPECT_TRUE(s.plausible());
+}
+
+TEST(NtpSample, AsymmetricDelayBiasBoundedByHalfDelay) {
+  // All delay on the return path (worst case for the estimate).
+  NtpSample s;
+  s.t1 = 0;
+  s.t2 = milliseconds(10);  // clocks actually aligned; 10ms up... none
+  s.t3 = milliseconds(10);
+  s.t4 = milliseconds(30);  // 20 ms back
+  // True offset 10? Construct precisely: clocks equal, up-delay 10,
+  // back-delay 20 -> measured offset = (10 + (10-30))/2 = -5 ms,
+  // |error| = 5 = (30-0-0)/2 - 10 ... bounded by delay/2 = 15.
+  EXPECT_EQ(s.offset(), -milliseconds(5));
+  EXPECT_LE(std::abs(s.offset()), s.delay() / 2);
+}
+
+TEST(NtpSample, ImplausibleDetected) {
+  NtpSample s;
+  s.t1 = milliseconds(10);
+  s.t2 = milliseconds(5);
+  s.t3 = milliseconds(4);  // t3 < t2
+  s.t4 = milliseconds(3);  // t4 < t1
+  EXPECT_FALSE(s.plausible());
+}
+
+struct ClockFixture {
+  sim::Simulation sim{11};
+  tsc::Tsc tsc{sim, tsc::kPaperTscFrequencyHz};
+};
+
+TEST(DisciplinedClock, TracksNominalRateInitially) {
+  ClockFixture f;
+  DisciplinedClock clock(f.tsc, tsc::kPaperTscFrequencyHz);
+  f.sim.run_until(seconds(100));
+  EXPECT_LT(std::abs(clock.now() - f.sim.now()), microseconds(10));
+}
+
+TEST(DisciplinedClock, LargeOffsetSteps) {
+  ClockFixture f;
+  DisciplinedClock clock(f.tsc, tsc::kPaperTscFrequencyHz);
+  f.sim.run_until(seconds(1));
+  EXPECT_TRUE(clock.apply_offset(seconds(2)));
+  EXPECT_EQ(clock.steps(), 1u);
+  EXPECT_NEAR(static_cast<double>(clock.now() - f.sim.now()),
+              static_cast<double>(seconds(2)), 1e3);
+}
+
+TEST(DisciplinedClock, SmallOffsetSlewsWithoutStepping) {
+  ClockFixture f;
+  DisciplinedClock clock(f.tsc, tsc::kPaperTscFrequencyHz);
+  f.sim.run_until(seconds(1));
+  EXPECT_FALSE(clock.apply_offset(milliseconds(5)));
+  EXPECT_EQ(clock.steps(), 0u);
+  // Slew is bounded: after 1 s at most 500 us were absorbed.
+  f.sim.run_until(seconds(2));
+  const Duration gained = clock.now() - f.sim.now();
+  EXPECT_GT(gained, 0);
+  EXPECT_LE(gained, microseconds(600));
+}
+
+TEST(DisciplinedClock, LearnsFrequencyError) {
+  // Clock built with a nominal frequency 100 ppm below the TSC's true
+  // rate: it runs fast. Feed offsets every 32 s; the discipline must
+  // learn a negative correction close to -100 ppm.
+  ClockFixture f;
+  DisciplinedClock clock(f.tsc, tsc::kPaperTscFrequencyHz * (1 - 100e-6));
+  for (int i = 0; i < 40; ++i) {
+    f.sim.run_until(f.sim.now() + seconds(32));
+    clock.apply_offset(f.sim.now() - clock.now());
+  }
+  EXPECT_NEAR(clock.frequency_correction_ppm(), -100.0, 20.0);
+  // And the residual drift over a quiet minute is now small.
+  const Duration before = clock.now() - f.sim.now();
+  f.sim.run_until(f.sim.now() + seconds(60));
+  const Duration after = clock.now() - f.sim.now();
+  EXPECT_LT(std::abs(after - before), milliseconds(3));
+}
+
+TEST(DisciplinedClock, InvalidConfigThrows) {
+  ClockFixture f;
+  EXPECT_THROW(DisciplinedClock(f.tsc, 0.0), std::invalid_argument);
+  DisciplineConfig bad;
+  bad.max_slew_ppm = 0;
+  EXPECT_THROW(DisciplinedClock(f.tsc, 1e9, bad), std::invalid_argument);
+}
+
+struct NtpFixture {
+  NtpFixture() {
+    NtpClientConfig config;
+    config.id = 1;
+    config.servers = {100};
+    client = std::make_unique<NtpClient>(sim, net, keyring, tsc,
+                                         tsc::kPaperTscFrequencyHz, config);
+  }
+
+  sim::Simulation sim{22};
+  net::Network net{sim, std::make_unique<net::JitterDelay>(
+                            microseconds(150), microseconds(120),
+                            microseconds(10))};
+  crypto::ClusterKeyring keyring{Bytes(32, 3)};
+  NtpServer server{net, 100, keyring};
+  tsc::Tsc tsc{sim, tsc::kPaperTscFrequencyHz};
+  std::unique_ptr<NtpClient> client;
+};
+
+TEST(NtpClient, ConvergesToSubMillisecondOffset) {
+  NtpFixture f;
+  f.client->start();
+  f.sim.run_until(minutes(10));
+  EXPECT_GT(f.client->stats().samples, 10u);
+  EXPECT_LT(std::abs(f.client->now() - f.sim.now()), milliseconds(1));
+}
+
+TEST(NtpClient, PollIntervalBacksOffWhenStable) {
+  NtpFixture f;
+  f.client->start();
+  f.sim.run_until(minutes(20));
+  EXPECT_GT(f.client->current_tau(), 2);  // backed off from min_tau
+}
+
+TEST(NtpClient, InitialOffsetIsStepped) {
+  NtpFixture f;
+  // Hypervisor jumps the TSC 10 s forward after the clock is built: the
+  // client's clock is suddenly far in the "future".
+  f.tsc.hv_add_offset(
+      static_cast<std::int64_t>(10 * tsc::kPaperTscFrequencyHz));
+  f.client->start();
+  f.sim.run_until(minutes(1));
+  EXPECT_GE(f.client->stats().steps, 1u);
+  EXPECT_LT(std::abs(f.client->now() - f.sim.now()), milliseconds(5));
+}
+
+TEST(NtpClient, UniformDelayAttackBoundedByHalfDelay) {
+  // Attacker adds 100 ms to EVERY server response: measured offsets are
+  // biased by at most delay/2; the clock ends up <= ~50 ms behind —
+  // contrast with Triad's unbounded F- skew.
+  NtpFixture f;
+  class UniformDelay final : public net::Middlebox {
+   public:
+    Action on_packet(const net::Packet& p, SimTime) override {
+      return {.extra_delay = p.src == 100 ? milliseconds(100) : 0,
+              .drop = false};
+    }
+  } attack;
+  f.net.add_middlebox(&attack);
+  f.client->start();
+  f.sim.run_until(minutes(10));
+  const Duration error = f.client->now() - f.sim.now();
+  EXPECT_LT(std::abs(error), milliseconds(60));
+  f.net.remove_middlebox(&attack);
+}
+
+TEST(NtpClient, SelectiveDelayAttackFilteredOut) {
+  // Attacker delays 3 of every 4 responses: the min-delay filter keeps
+  // choosing honest exchanges, so accuracy is barely affected.
+  NtpFixture f;
+  class SelectiveDelay final : public net::Middlebox {
+   public:
+    Action on_packet(const net::Packet& p, SimTime) override {
+      if (p.src != 100) return {};
+      ++count_;
+      return {.extra_delay =
+                  count_ % 4 == 0 ? Duration{0} : milliseconds(100),
+              .drop = false};
+    }
+
+   private:
+    int count_ = 0;
+  } attack;
+  f.net.add_middlebox(&attack);
+  f.client->start();
+  f.sim.run_until(minutes(10));
+  EXPECT_LT(std::abs(f.client->now() - f.sim.now()), milliseconds(2));
+  f.net.remove_middlebox(&attack);
+}
+
+TEST(NtpClient, SurvivesPacketLoss) {
+  NtpFixture f;
+  f.net.set_loss_probability(0.3);
+  f.client->start();
+  f.sim.run_until(minutes(20));
+  EXPECT_GT(f.client->stats().samples, 5u);
+  EXPECT_LT(std::abs(f.client->now() - f.sim.now()), milliseconds(2));
+}
+
+TEST(NtpClient, HonestMajorityOutvotesLyingServer) {
+  // Three servers, one compromised by +5 s: the Marzullo selection stage
+  // must exclude the falseticker, and the client tracks the honest pair.
+  sim::Simulation sim{33};
+  net::Network net{sim, std::make_unique<net::JitterDelay>(
+                            microseconds(150), microseconds(120),
+                            microseconds(10))};
+  crypto::ClusterKeyring keyring{Bytes(32, 3)};
+  NtpServer honest1{net, 100, keyring};
+  NtpServer honest2{net, 101, keyring};
+  NtpServer liar{net, 102, keyring};
+  liar.set_lie_offset(seconds(5));
+  tsc::Tsc tsc{sim, tsc::kPaperTscFrequencyHz};
+
+  NtpClientConfig config;
+  config.id = 1;
+  config.servers = {100, 101, 102};
+  NtpClient client(sim, net, keyring, tsc, tsc::kPaperTscFrequencyHz,
+                   config);
+  client.start();
+  sim.run_until(minutes(10));
+
+  EXPECT_LT(std::abs(client.now() - sim.now()), milliseconds(2));
+  EXPECT_GT(client.stats().falsetickers_rejected, 10u);
+}
+
+TEST(NtpClient, SingleLyingServerIsFollowedWithoutQuorum) {
+  // Contrast case: with only the lying server configured there is no
+  // majority to save the client — it steps onto the lie. (This is why
+  // multiple sources matter.)
+  sim::Simulation sim{34};
+  net::Network net{sim, std::make_unique<net::FixedDelay>(microseconds(200))};
+  crypto::ClusterKeyring keyring{Bytes(32, 3)};
+  NtpServer liar{net, 100, keyring};
+  liar.set_lie_offset(seconds(5));
+  tsc::Tsc tsc{sim, tsc::kPaperTscFrequencyHz};
+  NtpClientConfig config;
+  config.id = 1;
+  config.servers = {100};
+  NtpClient client(sim, net, keyring, tsc, tsc::kPaperTscFrequencyHz,
+                   config);
+  client.start();
+  sim.run_until(minutes(2));
+  EXPECT_GT(client.now() - sim.now(), seconds(4));
+}
+
+TEST(NtpClient, InvalidConfigThrows) {
+  NtpFixture f;
+  NtpClientConfig bad;
+  bad.id = 2;
+  bad.servers = {100};
+  bad.min_tau = 5;
+  bad.max_tau = 3;
+  EXPECT_THROW(NtpClient(f.sim, f.net, f.keyring, f.tsc, 1e9, bad),
+               std::invalid_argument);
+}
+
+TEST(NtpServer, RejectsGarbage) {
+  NtpFixture f;
+  f.net.send(5, 100, Bytes{1, 2, 3});
+  f.sim.run_until(seconds(1));
+  EXPECT_EQ(f.server.stats().rejected_frames, 1u);
+}
+
+}  // namespace
+}  // namespace triad::ntp

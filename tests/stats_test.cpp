@@ -1,0 +1,218 @@
+// Unit tests for statistics: Welford summaries, outlier dropping,
+// quantiles, linear regression, CDF/histogram, time series.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/histogram.h"
+#include "stats/regression.h"
+#include "stats/summary.h"
+#include "stats/timeseries.h"
+#include "util/rng.h"
+
+namespace triad::stats {
+namespace {
+
+TEST(SummaryStats, MeanVarianceMinMax) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.range(), 7.0);
+}
+
+TEST(SummaryStats, EmptyThrows) {
+  SummaryStats s;
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  s.add(1.0);
+  EXPECT_THROW((void)s.variance(), std::logic_error);
+}
+
+TEST(SummaryStats, MatchesNaiveComputationOnRandomData) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(100, 15));
+  const SummaryStats s = summarize(xs);
+  double sum = 0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), ss / static_cast<double>(xs.size() - 1), 1e-6);
+}
+
+TEST(DropOutliers, RemovesFarthestFromMedian) {
+  // Mirrors the paper's RQ A.1 procedure: drop the 2 worst samples.
+  std::vector<double> xs = {100, 101, 99, 100, 100, 42, 180};
+  const auto kept = drop_farthest_from_median(xs, 2);
+  ASSERT_EQ(kept.size(), 5u);
+  for (double v : kept) {
+    EXPECT_GE(v, 99);
+    EXPECT_LE(v, 101);
+  }
+}
+
+TEST(DropOutliers, DropAllReturnsEmpty) {
+  EXPECT_TRUE(drop_farthest_from_median({1, 2}, 2).empty());
+  EXPECT_TRUE(drop_farthest_from_median({1}, 5).empty());
+}
+
+TEST(Quantile, ExactValues) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Quantile, BadInputsThrow) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(LinearRegression, ExactLineRecovered) {
+  LinearRegression reg;
+  for (double x : {0.0, 1.0, 2.0, 3.0}) reg.add(x, 2.5 * x + 7.0);
+  const LinearFit f = reg.fit();
+  EXPECT_NEAR(f.slope, 2.5, 1e-12);
+  EXPECT_NEAR(f.intercept, 7.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(f.n, 4u);
+}
+
+TEST(LinearRegression, TwoClusterDesignMatchesTriadCalibration) {
+  // Triad regresses over s in {0, 1} second round-trips. With symmetric
+  // delay d added to both clusters, the slope is unchanged; delay added
+  // only to the s=1 cluster raises the slope by exactly delay/1s.
+  const double f_tsc = 2.9e9;  // ticks per second
+  LinearRegression clean, attacked;
+  for (int i = 0; i < 10; ++i) {
+    const double rtt = 200e-6;
+    clean.add(0.0, f_tsc * rtt);
+    clean.add(1.0, f_tsc * (1.0 + rtt));
+    attacked.add(0.0, f_tsc * rtt);
+    attacked.add(1.0, f_tsc * (1.1 + rtt));  // +100ms on s=1 (F+ attack)
+  }
+  EXPECT_NEAR(clean.fit().slope, f_tsc, 1e-3);
+  EXPECT_NEAR(attacked.fit().slope, 1.1 * f_tsc, 1e-3);
+}
+
+TEST(LinearRegression, InsufficientPointsThrow) {
+  LinearRegression reg;
+  EXPECT_THROW((void)reg.fit(), std::logic_error);
+  reg.add(1.0, 1.0);
+  EXPECT_THROW((void)reg.fit(), std::logic_error);
+  reg.add(1.0, 2.0);  // same x
+  EXPECT_THROW((void)reg.fit(), std::logic_error);
+}
+
+TEST(LinearRegression, NoisyFitCloseToTruth) {
+  Rng rng(31);
+  LinearRegression reg;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    reg.add(x, 3.0 * x + 1.0 + rng.normal(0, 0.5));
+  }
+  const LinearFit f = reg.fit();
+  EXPECT_NEAR(f.slope, 3.0, 0.05);
+  EXPECT_NEAR(f.intercept, 1.0, 0.2);
+  EXPECT_GT(f.r_squared, 0.99);
+}
+
+TEST(FitLine, VectorsMustMatch) {
+  EXPECT_THROW(fit_line({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, StepFunctionAndQuantiles) {
+  EmpiricalCdf cdf;
+  cdf.add_all({10, 532, 1590, 10, 532, 10});
+  EXPECT_EQ(cdf.count(), 6u);
+  EXPECT_DOUBLE_EQ(cdf.at(9), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(10), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(532), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2000), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 10);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 1590);
+}
+
+TEST(EmpiricalCdf, PointsCollapseDuplicates) {
+  EmpiricalCdf cdf;
+  cdf.add_all({1, 1, 2});
+  const auto pts = cdf.points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].value, 1);
+  EXPECT_NEAR(pts[0].cumulative, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pts[1].value, 2);
+  EXPECT_DOUBLE_EQ(pts[1].cumulative, 1.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-5.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 4
+  h.add(4.0);    // bin 2
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+  EXPECT_FALSE(h.ascii().empty());
+}
+
+TEST(Histogram, BadConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(TimeSeries, ValueAtStepHold) {
+  TimeSeries s("drift");
+  s.record(seconds(1), 10.0);
+  s.record(seconds(5), 20.0);
+  EXPECT_DOUBLE_EQ(s.value_at(seconds(1)), 10.0);
+  EXPECT_DOUBLE_EQ(s.value_at(seconds(3)), 10.0);
+  EXPECT_DOUBLE_EQ(s.value_at(seconds(5)), 20.0);
+  EXPECT_DOUBLE_EQ(s.value_at(seconds(100)), 20.0);
+  EXPECT_THROW((void)s.value_at(0), std::logic_error);
+}
+
+TEST(TimeSeries, MinMax) {
+  TimeSeries s("x");
+  s.record(1, 5.0);
+  s.record(2, -3.0);
+  s.record(3, 4.0);
+  EXPECT_DOUBLE_EQ(s.min_value(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 5.0);
+}
+
+TEST(SeriesSet, CsvHasHeaderAndAlignedRows) {
+  SeriesSet set;
+  TimeSeries& a = set.add("a");
+  TimeSeries& b = set.add("b");
+  a.record(seconds(1), 1.0);
+  a.record(seconds(3), 3.0);
+  b.record(seconds(2), 20.0);
+  std::ostringstream out;
+  set.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("time_s,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,"), std::string::npos);    // b empty before t=2
+  EXPECT_NE(csv.find("2,1,20"), std::string::npos);  // a holds its value
+  EXPECT_NE(csv.find("3,3,20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace triad::stats

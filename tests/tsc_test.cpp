@@ -1,0 +1,262 @@
+// TSC model, core model, and the INC monitor — including a scaled-down
+// version of the paper's RQ A.1 statistics and manipulation-detection
+// properties.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "stats/summary.h"
+#include "tsc/core.h"
+#include "tsc/inc_monitor.h"
+#include "tsc/tsc.h"
+
+namespace triad::tsc {
+namespace {
+
+TEST(Tsc, AdvancesAtTrueFrequency) {
+  sim::Simulation sim;
+  Tsc tsc(sim, 2899.999e6);
+  EXPECT_EQ(tsc.read(), 0u);
+  sim.run_until(seconds(1));
+  EXPECT_NEAR(static_cast<double>(tsc.read()), 2899.999e6, 1.0);
+  sim.run_until(seconds(10));
+  EXPECT_NEAR(static_cast<double>(tsc.read()), 2899.999e7, 10.0);
+}
+
+TEST(Tsc, InitialValueRespected) {
+  sim::Simulation sim;
+  Tsc tsc(sim, 1e9, 5000);
+  EXPECT_EQ(tsc.read(), 5000u);
+  sim.run_until(milliseconds(1));
+  EXPECT_NEAR(static_cast<double>(tsc.read()), 5000 + 1e6, 1.0);
+}
+
+TEST(Tsc, MonotonicWithoutManipulation) {
+  sim::Simulation sim;
+  Tsc tsc(sim, 3.0e9);
+  TscValue prev = tsc.read();
+  for (int i = 1; i <= 1000; ++i) {
+    sim.run_until(microseconds(i * 7));
+    const TscValue now = tsc.read();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Tsc, HypervisorOffsetJumpsValue) {
+  sim::Simulation sim;
+  Tsc tsc(sim, 1e9);
+  sim.run_until(seconds(1));
+  const TscValue before = tsc.read();
+  tsc.hv_add_offset(1'000'000);
+  EXPECT_NEAR(static_cast<double>(tsc.read()),
+              static_cast<double>(before) + 1e6, 2.0);
+  tsc.hv_add_offset(-2'000'000);  // back in time
+  EXPECT_NEAR(static_cast<double>(tsc.read()),
+              static_cast<double>(before) - 1e6, 2.0);
+}
+
+TEST(Tsc, NegativeTotalClampsToZero) {
+  sim::Simulation sim;
+  Tsc tsc(sim, 1e9);
+  sim.run_until(milliseconds(1));
+  tsc.hv_add_offset(-10'000'000);
+  EXPECT_EQ(tsc.read(), 0u);
+}
+
+TEST(Tsc, HypervisorScaleChangesRateContinuously) {
+  sim::Simulation sim;
+  Tsc tsc(sim, 1e9);
+  sim.run_until(seconds(1));
+  const double before = static_cast<double>(tsc.read());
+  tsc.hv_set_scale(2.0);
+  EXPECT_NEAR(static_cast<double>(tsc.read()), before, 2.0);  // continuous
+  sim.run_until(seconds(2));
+  EXPECT_NEAR(static_cast<double>(tsc.read()), before + 2e9, 4.0);
+  EXPECT_DOUBLE_EQ(tsc.effective_frequency_hz(), 2e9);
+  EXPECT_DOUBLE_EQ(tsc.true_frequency_hz(), 1e9);
+}
+
+TEST(Tsc, InvalidParametersThrow) {
+  sim::Simulation sim;
+  EXPECT_THROW(Tsc(sim, 0.0), std::invalid_argument);
+  Tsc tsc(sim, 1e9);
+  EXPECT_THROW(tsc.hv_set_scale(0.0), std::invalid_argument);
+  EXPECT_THROW(tsc.hv_set_scale(-1.0), std::invalid_argument);
+}
+
+TEST(Core, ExpectedIncMatchesPaperOperatingPoint) {
+  // 15e6 TSC ticks at 2899.999 MHz take ~5.1724 ms; at 3500 MHz with the
+  // fitted loop cost this is ~632182 INCs (paper §IV-A1).
+  Core core(CoreParams{}, Rng(1));
+  const Duration dt = from_seconds(15e6 / kPaperTscFrequencyHz);
+  EXPECT_NEAR(core.expected_inc_count(dt), 632182.0, 25.0);
+}
+
+TEST(Core, IncCountNoiseIsSmall) {
+  Core core(CoreParams{}, Rng(2));
+  const Duration dt = from_seconds(15e6 / kPaperTscFrequencyHz);
+  stats::SummaryStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    stats.add(static_cast<double>(core.inc_count(dt)));
+  }
+  EXPECT_NEAR(stats.mean(), 632182.0, 25.0);
+  EXPECT_LT(stats.stddev(), 4.0);  // paper: 2.9 after outlier removal
+  EXPECT_GT(stats.stddev(), 0.5);
+}
+
+TEST(Core, FrequencyScalingChangesIncRate) {
+  Core core(CoreParams{}, Rng(3));
+  const Duration dt = milliseconds(5);
+  const double at_3500 = core.expected_inc_count(dt);
+  core.set_frequency_hz(1750.0e6);
+  EXPECT_NEAR(core.expected_inc_count(dt), at_3500 / 2, 1.0);
+}
+
+TEST(Core, InvalidParametersThrow) {
+  EXPECT_THROW(Core(CoreParams{.frequency_hz = 0}, Rng(1)),
+               std::invalid_argument);
+  Core core(CoreParams{}, Rng(1));
+  EXPECT_THROW(core.set_frequency_hz(-1), std::invalid_argument);
+  EXPECT_THROW((void)core.expected_inc_count(-1), std::invalid_argument);
+}
+
+struct MonitorFixture {
+  sim::Simulation sim{77};
+  Tsc tsc{sim, kPaperTscFrequencyHz};
+  Core core{CoreParams{}, Rng(42)};
+  IncMonitor monitor{tsc, core};
+};
+
+TEST(IncMonitor, CalibrationMatchesExpectedWindow) {
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
+  EXPECT_EQ(cal.window_ticks, kPaperWindowTicks);
+  EXPECT_NEAR(cal.mean_inc, 632182.0, 25.0);
+  EXPECT_LT(cal.stddev_inc, 4.0);
+}
+
+TEST(IncMonitor, CleanTscPassesCheck) {
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(f.monitor.check(cal));
+  }
+}
+
+TEST(IncMonitor, DetectsScaleSpeedup) {
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
+  // A 0.1% TSC speedup shifts the window's real duration by 0.1% — about
+  // 632 INCs, vastly beyond the ~3 INC noise.
+  f.tsc.hv_set_scale(1.001);
+  EXPECT_FALSE(f.monitor.check(cal));
+}
+
+TEST(IncMonitor, DetectsScaleSlowdown) {
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
+  f.tsc.hv_set_scale(0.999);
+  EXPECT_FALSE(f.monitor.check(cal));
+}
+
+TEST(IncMonitor, DetectionThresholdAroundTensOfPpm) {
+  // The INC monitor's resolution: deviations of ~30 ppm (≈19 INC) are
+  // caught; sub-noise deviations are not. This quantifies RQ A.1's
+  // "reliably detect TSC discrepancies".
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 200);
+  f.tsc.hv_set_scale(1.0 + 50e-6);  // 50 ppm
+  int detections = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (!f.monitor.check(cal)) ++detections;
+  }
+  EXPECT_GT(detections, 45);  // reliably caught
+
+  f.tsc.hv_set_scale(1.0 + 1e-6);  // 1 ppm: inside the noise floor
+  detections = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (!f.monitor.check(cal)) ++detections;
+  }
+  EXPECT_LT(detections, 5);
+}
+
+TEST(IncMonitor, CoreFrequencyChangeLooksLikeManipulation) {
+  // The paper notes this monitor is frequency-dependent: an OS dropping
+  // the core's P-state shifts INC counts exactly like a TSC attack, so
+  // Triad must pin the governor (or pair it with a frequency-independent
+  // monitor).
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
+  f.core.set_frequency_hz(3400.0e6);
+  EXPECT_FALSE(f.monitor.check(cal));
+}
+
+TEST(IncMonitor, ContinuityCleanIntervalConsistent) {
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
+  f.monitor.reset_continuity();
+  for (int i = 1; i <= 20; ++i) {
+    f.sim.run_until(f.sim.now() + seconds(5));
+    const auto check = f.monitor.check_continuity(cal);
+    EXPECT_TRUE(check.consistent) << "interval " << i;
+    EXPECT_NEAR(check.observed_ticks, check.expected_ticks,
+                check.expected_ticks * 20e-6 + 1e6);
+    f.monitor.reset_continuity();
+  }
+}
+
+TEST(IncMonitor, ContinuityDetectsBackwardJump) {
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
+  f.monitor.reset_continuity();
+  f.sim.run_until(seconds(2));
+  f.tsc.hv_add_offset(-15'000'000);  // 5 ms backwards
+  EXPECT_FALSE(f.monitor.check_continuity(cal).consistent);
+}
+
+TEST(IncMonitor, ContinuityDetectsForwardJump) {
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
+  f.monitor.reset_continuity();
+  f.sim.run_until(seconds(2));
+  f.tsc.hv_add_offset(+3'000'000'000LL);  // ~1 s into the future
+  EXPECT_FALSE(f.monitor.check_continuity(cal).consistent);
+}
+
+TEST(IncMonitor, ContinuityDetectsMidIntervalScaleChange) {
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
+  f.monitor.reset_continuity();
+  f.sim.run_until(seconds(10));
+  f.tsc.hv_set_scale(1.01);  // second half runs 1% fast
+  f.sim.run_until(seconds(20));
+  EXPECT_FALSE(f.monitor.check_continuity(cal).consistent);
+}
+
+TEST(IncMonitor, ContinuitySubThresholdJumpTolerated) {
+  // Jumps below the tolerance floor (1e6 ticks ≈ 0.34 ms) pass — the
+  // monitor's resolution limit.
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
+  f.monitor.reset_continuity();
+  f.sim.run_until(seconds(1));
+  f.tsc.hv_add_offset(100'000);
+  EXPECT_TRUE(f.monitor.check_continuity(cal).consistent);
+}
+
+TEST(IncMonitor, ContinuityRequiresReset) {
+  MonitorFixture f;
+  const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 10);
+  EXPECT_THROW((void)f.monitor.check_continuity(cal), std::logic_error);
+}
+
+TEST(IncMonitor, InvalidUseThrows) {
+  MonitorFixture f;
+  EXPECT_THROW((void)f.monitor.measure_window(0), std::invalid_argument);
+  EXPECT_THROW((void)f.monitor.calibrate(1000, 1), std::invalid_argument);
+  EXPECT_THROW((void)f.monitor.check(IncCalibration{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace triad::tsc
