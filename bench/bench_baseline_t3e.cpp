@@ -16,6 +16,7 @@
 #include "bench_common.h"
 #include "exp/recorder.h"
 #include "exp/scenario.h"
+#include "runtime/sim_env.h"
 #include "t3e/t3e_node.h"
 #include "t3e/tpm.h"
 
@@ -30,7 +31,8 @@ struct T3eOutcome {
 
 T3eOutcome run_t3e(double tpm_rate, Duration attacker_delay) {
   sim::Simulation sim(99);
-  t3e::Tpm tpm(sim, t3e::TpmParams{.rate = tpm_rate},
+  runtime::SimEnv env(sim);
+  t3e::Tpm tpm(env, t3e::TpmParams{.rate = tpm_rate},
                sim.rng().fork("tpm"));
   if (attacker_delay > 0) {
     // The attack begins after a healthy warm-up second.
@@ -39,7 +41,7 @@ T3eOutcome run_t3e(double tpm_rate, Duration attacker_delay) {
           [attacker_delay] { return attacker_delay; });
     });
   }
-  t3e::T3eNode node(sim, tpm, t3e::T3eConfig{});
+  t3e::T3eNode node(env, tpm, t3e::T3eConfig{});
   node.start();
 
   int served = 0, total = 0;

@@ -15,6 +15,7 @@
 #include "exp/scenario.h"
 #include "ntp/ntp_client.h"
 #include "ntp/ntp_server.h"
+#include "runtime/cluster_harness.h"
 
 namespace {
 
@@ -27,13 +28,12 @@ struct NtpOutcome {
 };
 
 NtpOutcome run_ntp(int attack_mode /* 0 none, 1 uniform, 2 selective */) {
-  sim::Simulation sim(4242);
-  net::Network net(sim, std::make_unique<net::JitterDelay>(
-                            microseconds(150), microseconds(120),
-                            microseconds(10)));
-  crypto::ClusterKeyring keyring{Bytes(32, 8)};
-  ntp::NtpServer server(net, 100, keyring);
-  tsc::Tsc tsc(sim, tsc::kPaperTscFrequencyHz);
+  runtime::ClusterConfig cluster;  // default delay = the paper testbed's
+  cluster.seed = 4242;
+  cluster.master_secret = Bytes(32, 8);
+  runtime::ClusterHarness h(std::move(cluster));
+  ntp::NtpServer server(h.env(), 100, h.keyring());
+  tsc::Tsc tsc(h.simulation(), tsc::kPaperTscFrequencyHz);
 
   class DelayBox final : public net::Middlebox {
    public:
@@ -50,19 +50,19 @@ NtpOutcome run_ntp(int attack_mode /* 0 none, 1 uniform, 2 selective */) {
     int mode_;
     int count_ = 0;
   } attack(attack_mode);
-  net.add_middlebox(&attack);
+  h.network().add_middlebox(&attack);
 
   ntp::NtpClientConfig config;
   config.id = 1;
   config.servers = {100};
   // Start with a deliberately wrong nominal frequency (+100 ppm error)
   // so the frequency-learning loop has work to do.
-  ntp::NtpClient client(sim, net, keyring, tsc,
+  ntp::NtpClient client(h.env(), h.keyring(), tsc,
                         tsc::kPaperTscFrequencyHz * (1 + 100e-6), config);
   client.start();
-  sim.run_until(minutes(30));
+  h.run_for(minutes(30));
 
-  return {to_milliseconds(client.now() - sim.now()),
+  return {to_milliseconds(client.now() - h.now()),
           client.clock().frequency_correction_ppm(), client.current_tau()};
 }
 
@@ -117,26 +117,25 @@ int main() {
 
   // Multi-server selection: 2 honest servers + 1 lying by +5 s.
   {
-    sim::Simulation sim(4243);
-    net::Network net(sim, std::make_unique<net::JitterDelay>(
-                              microseconds(150), microseconds(120),
-                              microseconds(10)));
-    crypto::ClusterKeyring keyring{Bytes(32, 8)};
-    ntp::NtpServer honest1(net, 100, keyring);
-    ntp::NtpServer honest2(net, 101, keyring);
-    ntp::NtpServer liar(net, 102, keyring);
+    runtime::ClusterConfig cluster;
+    cluster.seed = 4243;
+    cluster.master_secret = Bytes(32, 8);
+    runtime::ClusterHarness h(std::move(cluster));
+    ntp::NtpServer honest1(h.env(), 100, h.keyring());
+    ntp::NtpServer honest2(h.env(), 101, h.keyring());
+    ntp::NtpServer liar(h.env(), 102, h.keyring());
     liar.set_lie_offset(seconds(5));
-    tsc::Tsc tsc(sim, tsc::kPaperTscFrequencyHz);
+    tsc::Tsc tsc(h.simulation(), tsc::kPaperTscFrequencyHz);
     ntp::NtpClientConfig config;
     config.id = 1;
     config.servers = {100, 101, 102};
-    ntp::NtpClient client(sim, net, keyring, tsc,
+    ntp::NtpClient client(h.env(), h.keyring(), tsc,
                           tsc::kPaperTscFrequencyHz, config);
     client.start();
-    sim.run_until(minutes(30));
+    h.run_for(minutes(30));
     std::printf("%-38s %16.2f %14.1f %6d  (falsetickers rejected: %llu)\n",
                 "NTP client, 1 of 3 servers lying +5s",
-                std::abs(to_milliseconds(client.now() - sim.now())),
+                std::abs(to_milliseconds(client.now() - h.now())),
                 client.clock().frequency_correction_ppm(),
                 client.current_tau(),
                 static_cast<unsigned long long>(

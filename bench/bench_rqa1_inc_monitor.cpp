@@ -76,7 +76,7 @@ int main() {
 
   the_tsc.hv_set_scale(1.0);
   monitor.reset_continuity();
-  sim.run_until(sim.now() + seconds(1));
+  sim.run_for(seconds(1));
   the_tsc.hv_add_offset(-15'000'000);  // backward jump of one window
   const bool back_caught = !monitor.check_continuity(cal).consistent;
   bench::print_summary_row("detection of a backward TSC jump (5 ms)",
@@ -84,7 +84,7 @@ int main() {
                            back_caught ? "flagged" : "MISSED");
 
   monitor.reset_continuity();
-  sim.run_until(sim.now() + seconds(1));
+  sim.run_for(seconds(1));
   the_tsc.hv_add_offset(+30'000'000);  // forward jump
   const bool fwd_caught = !monitor.check_continuity(cal).consistent;
   bench::print_summary_row("detection of a forward TSC jump (10 ms)",

@@ -71,22 +71,22 @@ RunResult run(bool hardened) {
   std::vector<double> lifetimes_s;
   int task_counter = 0;
 
-  sim::PeriodicTimer grant_loop(cluster.simulation(), seconds(2), [&] {
+  runtime::PeriodicTimer grant_loop(cluster.env(), seconds(2), [&] {
     if (const auto lease =
             granter.grant("task-" + std::to_string(++task_counter))) {
       ++result.granted;
-      outstanding.emplace_back(*lease, cluster.simulation().now());
+      outstanding.emplace_back(*lease, cluster.env().now());
     }
   });
 
   // Audit loop: how long does a "5 second" lease really live before the
   // checking node declares it expired?
-  sim::PeriodicTimer audit_loop(cluster.simulation(), milliseconds(100), [&] {
+  runtime::PeriodicTimer audit_loop(cluster.env(), milliseconds(100), [&] {
     for (auto it = outstanding.begin(); it != outstanding.end();) {
       const auto verdict = expired_on(checker, it->first);
       if (verdict && *verdict) {
         const double real_s =
-            to_seconds(cluster.simulation().now() - it->second);
+            to_seconds(cluster.env().now() - it->second);
         lifetimes_s.push_back(real_s);
         it = outstanding.erase(it);
       } else {

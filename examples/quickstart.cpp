@@ -31,7 +31,7 @@ int main() {
   // 3. Use the public time API from an application.
   std::uint64_t served = 0, unavailable = 0;
   SimTime last = 0;
-  sim::PeriodicTimer app(cluster.simulation(), milliseconds(250), [&] {
+  runtime::PeriodicTimer app(cluster.env(), milliseconds(250), [&] {
     TriadNode& node = cluster.node(0);
     if (const auto ts = node.serve_timestamp()) {
       if (*ts <= last) std::puts("BUG: non-monotonic timestamp!");
@@ -58,7 +58,7 @@ int main() {
         node.calibrated_frequency_hz() / 1e6, node.availability() * 100.0,
         static_cast<unsigned long long>(node.stats().aex_count),
         static_cast<unsigned long long>(node.stats().ta_time_references),
-        to_milliseconds(node.current_time() - cluster.simulation().now()));
+        to_milliseconds(node.current_time() - cluster.env().now()));
   }
   std::printf("peer time jumps observed: %zu\n",
               recorder.adoptions().size());

@@ -40,7 +40,7 @@ int main() {
 
   std::vector<TimestampToken> tokens;
   int refused = 0, documents = 0;
-  sim::PeriodicTimer producer(cluster.simulation(), milliseconds(500), [&] {
+  runtime::PeriodicTimer producer(cluster.env(), milliseconds(500), [&] {
     const std::string document =
         "invoice #" + std::to_string(++documents);
     const auto token =

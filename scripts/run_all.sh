@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
 # Builds everything, runs the full test suite and every figure/table
 # bench, and records the outputs EXPERIMENTS.md is based on.
+#
+#   scripts/run_all.sh              # regular build + tests + benches
+#   TRIAD_SANITIZE=1 scripts/run_all.sh
+#                                   # additionally builds with ASan+UBSan
+#                                   # and runs the test suite under them
 set -u
 
 cd "$(dirname "$0")/.."
+
+if [ "${TRIAD_SANITIZE:-0}" != "0" ]; then
+  cmake -B build-asan -G Ninja -DTRIAD_SANITIZE=ON
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
+fi
 
 cmake -B build -G Ninja
 cmake --build build
@@ -18,3 +29,6 @@ for b in build/bench/bench_*; do
 done
 
 echo "wrote test_output.txt and bench_output.txt"
+if [ "${TRIAD_SANITIZE:-0}" != "0" ]; then
+  echo "wrote test_output_asan.txt (ASan+UBSan run)"
+fi

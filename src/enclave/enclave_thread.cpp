@@ -2,15 +2,15 @@
 
 namespace triad::enclave {
 
-EnclaveThread::EnclaveThread(sim::Simulation& sim)
-    : sim_(sim), last_aex_(sim.now()) {}
+EnclaveThread::EnclaveThread(const runtime::Clock& clock)
+    : clock_(clock), last_aex_(clock.now()) {}
 
 void EnclaveThread::set_aex_handler(AexHandler handler) {
   handler_ = std::move(handler);
 }
 
 void EnclaveThread::deliver_aex() {
-  last_aex_ = sim_.now();
+  last_aex_ = clock_.now();
   ++aex_count_;
   if (handler_) handler_();
 }

@@ -9,14 +9,14 @@
 #include <cstdint>
 #include <functional>
 
-#include "sim/simulation.h"
+#include "runtime/env.h"
 #include "util/types.h"
 
 namespace triad::enclave {
 
 class EnclaveThread {
  public:
-  explicit EnclaveThread(sim::Simulation& sim);
+  explicit EnclaveThread(const runtime::Clock& clock);
 
   /// AEX-Notify handler, invoked on resume after each AEX. The simulated
   /// preemption is instantaneous (resume time == exit time); what the
@@ -34,15 +34,13 @@ class EnclaveThread {
 
   /// How long the thread has been running uninterrupted.
   [[nodiscard]] Duration uninterrupted_duration() const {
-    return sim_.now() - last_aex_;
+    return clock_.now() - last_aex_;
   }
 
   [[nodiscard]] std::uint64_t aex_count() const { return aex_count_; }
 
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-
  private:
-  sim::Simulation& sim_;
+  const runtime::Clock& clock_;
   AexHandler handler_;
   SimTime last_aex_;
   std::uint64_t aex_count_ = 0;

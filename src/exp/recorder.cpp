@@ -16,6 +16,8 @@ Recorder::Recorder(Scenario& scenario, Duration sample_period)
     aex_.push_back(&series_.add("aex" + suffix));
     state_.push_back(&series_.add("state" + suffix));
   }
+  net_bytes_sent_ = &series_.add("net_bytes_sent");
+  net_bytes_delivered_ = &series_.add("net_bytes_delivered");
 
   for (std::size_t i = 0; i < n; ++i) {
     NodeHooks hooks;
@@ -33,8 +35,8 @@ Recorder::Recorder(Scenario& scenario, Duration sample_period)
     scenario_.node(i).set_hooks(std::move(hooks));
   }
 
-  timer_ = std::make_unique<sim::PeriodicTimer>(
-      scenario_.simulation(), sample_period, [this] { sample(); });
+  timer_ = std::make_unique<runtime::PeriodicTimer>(
+      scenario_.env(), sample_period, [this] { sample(); });
 }
 
 void Recorder::sample() {
@@ -49,6 +51,10 @@ void Recorder::sample() {
     aex_[i]->record(now,
                     static_cast<double>(node.stats().aex_count));
   }
+  const net::NetworkStats& net = scenario_.network().stats();
+  net_bytes_sent_->record(now, static_cast<double>(net.bytes_sent));
+  net_bytes_delivered_->record(now,
+                               static_cast<double>(net.bytes_delivered));
 }
 
 const stats::TimeSeries& Recorder::drift_ms(std::size_t node) const {

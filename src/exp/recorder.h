@@ -5,7 +5,8 @@
 //   * cumulative TA time references                        -> Fig 2b
 //   * cumulative AEX count                                 -> Fig 6b
 //   * protocol state (timing diagram)                      -> Fig 3b
-// plus the discrete clock-adoption (time-jump) events.
+// plus cluster-wide network traffic (bytes on the wire) and the
+// discrete clock-adoption (time-jump) events.
 #pragma once
 
 #include <memory>
@@ -55,6 +56,14 @@ class Recorder {
   [[nodiscard]] double drift_rate_ms_per_s(std::size_t node, SimTime from,
                                            SimTime to) const;
 
+  /// Cluster-wide network traffic (from net::NetworkStats).
+  [[nodiscard]] const stats::TimeSeries& net_bytes_sent() const {
+    return *net_bytes_sent_;
+  }
+  [[nodiscard]] const stats::TimeSeries& net_bytes_delivered() const {
+    return *net_bytes_delivered_;
+  }
+
   /// All recorded series, for CSV export.
   [[nodiscard]] const stats::SeriesSet& series() const { return series_; }
 
@@ -67,9 +76,11 @@ class Recorder {
   std::vector<stats::TimeSeries*> ta_refs_;
   std::vector<stats::TimeSeries*> aex_;
   std::vector<stats::TimeSeries*> state_;
+  stats::TimeSeries* net_bytes_sent_ = nullptr;
+  stats::TimeSeries* net_bytes_delivered_ = nullptr;
   std::vector<AdoptionEvent> adoptions_;
   std::vector<StateChangeEvent> state_changes_;
-  std::unique_ptr<sim::PeriodicTimer> timer_;
+  std::unique_ptr<runtime::PeriodicTimer> timer_;
 };
 
 }  // namespace triad::exp

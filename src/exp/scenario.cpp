@@ -29,12 +29,22 @@ std::unique_ptr<enclave::AexDistribution> make_distribution(
   return nullptr;
 }
 
-Scenario::Scenario(ScenarioConfig config)
-    : config_(std::move(config)), sim_(config_.seed),
-      keyring_(demo_master_secret()) {
-  if (config_.node_count == 0) {
+runtime::ClusterConfig Scenario::make_cluster_config(
+    const ScenarioConfig& config) {
+  if (config.node_count == 0) {
     throw std::invalid_argument("Scenario: need at least one node");
   }
+  runtime::ClusterConfig cluster;
+  cluster.seed = config.seed;
+  cluster.node_count = config.node_count;
+  cluster.delay = std::make_unique<net::JitterDelay>(
+      config.net_base_delay, config.net_jitter, microseconds(10));
+  cluster.master_secret = demo_master_secret();
+  return cluster;
+}
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(std::move(config)), harness_(make_cluster_config(config_)) {
   config_.environments.resize(config_.node_count,
                               AexEnvironment::kTriadLike);
   config_.machine_of.resize(config_.node_count, 0);
@@ -42,11 +52,6 @@ Scenario::Scenario(ScenarioConfig config)
     machine_count_ = std::max(machine_count_, machine + 1);
   }
   machine_count_ = std::max(machine_count_, config_.ta_machine + 1);
-
-  network_ = std::make_unique<net::Network>(
-      sim_, std::make_unique<net::JitterDelay>(config_.net_base_delay,
-                                               config_.net_jitter,
-                                               microseconds(10)));
 
   if (config_.attested_keys) {
     // Production path: every endpoint (nodes + TA) attests its X25519
@@ -86,33 +91,25 @@ Scenario::Scenario(ScenarioConfig config)
   // configured calibration probe so wait-spread experiments work.
   const Duration ta_max_wait =
       std::max(seconds(2), config_.node_template.calib_wait_high + seconds(1));
-  ta_ = std::make_unique<ta::TimeAuthority>(*network_, ta_address(),
-                                            keyring_for(ta_address()),
-                                            ta_max_wait);
+  harness_.make_time_authority(ta_max_wait, &keyring_for(ta_address()));
 
   if (config_.machine_interrupts) {
     for (std::size_t machine = 0; machine < machine_count_; ++machine) {
       hubs_.push_back(std::make_unique<enclave::MachineInterruptHub>(
-          sim_, std::make_unique<enclave::IsolatedCoreAexDistribution>(),
-          sim_.rng().fork("machine-hub-" + std::to_string(machine)),
+          harness_.simulation(),
+          std::make_unique<enclave::IsolatedCoreAexDistribution>(),
+          harness_.simulation().rng().fork("machine-hub-" +
+                                           std::to_string(machine)),
           config_.machine_full_hit_probability));
     }
   }
 
   for (std::size_t i = 0; i < config_.node_count; ++i) {
-    TriadConfig node_config = config_.node_template;
-    node_config.id = node_address(i);
-    node_config.ta_address = ta_address();
-    node_config.peers.clear();
-    for (std::size_t j = 0; j < config_.node_count; ++j) {
-      if (j != i) node_config.peers.push_back(node_address(j));
-    }
-
     TriadNode::HardwareParams hardware;  // paper machine defaults
     auto policy = config_.policy_factory ? config_.policy_factory() : nullptr;
-    nodes_.push_back(std::make_unique<TriadNode>(
-        sim_, *network_, keyring_for(node_config.id), node_config, hardware,
-        std::move(policy)));
+    TriadNode& node =
+        harness_.add_node(config_.node_template, hardware, std::move(policy),
+                          &keyring_for(node_address(i)));
 
     // Every node gets a per-core AEX driver; it only runs in the
     // Triad-like environment (low-AEX cores see just the machine hub).
@@ -121,12 +118,13 @@ Scenario::Scenario(ScenarioConfig config)
             ? config_.aex_distribution_factory()
             : std::make_unique<enclave::TriadLikeAexDistribution>();
     drivers_.push_back(std::make_unique<enclave::AexDriver>(
-        sim_, nodes_.back()->monitoring_thread(), std::move(distribution),
-        sim_.rng().fork("aex-" + std::to_string(i))));
+        harness_.simulation(), node.monitoring_thread(),
+        std::move(distribution),
+        harness_.simulation().rng().fork("aex-" + std::to_string(i))));
 
     if (!hubs_.empty() && config_.environments[i] != AexEnvironment::kNone) {
       hubs_[config_.machine_of[i]]->register_thread(
-          &nodes_.back()->monitoring_thread());
+          &node.monitoring_thread());
     }
   }
 
@@ -143,7 +141,7 @@ Scenario::Scenario(ScenarioConfig config)
   for (NodeId a : endpoints) {
     for (NodeId b : endpoints) {
       if (a != b && endpoint_machine(a) != endpoint_machine(b)) {
-        network_->set_link_delay(
+        harness_.network().set_link_delay(
             a, b,
             std::make_unique<net::JitterDelay>(config_.wan_base_delay,
                                                config_.wan_jitter,
@@ -158,32 +156,29 @@ Scenario::~Scenario() {
   // them first, then drop attacks registered with the network.
   for (auto& driver : drivers_) driver->stop();
   for (auto& hub : hubs_) hub->stop();
-  for (auto& attack : attacks_) network_->remove_middlebox(attack.get());
+  for (auto& attack : attacks_) {
+    harness_.network().remove_middlebox(attack.get());
+  }
 }
 
 const crypto::Keyring& Scenario::keyring_for(NodeId address) const {
-  if (!config_.attested_keys) return keyring_;
+  if (!config_.attested_keys) return harness_.keyring();
   // Endpoint addresses are 1..node_count for nodes, node_count+1 for the
   // TA — exactly the session_keyrings_ indices shifted by one.
   return session_keyrings_.at(address - 1);
 }
 
 NodeId Scenario::node_address(std::size_t i) const {
-  if (i >= config_.node_count) {
-    throw std::out_of_range("Scenario: node index out of range");
-  }
-  return static_cast<NodeId>(i + 1);
+  return harness_.node_address(i);
 }
 
-NodeId Scenario::ta_address() const {
-  return static_cast<NodeId>(config_.node_count + 1);
-}
+NodeId Scenario::ta_address() const { return harness_.ta_address(); }
 
 void Scenario::start() {
   if (started_) throw std::logic_error("Scenario::start called twice");
   started_ = true;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    nodes_[i]->start();
+  harness_.start();
+  for (std::size_t i = 0; i < drivers_.size(); ++i) {
     if (config_.environments[i] == AexEnvironment::kTriadLike) {
       drivers_[i]->start();
     }
@@ -194,17 +189,17 @@ void Scenario::start() {
 attacks::DelayAttack& Scenario::add_delay_attack(
     attacks::DelayAttackConfig config) {
   attacks_.push_back(std::make_unique<attacks::DelayAttack>(config));
-  network_->add_middlebox(attacks_.back().get());
+  harness_.network().add_middlebox(attacks_.back().get());
   return *attacks_.back();
 }
 
 void Scenario::switch_environment_at(std::size_t i,
                                      AexEnvironment environment,
                                      SimTime t) {
-  if (i >= nodes_.size()) {
+  if (i >= harness_.node_count()) {
     throw std::out_of_range("Scenario: node index out of range");
   }
-  sim_.schedule_at(t, [this, i, environment] {
+  harness_.simulation().schedule_at(t, [this, i, environment] {
     switch (environment) {
       case AexEnvironment::kTriadLike:
         drivers_[i]->set_distribution(

@@ -16,10 +16,7 @@
 #include "crypto/channel.h"
 #include "crypto/handshake.h"
 #include "enclave/aex_source.h"
-#include "net/network.h"
-#include "sim/simulation.h"
-#include "ta/time_authority.h"
-#include "triad/node.h"
+#include "runtime/cluster_harness.h"
 
 namespace triad::exp {
 
@@ -90,17 +87,25 @@ class Scenario {
   /// Starts the TA (already live), nodes, and AEX machinery.
   void start();
 
-  void run_until(SimTime t) { sim_.run_until(t); }
+  void run_until(SimTime t) { harness_.run_until(t); }
+  void run_for(Duration d) { harness_.run_for(d); }
 
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-  [[nodiscard]] net::Network& network() { return *network_; }
+  /// The cluster's runtime environment (clock + scheduler + transport).
+  [[nodiscard]] runtime::Env env() const { return harness_.env(); }
+  [[nodiscard]] runtime::ClusterHarness& harness() { return harness_; }
+  [[nodiscard]] sim::Simulation& simulation() { return harness_.simulation(); }
+  [[nodiscard]] net::Network& network() { return harness_.network(); }
   /// The cluster keyring (for attaching clients / extra endpoints).
   [[nodiscard]] const crypto::Keyring& keyring() const {
-    return keyring_;
+    return harness_.keyring();
   }
-  [[nodiscard]] ta::TimeAuthority& time_authority() { return *ta_; }
-  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
-  [[nodiscard]] TriadNode& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] ta::TimeAuthority& time_authority() {
+    return harness_.time_authority();
+  }
+  [[nodiscard]] std::size_t node_count() const {
+    return harness_.node_count();
+  }
+  [[nodiscard]] TriadNode& node(std::size_t i) { return harness_.node(i); }
   /// Hub of machine 0 (nullptr when machine interrupts are disabled).
   [[nodiscard]] enclave::MachineInterruptHub* machine_hub() {
     return hubs_.empty() ? nullptr : hubs_.front().get();
@@ -128,13 +133,14 @@ class Scenario {
   /// that endpoint's handshake-derived session keyring in attested mode.
   [[nodiscard]] const crypto::Keyring& keyring_for(NodeId address) const;
 
+  /// Builds the harness config (and validates node_count) so harness_
+  /// can live in the initializer list.
+  static runtime::ClusterConfig make_cluster_config(
+      const ScenarioConfig& config);
+
   ScenarioConfig config_;
-  sim::Simulation sim_;
-  std::unique_ptr<net::Network> network_;
-  crypto::ClusterKeyring keyring_;
+  runtime::ClusterHarness harness_;
   std::vector<crypto::SessionKeyring> session_keyrings_;  // attested mode
-  std::unique_ptr<ta::TimeAuthority> ta_;
-  std::vector<std::unique_ptr<TriadNode>> nodes_;
   std::vector<std::unique_ptr<enclave::AexDriver>> drivers_;
   std::vector<std::unique_ptr<enclave::MachineInterruptHub>> hubs_;
   std::vector<std::unique_ptr<attacks::DelayAttack>> attacks_;

@@ -61,6 +61,7 @@ DelayModel& Network::model_for(NodeId src, NodeId dst) {
 
 void Network::send(NodeId src, NodeId dst, Bytes payload) {
   ++stats_.sent;
+  stats_.bytes_sent += payload.size();
   Packet packet{src, dst, std::move(payload), sim_.now(), next_packet_id_++};
 
   if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
@@ -83,15 +84,31 @@ void Network::send(NodeId src, NodeId dst, Bytes payload) {
     delay += action.extra_delay;
   }
 
-  sim_.schedule_after(delay, [this, packet = std::move(packet)]() mutable {
-    const auto it = handlers_.find(packet.dst);
-    if (it == handlers_.end()) {
-      ++stats_.dropped_no_receiver;
-      return;
-    }
-    ++stats_.delivered;
-    it->second(packet);
-  });
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    in_flight_[slot] = std::move(packet);
+  } else {
+    slot = static_cast<std::uint32_t>(in_flight_.size());
+    in_flight_.push_back(std::move(packet));
+  }
+  sim_.schedule_after(delay, [this, slot] { deliver(slot); });
+}
+
+void Network::deliver(std::uint32_t slot) {
+  // Move the packet out first: the handler may send more packets and
+  // reallocate or recycle the slab.
+  Packet packet = std::move(in_flight_[slot]);
+  free_slots_.push_back(slot);
+  const auto it = handlers_.find(packet.dst);
+  if (it == handlers_.end()) {
+    ++stats_.dropped_no_receiver;
+    return;
+  }
+  ++stats_.delivered;
+  stats_.bytes_delivered += packet.payload.size();
+  it->second(packet);
 }
 
 }  // namespace triad::net

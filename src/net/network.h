@@ -50,6 +50,8 @@ struct NetworkStats {
   std::uint64_t dropped_by_middlebox = 0;
   std::uint64_t dropped_no_receiver = 0;
   std::uint64_t dropped_by_loss = 0;
+  std::uint64_t bytes_sent = 0;       // payload bytes handed to send()
+  std::uint64_t bytes_delivered = 0;  // payload bytes reaching a handler
 };
 
 class Network {
@@ -84,6 +86,7 @@ class Network {
 
  private:
   DelayModel& model_for(NodeId src, NodeId dst);
+  void deliver(std::uint32_t slot);
 
   sim::Simulation& sim_;
   Rng rng_;
@@ -94,6 +97,11 @@ class Network {
   double loss_probability_ = 0.0;
   std::uint64_t next_packet_id_ = 1;
   NetworkStats stats_;
+  // Packets in flight live in a slab; the delivery closure captures only
+  // (this, slot), which fits std::function's inline storage, so neither
+  // the payload nor the closure is copied or heap-allocated per send.
+  std::vector<Packet> in_flight_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace triad::net

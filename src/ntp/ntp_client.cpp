@@ -10,10 +10,10 @@
 
 namespace triad::ntp {
 
-NtpClient::NtpClient(sim::Simulation& sim, net::Network& network,
-                     const crypto::Keyring& keyring, const tsc::Tsc& tsc,
-                     double nominal_frequency_hz, NtpClientConfig config)
-    : sim_(sim), network_(network), config_(std::move(config)),
+NtpClient::NtpClient(runtime::Env env, const crypto::Keyring& keyring,
+                     const tsc::Tsc& tsc, double nominal_frequency_hz,
+                     NtpClientConfig config)
+    : env_(env), config_(std::move(config)),
       channel_(config_.id, keyring),
       clock_(tsc, nominal_frequency_hz, config_.discipline),
       tau_(config_.min_tau) {
@@ -30,13 +30,13 @@ NtpClient::NtpClient(sim::Simulation& sim, net::Network& network,
   for (NodeId server : config_.servers) {
     sources_.push_back(Source{server});
   }
-  network_.attach(config_.id,
-                  [this](const net::Packet& packet) { on_packet(packet); });
+  env_.transport().attach(
+      config_.id, [this](const runtime::Packet& packet) { on_packet(packet); });
 }
 
 NtpClient::~NtpClient() {
-  sim_.cancel(next_poll_);
-  network_.detach(config_.id);
+  env_.cancel(next_poll_);
+  env_.transport().detach(config_.id);
 }
 
 void NtpClient::start() {
@@ -54,16 +54,17 @@ void NtpClient::poll() {
     w.put_u8(kNtpRequestTag);
     w.put_u64(source.outstanding_id);
     w.put_i64(source.outstanding_t1);
-    network_.send(config_.id, source.server,
-                  channel_.seal(source.server, w.data()));
+    env_.transport().send(config_.id, source.server,
+                          channel_.seal(source.server, w.data()));
   }
 
   // Next poll at 2^tau seconds regardless of whether answers arrive
   // (a lost datagram just means a missed sample).
-  next_poll_ = sim_.schedule_after(seconds(1) << tau_, [this] { poll(); });
+  next_poll_ =
+      env_.schedule_after(seconds(1) << tau_, [this] { poll(); });
 }
 
-void NtpClient::on_packet(const net::Packet& packet) {
+void NtpClient::on_packet(const runtime::Packet& packet) {
   const auto opened = channel_.open(packet.payload);
   if (!opened) return;
 

@@ -15,11 +15,10 @@
 #include <vector>
 
 #include "crypto/channel.h"
-#include "net/network.h"
 #include "ntp/disciplined_clock.h"
 #include "ntp/sample.h"
 #include "resilient/clock_filter.h"
-#include "sim/simulation.h"
+#include "runtime/env.h"
 #include "tsc/tsc.h"
 #include "util/types.h"
 
@@ -55,9 +54,9 @@ struct NtpClientStats {
 
 class NtpClient {
  public:
-  NtpClient(sim::Simulation& sim, net::Network& network,
-            const crypto::Keyring& keyring, const tsc::Tsc& tsc,
-            double nominal_frequency_hz, NtpClientConfig config);
+  NtpClient(runtime::Env env, const crypto::Keyring& keyring,
+            const tsc::Tsc& tsc, double nominal_frequency_hz,
+            NtpClientConfig config);
   ~NtpClient();
   NtpClient(const NtpClient&) = delete;
   NtpClient& operator=(const NtpClient&) = delete;
@@ -73,7 +72,7 @@ class NtpClient {
 
  private:
   void poll();
-  void on_packet(const net::Packet& packet);
+  void on_packet(const runtime::Packet& packet);
 
   /// Combines the per-server candidates; applies the result if fresh.
   void select_and_apply();
@@ -85,8 +84,7 @@ class NtpClient {
     SimTime outstanding_t1 = 0;
   };
 
-  sim::Simulation& sim_;
-  net::Network& network_;
+  runtime::Env env_;
   NtpClientConfig config_;
   crypto::SecureChannel channel_;
   DisciplinedClock clock_;
@@ -95,7 +93,7 @@ class NtpClient {
   std::uint64_t next_request_id_ = 1;
   SimTime last_applied_sample_at_ = -1;
   bool started_ = false;
-  sim::EventId next_poll_{};
+  runtime::TimerId next_poll_{};
   NtpClientStats stats_;
 };
 

@@ -4,18 +4,18 @@
 
 namespace triad::ntp {
 
-NtpServer::NtpServer(net::Network& network, NodeId address,
+NtpServer::NtpServer(runtime::Env env, NodeId address,
                      const crypto::Keyring& keyring,
                      Duration processing_delay)
-    : network_(network), address_(address), channel_(address, keyring),
+    : env_(env), address_(address), channel_(address, keyring),
       processing_delay_(processing_delay) {
-  network_.attach(address_,
-                  [this](const net::Packet& packet) { on_packet(packet); });
+  env_.transport().attach(
+      address_, [this](const runtime::Packet& packet) { on_packet(packet); });
 }
 
-NtpServer::~NtpServer() { network_.detach(address_); }
+NtpServer::~NtpServer() { env_.transport().detach(address_); }
 
-void NtpServer::on_packet(const net::Packet& packet) {
+void NtpServer::on_packet(const runtime::Packet& packet) {
   const auto opened = channel_.open(packet.payload);
   if (!opened) {
     ++stats_.rejected_frames;
@@ -37,19 +37,18 @@ void NtpServer::on_packet(const net::Packet& packet) {
     return;
   }
 
-  const SimTime t2 = network_.simulation().now() + lie_offset_;
+  const SimTime t2 = env_.now() + lie_offset_;
   const NodeId client = opened->sender;
   ++stats_.requests_served;
-  network_.simulation().schedule_after(
-      processing_delay_, [this, client, id, t1, t2] {
-        ByteWriter w;
-        w.put_u8(kNtpResponseTag);
-        w.put_u64(id);
-        w.put_i64(t1);
-        w.put_i64(t2);
-        w.put_i64(network_.simulation().now() + lie_offset_);  // t3
-        network_.send(address_, client, channel_.seal(client, w.data()));
-      });
+  env_.schedule_after(processing_delay_, [this, client, id, t1, t2] {
+    ByteWriter w;
+    w.put_u8(kNtpResponseTag);
+    w.put_u64(id);
+    w.put_i64(t1);
+    w.put_i64(t2);
+    w.put_i64(env_.now() + lie_offset_);  // t3
+    env_.transport().send(address_, client, channel_.seal(client, w.data()));
+  });
 }
 
 }  // namespace triad::ntp

@@ -1,14 +1,14 @@
 // NTP-style time server (stands in for the NTPsec servers §V proposes).
 //
 // Speaks the four-timestamp protocol over the same sealed datagram
-// channels as everything else. The server's clock is the simulation's
+// channels as everything else. The server's clock is the environment's
 // reference time (root of trust).
 #pragma once
 
 #include <cstdint>
 
 #include "crypto/channel.h"
-#include "net/network.h"
+#include "runtime/env.h"
 #include "util/types.h"
 
 namespace triad::ntp {
@@ -28,7 +28,7 @@ class NtpServer {
  public:
   /// processing_delay: server-side time between receive (t2) and
   /// transmit (t3); real servers are microseconds.
-  NtpServer(net::Network& network, NodeId address,
+  NtpServer(runtime::Env env, NodeId address,
             const crypto::Keyring& keyring,
             Duration processing_delay = microseconds(5));
   ~NtpServer();
@@ -43,9 +43,9 @@ class NtpServer {
   void set_lie_offset(Duration offset) { lie_offset_ = offset; }
 
  private:
-  void on_packet(const net::Packet& packet);
+  void on_packet(const runtime::Packet& packet);
 
-  net::Network& network_;
+  runtime::Env env_;
   NodeId address_;
   crypto::SecureChannel channel_;
   Duration processing_delay_;

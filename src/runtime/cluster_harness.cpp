@@ -1,0 +1,77 @@
+#include "runtime/cluster_harness.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace triad::runtime {
+namespace {
+
+std::unique_ptr<net::DelayModel> delay_or_default(
+    std::unique_ptr<net::DelayModel> delay) {
+  if (delay) return delay;
+  // Paper testbed: ~150 us one-way with 120 us jitter; the jitter is
+  // what limits Triad's short-window calibration quality.
+  return std::make_unique<net::JitterDelay>(microseconds(150),
+                                            microseconds(120),
+                                            microseconds(10));
+}
+
+}  // namespace
+
+ClusterHarness::ClusterHarness(ClusterConfig config)
+    : configured_node_count_(config.node_count),
+      ta_address_(config.ta_address != 0
+                      ? config.ta_address
+                      : static_cast<NodeId>(config.node_count + 1)),
+      sim_(config.seed),
+      network_(std::make_unique<net::Network>(
+          sim_, delay_or_default(std::move(config.delay)))),
+      sim_env_(sim_, *network_),
+      keyring_(std::move(config.master_secret)) {}
+
+NodeId ClusterHarness::node_address(std::size_t i) const {
+  if (i >= configured_node_count_) {
+    throw std::out_of_range("ClusterHarness: node index out of range");
+  }
+  return static_cast<NodeId>(i + 1);
+}
+
+NodeId ClusterHarness::ta_address() const { return ta_address_; }
+
+ta::TimeAuthority& ClusterHarness::make_time_authority(
+    Duration max_wait, const crypto::Keyring* keyring) {
+  if (ta_) {
+    throw std::logic_error("ClusterHarness: time authority already exists");
+  }
+  ta_ = std::make_unique<ta::TimeAuthority>(
+      env(), ta_address(), keyring ? *keyring : keyring_, max_wait);
+  return *ta_;
+}
+
+TriadNode& ClusterHarness::add_node(const TriadConfig& node_template,
+                                    TriadNode::HardwareParams hardware,
+                                    std::unique_ptr<UntaintPolicy> policy,
+                                    const crypto::Keyring* keyring) {
+  const std::size_t i = nodes_.size();
+  if (i >= configured_node_count_) {
+    throw std::logic_error("ClusterHarness: all configured nodes added");
+  }
+  TriadConfig config = node_template;
+  config.id = node_address(i);
+  config.ta_address = ta_address();
+  config.peers.clear();
+  for (std::size_t j = 0; j < configured_node_count_; ++j) {
+    if (j != i) config.peers.push_back(static_cast<NodeId>(j + 1));
+  }
+  nodes_.push_back(std::make_unique<TriadNode>(env(),
+                                               keyring ? *keyring : keyring_,
+                                               std::move(config), hardware,
+                                               std::move(policy)));
+  return *nodes_.back();
+}
+
+void ClusterHarness::start() {
+  for (auto& node : nodes_) node->start();
+}
+
+}  // namespace triad::runtime

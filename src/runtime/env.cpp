@@ -1,0 +1,44 @@
+#include "runtime/env.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace triad::runtime {
+
+Transport& Env::transport() const {
+  if (transport_ == nullptr) {
+    throw std::logic_error("runtime::Env: no transport in this environment");
+  }
+  return *transport_;
+}
+
+PeriodicTimer::PeriodicTimer(const Env& env, Duration period,
+                             std::function<void()> fn)
+    : PeriodicTimer(env, env.now() + period, period, std::move(fn)) {}
+
+PeriodicTimer::PeriodicTimer(const Env& env, SimTime first, Duration period,
+                             std::function<void()> fn)
+    : env_(env), period_(period), fn_(std::move(fn)) {
+  if (period_ <= 0) {
+    throw std::invalid_argument("PeriodicTimer: period must be positive");
+  }
+  arm(first);
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  env_.cancel(pending_);
+}
+
+void PeriodicTimer::arm(SimTime t) {
+  pending_ = env_.schedule_at(t, [this] {
+    if (stopped_) return;
+    fn_();
+    if (!stopped_) arm(env_.now() + period_);
+  });
+}
+
+}  // namespace triad::runtime

@@ -1,0 +1,17 @@
+#include "runtime/sim_env.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace triad::runtime {
+
+void SimTransport::attach(NodeId addr, PacketHandler handler) {
+  if (!handler) {
+    throw std::invalid_argument("SimTransport::attach: null handler");
+  }
+  network_.attach(addr, [handler = std::move(handler)](const net::Packet& p) {
+    handler(Packet{p.src, p.dst, BytesView(p.payload), p.sent_at, p.id});
+  });
+}
+
+}  // namespace triad::runtime

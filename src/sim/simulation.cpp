@@ -9,6 +9,30 @@ Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
 
 Simulation::~Simulation() = default;
 
+std::uint32_t Simulation::acquire_slot(std::function<void()> fn) {
+  std::uint32_t index;
+  if (free_head_ != kNoFreeSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.live = true;
+  return index;
+}
+
+void Simulation::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn = nullptr;
+  slot.live = false;
+  ++slot.generation;  // invalidates outstanding EventIds for this slot
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
 EventId Simulation::schedule_at(SimTime t, std::function<void()> fn) {
   if (t < now_) {
     throw std::logic_error("Simulation::schedule_at: time is in the past");
@@ -16,10 +40,13 @@ EventId Simulation::schedule_at(SimTime t, std::function<void()> fn) {
   if (!fn) {
     throw std::invalid_argument("Simulation::schedule_at: empty handler");
   }
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Event{t, seq, seq});
-  handlers_.emplace(seq, std::move(fn));
-  return EventId{seq};
+  const std::uint32_t index = acquire_slot(std::move(fn));
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(slots_[index].generation) << 32) |
+      (index + 1);
+  heap_.push(Event{t, next_seq_++, id});
+  ++live_count_;
+  return EventId{id};
 }
 
 EventId Simulation::schedule_after(Duration delay, std::function<void()> fn) {
@@ -31,36 +58,40 @@ EventId Simulation::schedule_after(Duration delay, std::function<void()> fn) {
 
 bool Simulation::cancel(EventId id) {
   if (!id.valid()) return false;
-  const auto it = handlers_.find(id.value);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  cancelled_.insert(id.value);
+  const std::uint32_t index = slot_of(id.value);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.generation != generation_of(id.value)) return false;
+  // Drop the handler now (frees any captured state immediately); the
+  // heap entry stays behind as a tombstone and recycles the slot when
+  // it reaches the top.
+  slot.fn = nullptr;
+  slot.live = false;
+  --live_count_;
   return true;
 }
 
-void Simulation::purge_cancelled_top() {
+void Simulation::purge_dead_top() {
   while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+    const std::uint32_t index = slot_of(heap_.top().id);
+    if (slots_[index].live) return;
+    release_slot(index);
     heap_.pop();
   }
 }
 
 bool Simulation::step() {
-  purge_cancelled_top();
+  purge_dead_top();
   if (heap_.empty()) return false;
   const Event ev = heap_.top();
   heap_.pop();
-  const auto it = handlers_.find(ev.id);
-  if (it == handlers_.end()) {
-    throw std::logic_error("Simulation: live event without handler");
-  }
-  // Move the handler out before invoking: the handler may schedule or
-  // cancel other events (rehashing handlers_), or even re-enter step()
+  const std::uint32_t index = slot_of(ev.id);
+  // Move the handler out before invoking: the handler may schedule new
+  // events (growing or recycling the slab), or even re-enter step()
   // indirectly through helper objects.
-  std::function<void()> fn = std::move(it->second);
-  handlers_.erase(it);
+  std::function<void()> fn = std::move(slots_[index].fn);
+  release_slot(index);
+  --live_count_;
   now_ = ev.time;
   ++events_executed_;
   fn();
@@ -74,11 +105,18 @@ void Simulation::run_until(SimTime t) {
   for (;;) {
     // Tombstones must be purged before peeking: a cancelled head with
     // time <= t must not let an event after t slip through step().
-    purge_cancelled_top();
+    purge_dead_top();
     if (heap_.empty() || heap_.top().time > t) break;
     step();
   }
   now_ = t;
+}
+
+void Simulation::run_for(Duration d) {
+  if (d < 0) {
+    throw std::logic_error("Simulation::run_for: negative duration");
+  }
+  run_until(now_ + d);
 }
 
 void Simulation::run() {

@@ -6,55 +6,65 @@
 //   * all randomness is drawn from Rng streams forked off the
 //     simulation's root generator;
 //   * handlers may schedule/cancel freely, including at the current time.
+//
+// Simulation implements runtime::Clock and runtime::Scheduler, so it can
+// be handed to protocol components directly through runtime::SimEnv.
+//
+// Handlers live in a slab with an intrusive free list rather than an
+// unordered_map: scheduling and cancelling are array indexing plus one
+// std::function move, with no hashing and no per-event node allocation.
+// Cancellation clears the slot in place; the heap entry remains as a
+// tombstone and returns the slot to the free list when it surfaces.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "runtime/env.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace triad::sim {
 
-/// Token identifying a scheduled event; usable to cancel it.
-struct EventId {
-  std::uint64_t value = 0;
-  [[nodiscard]] bool valid() const { return value != 0; }
-  friend bool operator==(EventId, EventId) = default;
-};
+/// Token identifying a scheduled event; usable to cancel it. The scheme
+/// is shared with the runtime layer: sim::EventId and runtime::TimerId
+/// are the same type.
+using EventId = runtime::TimerId;
 
-class Simulation {
+class Simulation final : public runtime::Clock, public runtime::Scheduler {
  public:
   explicit Simulation(std::uint64_t seed = 1);
-  ~Simulation();
+  ~Simulation() override;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   /// Current virtual time.
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
   /// Root RNG; components should fork() their own streams.
   Rng& rng() { return rng_; }
 
   /// Schedules fn at absolute virtual time t (must be >= now()).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  EventId schedule_at(SimTime t, std::function<void()> fn) override;
 
   /// Schedules fn after a non-negative delay.
-  EventId schedule_after(Duration delay, std::function<void()> fn);
+  EventId schedule_after(Duration delay, std::function<void()> fn) override;
 
   /// Cancels a pending event. Cancelling an already-fired or invalid id
   /// is a harmless no-op (returns false).
-  bool cancel(EventId id);
+  bool cancel(EventId id) override;
 
   /// Runs the next event, if any. Returns false when the queue is empty.
   bool step();
 
   /// Runs all events with time <= t, then sets now() == t.
   void run_until(SimTime t);
+
+  /// Runs all events within the next `d` of virtual time; equivalent to
+  /// run_until(now() + d).
+  void run_for(Duration d);
 
   /// Runs until the event queue drains. Use run_until for open systems
   /// (anything with periodic timers never drains).
@@ -65,13 +75,20 @@ class Simulation {
     return events_executed_;
   }
 
-  /// Number of currently pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending_events() const {
-    return heap_.size() - cancelled_.size();
-  }
+  /// Exact number of currently pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const { return live_count_; }
 
  private:
-  void purge_cancelled_top();
+  /// One handler slot in the slab. A slot is bound to exactly one heap
+  /// entry at a time and is recycled (generation bumped) only when that
+  /// entry pops, so an id's generation mismatching the slot's means the
+  /// event already fired or was cancelled long ago.
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = 0;
+    bool live = false;  // scheduled and not (yet) cancelled or fired
+  };
 
   struct Event {
     SimTime time;
@@ -84,14 +101,27 @@ class Simulation {
     }
   };
 
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
+  static std::uint32_t slot_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+  }
+  static std::uint32_t generation_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  std::uint32_t acquire_slot(std::function<void()> fn);
+  void release_slot(std::uint32_t index);
+  /// Pops tombstoned heap entries so heap_.top() (if any) is live.
+  void purge_dead_top();
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
+  std::size_t live_count_ = 0;
   Rng rng_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
-  // Handlers live here so Event stays POD-ish and cancellation is O(1).
-  std::unordered_map<std::uint64_t, std::function<void()>> handlers_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
 };
 
 /// Periodic callback helper built on Simulation; cancels itself on

@@ -5,8 +5,8 @@
 
 namespace triad::t3e {
 
-T3eNode::T3eNode(sim::Simulation& sim, Tpm& tpm, T3eConfig config)
-    : sim_(sim), tpm_(tpm), config_(config) {
+T3eNode::T3eNode(runtime::Env env, Tpm& tpm, T3eConfig config)
+    : env_(env), tpm_(tpm), config_(config) {
   if (config_.refresh_period <= 0 || config_.max_uses == 0) {
     throw std::invalid_argument("T3eConfig: invalid parameters");
   }
@@ -18,8 +18,8 @@ void T3eNode::start() {
   if (started_) throw std::logic_error("T3eNode::start called twice");
   started_ = true;
   refresh();  // immediate first read
-  refresh_timer_ = std::make_unique<sim::PeriodicTimer>(
-      sim_, config_.refresh_period, [this] { refresh(); });
+  refresh_timer_ = std::make_unique<runtime::PeriodicTimer>(
+      env_, config_.refresh_period, [this] { refresh(); });
 }
 
 void T3eNode::refresh() {

@@ -20,7 +20,7 @@
 #include <memory>
 #include <optional>
 
-#include "sim/simulation.h"
+#include "runtime/env.h"
 #include "t3e/tpm.h"
 #include "util/types.h"
 
@@ -41,7 +41,7 @@ struct T3eStats {
 
 class T3eNode {
  public:
-  T3eNode(sim::Simulation& sim, Tpm& tpm, T3eConfig config);
+  T3eNode(runtime::Env env, Tpm& tpm, T3eConfig config);
   ~T3eNode();
   T3eNode(const T3eNode&) = delete;
   T3eNode& operator=(const T3eNode&) = delete;
@@ -59,10 +59,10 @@ class T3eNode {
  private:
   void refresh();
 
-  sim::Simulation& sim_;
+  runtime::Env env_;
   Tpm& tpm_;
   T3eConfig config_;
-  std::unique_ptr<sim::PeriodicTimer> refresh_timer_;
+  std::unique_ptr<runtime::PeriodicTimer> refresh_timer_;
   bool started_ = false;
 
   // Last accepted TPM reading.

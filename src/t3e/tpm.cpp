@@ -6,9 +6,9 @@
 
 namespace triad::t3e {
 
-Tpm::Tpm(sim::Simulation& sim, TpmParams params, Rng rng)
-    : sim_(sim), params_(params), rng_(rng),
-      segment_start_(sim.now()) {
+Tpm::Tpm(runtime::Env env, TpmParams params, Rng rng)
+    : env_(env), params_(params), rng_(rng),
+      segment_start_(env.now()) {
   if (params_.rate < 0.675 || params_.rate > 1.325) {
     throw std::invalid_argument("Tpm: rate outside TPM2 spec envelope");
   }
@@ -19,7 +19,7 @@ Tpm::Tpm(sim::Simulation& sim, TpmParams params, Rng rng)
 
 SimTime Tpm::clock_now() const {
   const double elapsed =
-      static_cast<double>(sim_.now() - segment_start_);
+      static_cast<double>(env_.now() - segment_start_);
   return static_cast<SimTime>(clock_base_ns_ + elapsed * params_.rate);
 }
 
@@ -28,7 +28,7 @@ void Tpm::configure_rate(double rate) {
     throw std::invalid_argument("Tpm: rate outside TPM2 spec envelope");
   }
   clock_base_ns_ = static_cast<double>(clock_now());
-  segment_start_ = sim_.now();
+  segment_start_ = env_.now();
   params_.rate = rate;
 }
 
@@ -45,12 +45,12 @@ void Tpm::read_clock(ReadCallback callback) {
   const Duration jitter = static_cast<Duration>(std::abs(
       rng_.normal(0.0, static_cast<double>(params_.latency_jitter))));
   const Duration to_tpm = (params_.command_latency + jitter) / 2;
-  sim_.schedule_after(to_tpm, [this, callback = std::move(callback),
+  env_.schedule_after(to_tpm, [this, callback = std::move(callback),
                                jitter]() mutable {
     const SimTime sampled = clock_now();
     Duration back = (params_.command_latency + jitter) / 2;
     if (delay_hook_) back += std::max<Duration>(0, delay_hook_());
-    sim_.schedule_after(back, [callback = std::move(callback), sampled] {
+    env_.schedule_after(back, [callback = std::move(callback), sampled] {
       callback(sampled);
     });
   });

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <functional>
 
-#include "sim/simulation.h"
+#include "runtime/env.h"
 #include "util/rng.h"
 #include "util/types.h"
 
@@ -32,7 +32,7 @@ struct TpmParams {
 
 class Tpm {
  public:
-  Tpm(sim::Simulation& sim, TpmParams params, Rng rng);
+  Tpm(runtime::Env env, TpmParams params, Rng rng);
 
   /// Issues an asynchronous ReadClock. The callback receives the TPM's
   /// clock value (ns of *TPM time*) as sampled when the command executes
@@ -55,7 +55,7 @@ class Tpm {
   [[nodiscard]] std::uint64_t commands_served() const { return commands_; }
 
  private:
-  sim::Simulation& sim_;
+  runtime::Env env_;
   TpmParams params_;
   Rng rng_;
   std::function<Duration()> delay_hook_;

@@ -4,22 +4,20 @@
 
 namespace triad::ta {
 
-TimeAuthority::TimeAuthority(net::Network& network, NodeId address,
+TimeAuthority::TimeAuthority(runtime::Env env, NodeId address,
                              const crypto::Keyring& keyring,
                              Duration max_wait)
-    : network_(network), address_(address), channel_(address, keyring),
+    : env_(env), address_(address), channel_(address, keyring),
       max_wait_(max_wait) {
-  network_.attach(address_,
-                  [this](const net::Packet& packet) { on_packet(packet); });
+  env_.transport().attach(
+      address_, [this](const runtime::Packet& packet) { on_packet(packet); });
 }
 
-TimeAuthority::~TimeAuthority() { network_.detach(address_); }
+TimeAuthority::~TimeAuthority() { env_.transport().detach(address_); }
 
-SimTime TimeAuthority::reference_now() const {
-  return network_.simulation().now();
-}
+SimTime TimeAuthority::reference_now() const { return env_.now(); }
 
-void TimeAuthority::on_packet(const net::Packet& packet) {
+void TimeAuthority::on_packet(const runtime::Packet& packet) {
   const auto opened = channel_.open(packet.payload);
   if (!opened) {
     ++stats_.rejected_frames;
@@ -41,8 +39,7 @@ void TimeAuthority::on_packet(const net::Packet& packet) {
   const Duration wait = request.wait;
   ++stats_.requests_served;
 
-  network_.simulation().schedule_after(wait, [this, client, request_id,
-                                              wait] {
+  env_.schedule_after(wait, [this, client, request_id, wait] {
     proto::TaResponse response;
     response.request_id = request_id;
     response.ta_time = reference_now();
@@ -50,8 +47,8 @@ void TimeAuthority::on_packet(const net::Packet& packet) {
     TRIAD_LOG_DEBUG("ta") << "reply to node " << client << " req "
                           << request_id << " wait " << to_seconds(wait)
                           << "s";
-    network_.send(address_, client,
-                  channel_.seal(client, proto::encode(response)));
+    env_.transport().send(address_, client,
+                          channel_.seal(client, proto::encode(response)));
   });
 }
 

@@ -9,8 +9,7 @@
 #include <cstdint>
 
 #include "crypto/channel.h"
-#include "net/network.h"
-#include "sim/simulation.h"
+#include "runtime/env.h"
 #include "triad/messages.h"
 #include "util/types.h"
 
@@ -26,7 +25,7 @@ class TimeAuthority {
  public:
   /// max_wait bounds the server-side sleep a client may request (defends
   /// the TA against resource-holding; 2 s covers Triad's 0 s/1 s probes).
-  TimeAuthority(net::Network& network, NodeId address,
+  TimeAuthority(runtime::Env env, NodeId address,
                 const crypto::Keyring& keyring,
                 Duration max_wait = seconds(2));
   ~TimeAuthority();
@@ -36,15 +35,15 @@ class TimeAuthority {
   [[nodiscard]] NodeId address() const { return address_; }
 
   /// Reference time. The TA *is* the root of trust, so this is the
-  /// simulation clock itself.
+  /// environment's reference clock itself.
   [[nodiscard]] SimTime reference_now() const;
 
   [[nodiscard]] const TimeAuthorityStats& stats() const { return stats_; }
 
  private:
-  void on_packet(const net::Packet& packet);
+  void on_packet(const runtime::Packet& packet);
 
-  net::Network& network_;
+  runtime::Env env_;
   NodeId address_;
   crypto::SecureChannel channel_;
   Duration max_wait_;

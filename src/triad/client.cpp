@@ -7,11 +7,10 @@
 
 namespace triad {
 
-TrustedTimeClient::TrustedTimeClient(sim::Simulation& sim,
-                                     net::Network& network,
+TrustedTimeClient::TrustedTimeClient(runtime::Env env,
                                      const crypto::Keyring& keyring,
                                      ClientConfig config)
-    : sim_(sim), network_(network), config_(std::move(config)),
+    : env_(env), config_(std::move(config)),
       channel_(config_.id, keyring) {
   if (config_.cluster.empty()) {
     throw std::invalid_argument("TrustedTimeClient: empty cluster");
@@ -23,13 +22,13 @@ TrustedTimeClient::TrustedTimeClient(sim::Simulation& sim,
       config_.max_attempts > config_.cluster.size()) {
     config_.max_attempts = config_.cluster.size();
   }
-  network_.attach(config_.id,
-                  [this](const net::Packet& packet) { on_packet(packet); });
+  env_.transport().attach(
+      config_.id, [this](const runtime::Packet& packet) { on_packet(packet); });
 }
 
 TrustedTimeClient::~TrustedTimeClient() {
-  for (auto& pending : pending_) sim_.cancel(pending.timeout);
-  network_.detach(config_.id);
+  for (auto& pending : pending_) env_.cancel(pending.timeout);
+  env_.transport().detach(config_.id);
 }
 
 void TrustedTimeClient::request_timestamp(Callback callback) {
@@ -56,11 +55,11 @@ void TrustedTimeClient::try_next(Pending pending) {
 
   proto::PeerTimeRequest request;
   request.request_id = pending.request_id;
-  network_.send(config_.id, target,
-                channel_.seal(target, proto::encode(request)));
+  env_.transport().send(config_.id, target,
+                        channel_.seal(target, proto::encode(request)));
 
   const std::uint64_t id = pending.request_id;
-  pending.timeout = sim_.schedule_after(config_.node_timeout, [this, id] {
+  pending.timeout = env_.schedule_after(config_.node_timeout, [this, id] {
     const auto it = std::find_if(
         pending_.begin(), pending_.end(),
         [id](const Pending& p) { return p.request_id == id; });
@@ -85,7 +84,7 @@ void TrustedTimeClient::finish(Pending& pending,
   callback(result);
 }
 
-void TrustedTimeClient::on_packet(const net::Packet& packet) {
+void TrustedTimeClient::on_packet(const runtime::Packet& packet) {
   const auto opened = channel_.open(packet.payload);
   if (!opened) {
     ++stats_.bad_frames;
@@ -107,14 +106,14 @@ void TrustedTimeClient::on_packet(const net::Packet& packet) {
 
   if (response.tainted) {
     ++stats_.tainted_answers;
-    sim_.cancel(it->timeout);
+    env_.cancel(it->timeout);
     Pending next = std::move(*it);
     pending_.erase(it);
     try_next(std::move(next));
     return;
   }
 
-  sim_.cancel(it->timeout);
+  env_.cancel(it->timeout);
   Pending done = std::move(*it);
   pending_.erase(it);
   finish(done, TrustedTimestamp{response.timestamp, response.error_bound,

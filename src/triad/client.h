@@ -19,8 +19,7 @@
 #include <vector>
 
 #include "crypto/channel.h"
-#include "net/network.h"
-#include "sim/simulation.h"
+#include "runtime/env.h"
 #include "triad/messages.h"
 #include "util/types.h"
 
@@ -55,8 +54,7 @@ class TrustedTimeClient {
  public:
   using Callback = std::function<void(std::optional<TrustedTimestamp>)>;
 
-  TrustedTimeClient(sim::Simulation& sim, net::Network& network,
-                    const crypto::Keyring& keyring,
+  TrustedTimeClient(runtime::Env env, const crypto::Keyring& keyring,
                     ClientConfig config);
   ~TrustedTimeClient();
   TrustedTimeClient(const TrustedTimeClient&) = delete;
@@ -75,15 +73,14 @@ class TrustedTimeClient {
     std::size_t attempt = 0;       // index into the rotation for this req
     std::size_t start_offset = 0;  // round-robin start position
     Callback callback;
-    sim::EventId timeout{};
+    runtime::TimerId timeout{};
   };
 
   void try_next(Pending pending);
-  void on_packet(const net::Packet& packet);
+  void on_packet(const runtime::Packet& packet);
   void finish(Pending& pending, std::optional<TrustedTimestamp> result);
 
-  sim::Simulation& sim_;
-  net::Network& network_;
+  runtime::Env env_;
   ClientConfig config_;
   crypto::SecureChannel channel_;
   std::deque<Pending> pending_;

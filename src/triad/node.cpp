@@ -17,15 +17,14 @@ const char* to_string(NodeState state) {
   return "?";
 }
 
-TriadNode::TriadNode(sim::Simulation& sim, net::Network& network,
-                     const crypto::Keyring& keyring,
+TriadNode::TriadNode(runtime::Env env, const crypto::Keyring& keyring,
                      TriadConfig config, HardwareParams hardware,
                      std::unique_ptr<UntaintPolicy> policy)
-    : sim_(sim), network_(network), config_(std::move(config)),
-      channel_(config_.id, keyring), thread_(sim),
-      tsc_(sim, hardware.tsc_frequency_hz, hardware.tsc_initial),
+    : env_(env), config_(std::move(config)),
+      channel_(config_.id, keyring), thread_(env_.clock()),
+      tsc_(env_.clock(), hardware.tsc_frequency_hz, hardware.tsc_initial),
       core_(hardware.core,
-            sim.rng().fork("core-" + std::to_string(config_.id))),
+            env_.fork_rng("core-" + std::to_string(config_.id))),
       monitor_(tsc_, core_),
       policy_(policy ? std::move(policy) : make_original_policy()) {
   if (config_.calib_pairs < 1) {
@@ -38,25 +37,25 @@ TriadNode::TriadNode(sim::Simulation& sim, net::Network& network,
   if (config_.peer_timeout <= 0 || config_.ta_timeout <= 0) {
     throw std::invalid_argument("TriadConfig: timeouts must be positive");
   }
-  network_.attach(config_.id,
-                  [this](const net::Packet& packet) { on_packet(packet); });
+  env_.transport().attach(
+      config_.id, [this](const runtime::Packet& packet) { on_packet(packet); });
   thread_.set_aex_handler([this] { on_aex(); });
 }
 
 TriadNode::~TriadNode() {
   // Cancel every pending event that captures `this`.
-  if (outstanding_ta_) sim_.cancel(outstanding_ta_->timeout);
-  if (peer_round_) sim_.cancel(peer_round_->timeout);
+  if (outstanding_ta_) env_.cancel(outstanding_ta_->timeout);
+  if (peer_round_) env_.cancel(peer_round_->timeout);
   deadline_timer_.reset();
-  network_.detach(config_.id);
+  env_.transport().detach(config_.id);
 }
 
 void TriadNode::start() {
   if (started_) throw std::logic_error("TriadNode::start called twice");
   started_ = true;
-  started_at_ = sim_.now();
-  state_since_ = sim_.now();
-  last_sync_ = sim_.now();
+  started_at_ = env_.now();
+  state_since_ = env_.now();
+  last_sync_ = env_.now();
 
   // Calibrate the INC monitor over uninterrupted windows (the paper's
   // §IV-A1 measurement, run at enclave start).
@@ -65,8 +64,8 @@ void TriadNode::start() {
   monitor_.reset_continuity();
 
   if (config_.refresh_deadline > 0) {
-    deadline_timer_ = std::make_unique<sim::PeriodicTimer>(
-        sim_, config_.refresh_deadline, [this] {
+    deadline_timer_ = std::make_unique<runtime::PeriodicTimer>(
+        env_, config_.refresh_deadline, [this] {
           if (state_ == NodeState::kOk) {
             ++stats_.proactive_checks;
             begin_peer_round(/*proactive=*/true);
@@ -88,7 +87,7 @@ SimTime TriadNode::current_time() const {
 }
 
 Duration TriadNode::current_error_bound() const {
-  const double elapsed_s = to_seconds(sim_.now() - last_sync_);
+  const double elapsed_s = to_seconds(env_.now() - last_sync_);
   return error_at_sync_ +
          static_cast<Duration>(config_.drift_bound_ppm * 1e-6 * elapsed_s *
                                1e9);
@@ -99,7 +98,7 @@ void TriadNode::sync_clock_to(SimTime new_time, Duration new_error,
   const SimTime before = current_time();
   ref_time_ = new_time;
   ref_tsc_ = tsc_.read();
-  last_sync_ = sim_.now();
+  last_sync_ = env_.now();
   error_at_sync_ = new_error;
   if (hooks_.on_adoption) hooks_.on_adoption(before, new_time, source);
   TRIAD_LOG_DEBUG("node") << "node " << config_.id << " clock set to "
@@ -141,10 +140,10 @@ std::optional<SimTime> TriadNode::serve_timestamp() {
 
 void TriadNode::set_state(NodeState next) {
   if (next == state_) return;
-  state_time_[static_cast<std::size_t>(state_)] += sim_.now() - state_since_;
+  state_time_[static_cast<std::size_t>(state_)] += env_.now() - state_since_;
   const NodeState prev = state_;
   state_ = next;
-  state_since_ = sim_.now();
+  state_since_ = env_.now();
   if (hooks_.on_state_change) hooks_.on_state_change(prev, next);
   TRIAD_LOG_DEBUG("node") << "node " << config_.id << " " << to_string(prev)
                           << " -> " << to_string(next);
@@ -152,12 +151,12 @@ void TriadNode::set_state(NodeState next) {
 
 std::array<Duration, 4> TriadNode::state_durations() const {
   std::array<Duration, 4> result = state_time_;
-  result[static_cast<std::size_t>(state_)] += sim_.now() - state_since_;
+  result[static_cast<std::size_t>(state_)] += env_.now() - state_since_;
   return result;
 }
 
 double TriadNode::availability() const {
-  const Duration total = sim_.now() - started_at_;
+  const Duration total = env_.now() - started_at_;
   if (total <= 0) return 0.0;
   const auto durations = state_durations();
   return to_seconds(durations[static_cast<std::size_t>(NodeState::kOk)]) /
@@ -222,11 +221,11 @@ void TriadNode::begin_full_calibration() {
     monitor_.reset_continuity();
   }
   if (outstanding_ta_) {
-    sim_.cancel(outstanding_ta_->timeout);
+    env_.cancel(outstanding_ta_->timeout);
     outstanding_ta_.reset();
   }
   if (peer_round_) {
-    sim_.cancel(peer_round_->timeout);
+    env_.cancel(peer_round_->timeout);
     peer_round_.reset();
   }
   calib_regression_.clear();
@@ -247,7 +246,7 @@ void TriadNode::send_calibration_request() {
 
 void TriadNode::begin_ref_calibration() {
   if (outstanding_ta_) {
-    sim_.cancel(outstanding_ta_->timeout);
+    env_.cancel(outstanding_ta_->timeout);
     outstanding_ta_.reset();
   }
   set_state(NodeState::kRefCalib);
@@ -258,10 +257,10 @@ void TriadNode::send_ta_request(Duration wait) {
   OutstandingTa ota;
   ota.request_id = next_request_id_++;
   ota.wait = wait;
-  ota.sent_at = sim_.now();
+  ota.sent_at = env_.now();
   ota.sent_tsc = tsc_.read();
   ota.for_full_calibration = state_ == NodeState::kFullCalib;
-  ota.timeout = sim_.schedule_after(
+  ota.timeout = env_.schedule_after(
       config_.ta_timeout + wait,
       [this, id = ota.request_id] { on_ta_timeout(id); });
   outstanding_ta_ = ota;
@@ -287,7 +286,7 @@ void TriadNode::on_ta_response(const proto::TaResponse& response) {
     return;  // stale or duplicate
   }
   const OutstandingTa ota = *outstanding_ta_;
-  sim_.cancel(ota.timeout);
+  env_.cancel(ota.timeout);
   outstanding_ta_.reset();
 
   if (ota.for_full_calibration && state_ == NodeState::kFullCalib) {
@@ -376,7 +375,7 @@ void TriadNode::maybe_refine_frequency(SimTime ta_time) {
 
 void TriadNode::begin_peer_round(bool proactive) {
   if (peer_round_) {
-    sim_.cancel(peer_round_->timeout);
+    env_.cancel(peer_round_->timeout);
     peer_round_.reset();
   }
   if (config_.peers.empty()) {
@@ -391,7 +390,7 @@ void TriadNode::begin_peer_round(bool proactive) {
   round.request_id = next_request_id_++;
   round.proactive = proactive;
   round.timeout =
-      sim_.schedule_after(config_.peer_timeout, [this] { finish_peer_round(); });
+      env_.schedule_after(config_.peer_timeout, [this] { finish_peer_round(); });
   peer_round_ = std::move(round);
 
   proto::PeerTimeRequest request;
@@ -406,7 +405,7 @@ void TriadNode::on_peer_response(NodeId peer,
   if (!response.tainted) {
     peer_round_->samples.push_back(PeerSample{peer, response.timestamp,
                                               response.error_bound,
-                                              sim_.now()});
+                                              env_.now()});
   }
 
   const bool first_response_mode =
@@ -422,7 +421,7 @@ void TriadNode::on_peer_response(NodeId peer,
 
 void TriadNode::finish_peer_round() {
   if (!peer_round_) return;
-  sim_.cancel(peer_round_->timeout);
+  env_.cancel(peer_round_->timeout);
   const PeerRound round = std::move(*peer_round_);
   peer_round_.reset();
 
@@ -477,10 +476,11 @@ void TriadNode::answer_peer_request(NodeId peer,
 // Networking
 
 void TriadNode::send_message(NodeId to, const proto::Message& message) {
-  network_.send(config_.id, to, channel_.seal(to, proto::encode(message)));
+  env_.transport().send(config_.id, to,
+                        channel_.seal(to, proto::encode(message)));
 }
 
-void TriadNode::on_packet(const net::Packet& packet) {
+void TriadNode::on_packet(const runtime::Packet& packet) {
   const auto opened = channel_.open(packet.payload);
   if (!opened) {
     ++stats_.bad_frames;

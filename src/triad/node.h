@@ -22,8 +22,7 @@
 
 #include "crypto/channel.h"
 #include "enclave/enclave_thread.h"
-#include "net/network.h"
-#include "sim/simulation.h"
+#include "runtime/env.h"
 #include "stats/regression.h"
 #include "triad/messages.h"
 #include "triad/policy.h"
@@ -124,9 +123,8 @@ class TriadNode {
     tsc::CoreParams core;
   };
 
-  TriadNode(sim::Simulation& sim, net::Network& network,
-            const crypto::Keyring& keyring, TriadConfig config,
-            HardwareParams hardware,
+  TriadNode(runtime::Env env, const crypto::Keyring& keyring,
+            TriadConfig config, HardwareParams hardware,
             std::unique_ptr<UntaintPolicy> policy = nullptr);
   ~TriadNode();
   TriadNode(const TriadNode&) = delete;
@@ -208,11 +206,10 @@ class TriadNode {
   void answer_peer_request(NodeId peer, const proto::PeerTimeRequest& request);
 
   // --- networking --------------------------------------------------------
-  void on_packet(const net::Packet& packet);
+  void on_packet(const runtime::Packet& packet);
   void send_message(NodeId to, const proto::Message& message);
 
-  sim::Simulation& sim_;
-  net::Network& network_;
+  runtime::Env env_;
   TriadConfig config_;
   crypto::SecureChannel channel_;
   enclave::EnclaveThread thread_;
@@ -257,7 +254,7 @@ class TriadNode {
     SimTime sent_at = 0;
     TscValue sent_tsc = 0;
     bool for_full_calibration = false;
-    sim::EventId timeout{};
+    runtime::TimerId timeout{};
   };
   std::optional<OutstandingTa> outstanding_ta_;
 
@@ -267,12 +264,12 @@ class TriadNode {
     bool proactive = false;
     std::vector<PeerSample> samples;
     std::size_t answers = 0;  // including tainted answers
-    sim::EventId timeout{};
+    runtime::TimerId timeout{};
   };
   std::optional<PeerRound> peer_round_;
 
   // Triad+ in-TCB deadline timer.
-  std::unique_ptr<sim::PeriodicTimer> deadline_timer_;
+  std::unique_ptr<runtime::PeriodicTimer> deadline_timer_;
 
   std::uint64_t next_request_id_ = 1;
   NodeStats stats_;

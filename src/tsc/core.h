@@ -9,7 +9,6 @@
 // standard deviation once warm.
 #pragma once
 
-#include "sim/simulation.h"
 #include "util/rng.h"
 #include "util/types.h"
 

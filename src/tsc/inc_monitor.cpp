@@ -51,7 +51,7 @@ bool IncMonitor::check(const IncCalibration& calibration,
 void IncMonitor::reset_continuity() {
   tracking_ = true;
   continuity_tsc_ = tsc_.read();
-  continuity_time_ = tsc_.simulation().now();
+  continuity_time_ = tsc_.clock().now();
 }
 
 IncMonitor::ContinuityCheck IncMonitor::check_continuity(
@@ -65,7 +65,7 @@ IncMonitor::ContinuityCheck IncMonitor::check_continuity(
         "IncMonitor::check_continuity: reset_continuity not called");
   }
   ContinuityCheck result;
-  const SimTime now = tsc_.simulation().now();
+  const SimTime now = tsc_.clock().now();
   const Duration dt = now - continuity_time_;
 
   result.observed_ticks = static_cast<double>(tsc_.read()) -

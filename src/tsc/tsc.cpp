@@ -5,9 +5,10 @@
 
 namespace triad::tsc {
 
-Tsc::Tsc(sim::Simulation& sim, double frequency_hz, TscValue initial_value)
-    : sim_(sim), frequency_hz_(frequency_hz),
-      segment_start_(sim.now()),
+Tsc::Tsc(const runtime::Clock& clock, double frequency_hz,
+         TscValue initial_value)
+    : clock_(clock), frequency_hz_(frequency_hz),
+      segment_start_(clock.now()),
       value_base_(static_cast<double>(initial_value)) {
   if (frequency_hz <= 0) {
     throw std::invalid_argument("Tsc: frequency must be positive");
@@ -15,7 +16,7 @@ Tsc::Tsc(sim::Simulation& sim, double frequency_hz, TscValue initial_value)
 }
 
 double Tsc::raw_value_at_now() const {
-  const double elapsed_s = to_seconds(sim_.now() - segment_start_);
+  const double elapsed_s = to_seconds(clock_.now() - segment_start_);
   return value_base_ + elapsed_s * frequency_hz_ * scale_;
 }
 
@@ -29,14 +30,14 @@ TscValue Tsc::read() const {
 
 void Tsc::hv_add_offset(std::int64_t ticks) {
   value_base_ = raw_value_at_now() + static_cast<double>(ticks);
-  segment_start_ = sim_.now();
+  segment_start_ = clock_.now();
 }
 
 void Tsc::hv_set_scale(double scale) {
   if (scale <= 0) throw std::invalid_argument("Tsc: scale must be positive");
   // Close the current segment so the value is continuous at the switch.
   value_base_ = raw_value_at_now();
-  segment_start_ = sim_.now();
+  segment_start_ = clock_.now();
   scale_ = scale;
 }
 

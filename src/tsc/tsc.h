@@ -11,7 +11,7 @@
 
 #include <cstdint>
 
-#include "sim/simulation.h"
+#include "runtime/env.h"
 #include "util/types.h"
 
 namespace triad::tsc {
@@ -23,10 +23,10 @@ class Tsc {
  public:
   /// initial_value lets scenarios start the counter at a non-zero point,
   /// as a real machine would after boot.
-  Tsc(sim::Simulation& sim, double frequency_hz,
+  Tsc(const runtime::Clock& clock, double frequency_hz,
       TscValue initial_value = 0);
 
-  /// Guest-visible TSC value at the current simulation time.
+  /// Guest-visible TSC value at the current reference time.
   [[nodiscard]] TscValue read() const;
 
   /// The true hardware tick rate (ticks per reference second).
@@ -49,12 +49,12 @@ class Tsc {
 
   [[nodiscard]] double scale() const { return scale_; }
 
-  [[nodiscard]] sim::Simulation& simulation() const { return sim_; }
+  [[nodiscard]] const runtime::Clock& clock() const { return clock_; }
 
  private:
   [[nodiscard]] double raw_value_at_now() const;
 
-  sim::Simulation& sim_;
+  const runtime::Clock& clock_;
   double frequency_hz_;
   double scale_ = 1.0;
   // Piecewise-linear segments: value_base_ at time segment_start_.

@@ -169,9 +169,9 @@ TEST(AppsIntegration, LeaseManagerOnLiveTriadNode) {
       [&sc] { return sc.node(0).serve_timestamp(); }, seconds(5));
   const auto lease = mgr.grant("task-42");
   ASSERT_TRUE(lease.has_value());
-  sc.run_until(sc.simulation().now() + seconds(3));
+  sc.run_for(seconds(3));
   EXPECT_EQ(mgr.valid(lease->id), std::optional<bool>(true));
-  sc.run_until(sc.simulation().now() + seconds(3));
+  sc.run_for(seconds(3));
   EXPECT_EQ(mgr.valid(lease->id), std::optional<bool>(false));
 }
 

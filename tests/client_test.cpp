@@ -16,9 +16,8 @@ struct ClientFixture {
     for (std::size_t i = 0; i < scenario.node_count(); ++i) {
       config.cluster.push_back(scenario.node_address(i));
     }
-    client = std::make_unique<TrustedTimeClient>(
-        scenario.simulation(), scenario.network(), scenario.keyring(),
-        config);
+    client = std::make_unique<TrustedTimeClient>(scenario.env(),
+                                                 scenario.keyring(), config);
   }
 
   static exp::ScenarioConfig make_config() {
@@ -39,7 +38,7 @@ TEST(TrustedTimeClient, FetchesTimestampFromCalibratedCluster) {
 
   std::optional<TrustedTimestamp> result;
   f.client->request_timestamp([&](auto r) { result = r; });
-  f.scenario.run_until(f.scenario.simulation().now() + milliseconds(50));
+  f.scenario.run_for(milliseconds(50));
 
   ASSERT_TRUE(result.has_value());
   // Timestamp within a few ms of reference (one-way delays + drift).
@@ -61,7 +60,7 @@ TEST(TrustedTimeClient, SkipsTaintedNodeAndUsesNext) {
 
   std::optional<TrustedTimestamp> result;
   f.client->request_timestamp([&](auto r) { result = r; });
-  f.scenario.run_until(f.scenario.simulation().now() + milliseconds(50));
+  f.scenario.run_for(milliseconds(50));
 
   ASSERT_TRUE(result.has_value());
   EXPECT_NE(result->served_by, f.scenario.node_address(0));
@@ -81,7 +80,7 @@ TEST(TrustedTimeClient, AllNodesTaintedReportsFailure) {
   }
   std::optional<std::optional<TrustedTimestamp>> outcome;
   f.client->request_timestamp([&](auto r) { outcome = r; });
-  f.scenario.run_until(f.scenario.simulation().now() + seconds(1));
+  f.scenario.run_for(seconds(1));
   ASSERT_TRUE(outcome.has_value());
   EXPECT_FALSE(outcome->has_value());
   EXPECT_EQ(f.client->stats().failures, 1u);
@@ -109,7 +108,7 @@ TEST(TrustedTimeClient, TimeoutRotatesToNextNode) {
 
   std::optional<TrustedTimestamp> result;
   f.client->request_timestamp([&](auto r) { result = r; });
-  f.scenario.run_until(f.scenario.simulation().now() + milliseconds(100));
+  f.scenario.run_for(milliseconds(100));
 
   ASSERT_TRUE(result.has_value());
   EXPECT_NE(result->served_by, f.scenario.node_address(0));
@@ -129,7 +128,7 @@ TEST(TrustedTimeClient, ManyConcurrentRequests) {
       ++done;
     });
   }
-  f.scenario.run_until(f.scenario.simulation().now() + seconds(1));
+  f.scenario.run_for(seconds(1));
   EXPECT_EQ(done, 50);
   EXPECT_EQ(f.client->stats().successes, 50u);
 }
@@ -144,7 +143,7 @@ TEST(TrustedTimeClient, RoundRobinSpreadsLoad) {
     f.client->request_timestamp([&](auto r) {
       if (r) ++served[r->served_by];
     });
-    f.scenario.run_until(f.scenario.simulation().now() + milliseconds(10));
+    f.scenario.run_for(milliseconds(10));
   }
   EXPECT_EQ(served.size(), 3u);  // all nodes took a share
   for (const auto& [node, count] : served) EXPECT_EQ(count, 10);
@@ -162,7 +161,7 @@ TEST(TrustedTimeClient, CallbackMayReissueRequests) {
         if (++chain < 5) f.client->request_timestamp(next);
       };
   f.client->request_timestamp(next);
-  f.scenario.run_until(f.scenario.simulation().now() + seconds(1));
+  f.scenario.run_for(seconds(1));
   EXPECT_EQ(chain, 5);
 }
 
@@ -170,16 +169,14 @@ TEST(TrustedTimeClient, InvalidConfigThrows) {
   ClientFixture f;
   ClientConfig bad;
   bad.id = 60;
-  EXPECT_THROW(TrustedTimeClient(f.scenario.simulation(),
-                                 f.scenario.network(), f.scenario.keyring(),
-                                 bad),
-               std::invalid_argument);
+  EXPECT_THROW(
+      TrustedTimeClient(f.scenario.env(), f.scenario.keyring(), bad),
+      std::invalid_argument);
   bad.cluster = {1};
   bad.node_timeout = 0;
-  EXPECT_THROW(TrustedTimeClient(f.scenario.simulation(),
-                                 f.scenario.network(), f.scenario.keyring(),
-                                 bad),
-               std::invalid_argument);
+  EXPECT_THROW(
+      TrustedTimeClient(f.scenario.env(), f.scenario.keyring(), bad),
+      std::invalid_argument);
 }
 
 TEST(TrustedTimeClient, NullCallbackThrows) {

@@ -5,6 +5,7 @@
 
 #include "crypto/handshake.h"
 #include "net/network.h"
+#include "runtime/sim_env.h"
 #include "sim/simulation.h"
 #include "ta/time_authority.h"
 #include "triad/node.h"
@@ -175,7 +176,8 @@ TEST(HandshakeIntegration, TriadClusterOnHandshakeDerivedKeys) {
 
   sim::Simulation sim(777);
   net::Network net(sim, std::make_unique<net::FixedDelay>(microseconds(200)));
-  ta::TimeAuthority time_authority(net, kTa, rings[3]);
+  runtime::SimEnv env(sim, net);
+  ta::TimeAuthority time_authority(env, kTa, rings[3]);
 
   std::vector<std::unique_ptr<TriadNode>> nodes;
   for (std::size_t i = 0; i < 3; ++i) {
@@ -186,7 +188,7 @@ TEST(HandshakeIntegration, TriadClusterOnHandshakeDerivedKeys) {
       if (j != i) config.peers.push_back(ids[j]);
     }
     nodes.push_back(std::make_unique<TriadNode>(
-        sim, net, rings[i], config, TriadNode::HardwareParams{}));
+        env, rings[i], config, TriadNode::HardwareParams{}));
   }
   for (auto& node : nodes) node->start();
   sim.run_until(minutes(2));

@@ -156,7 +156,7 @@ TEST(Scenario, WanLinksApplyBetweenMachinesOnly) {
   });
   const SimTime sent_at = sc.simulation().now();
   sc.network().send(sc.node_address(0), sc.node_address(2), Bytes{1});
-  sc.simulation().run_until(sc.simulation().now() + seconds(1));
+  sc.run_for(seconds(1));
   EXPECT_GE(n3_arrival - sent_at, milliseconds(50));
   EXPECT_LT(n3_arrival - sent_at, milliseconds(60));
   // The probe through the default path was LAN-fast.

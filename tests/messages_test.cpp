@@ -4,6 +4,7 @@
 
 #include "crypto/channel.h"
 #include "net/network.h"
+#include "runtime/sim_env.h"
 #include "sim/simulation.h"
 #include "ta/time_authority.h"
 #include "triad/messages.h"
@@ -81,8 +82,9 @@ namespace {
 struct TaFixture {
   sim::Simulation sim{5};
   net::Network net{sim, std::make_unique<net::FixedDelay>(milliseconds(1))};
+  runtime::SimEnv env{sim, net};
   crypto::ClusterKeyring keyring{Bytes(32, 1)};
-  TimeAuthority ta{net, 100, keyring};
+  TimeAuthority ta{env, 100, keyring};
   crypto::SecureChannel client{1, keyring};
 
   void send(const proto::Message& m) {

@@ -57,6 +57,8 @@ TEST(Network, DeliversWithConfiguredDelay) {
   ASSERT_EQ(arrivals.size(), 1u);
   EXPECT_EQ(arrivals[0], milliseconds(1));
   EXPECT_EQ(f.net.stats().delivered, 1u);
+  EXPECT_EQ(f.net.stats().bytes_sent, 2u);
+  EXPECT_EQ(f.net.stats().bytes_delivered, 2u);
 }
 
 TEST(Network, NoReceiverCountsAsDrop) {
@@ -65,6 +67,9 @@ TEST(Network, NoReceiverCountsAsDrop) {
   f.sim.run();
   EXPECT_EQ(f.net.stats().dropped_no_receiver, 1u);
   EXPECT_EQ(f.net.stats().delivered, 0u);
+  // Byte accounting: sent counts the attempt, delivered does not.
+  EXPECT_EQ(f.net.stats().bytes_sent, 1u);
+  EXPECT_EQ(f.net.stats().bytes_delivered, 0u);
 }
 
 TEST(Network, DetachStopsDelivery) {

@@ -8,6 +8,7 @@
 
 #include "crypto/channel.h"
 #include "net/network.h"
+#include "runtime/cluster_harness.h"
 #include "sim/simulation.h"
 #include "ta/time_authority.h"
 #include "triad/node.h"
@@ -19,33 +20,36 @@ constexpr NodeId kTa = 100;
 
 struct Cluster {
   explicit Cluster(std::size_t n, Duration net_delay = microseconds(200),
-                   TriadConfig base = {}) {
-    sim = std::make_unique<sim::Simulation>(1234);
-    net = std::make_unique<net::Network>(
-        *sim, std::make_unique<net::FixedDelay>(net_delay));
-    keyring = std::make_unique<crypto::ClusterKeyring>(Bytes(32, 9));
-    ta = std::make_unique<ta::TimeAuthority>(*net, kTa, *keyring);
+                   TriadConfig base = {})
+      : harness(make_config(n, net_delay)) {
+    ta = &harness.make_time_authority();
     for (std::size_t i = 0; i < n; ++i) {
-      TriadConfig config = base;
-      config.id = static_cast<NodeId>(i + 1);
-      config.ta_address = kTa;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j != i) config.peers.push_back(static_cast<NodeId>(j + 1));
-      }
-      nodes.push_back(std::make_unique<TriadNode>(
-          *sim, *net, *keyring, config, TriadNode::HardwareParams{}));
+      nodes.push_back(&harness.add_node(base));
     }
+    sim = &harness.simulation();
+    net = &harness.network();
+    keyring = &harness.keyring();
   }
 
-  void start_all() {
-    for (auto& node : nodes) node->start();
+  static runtime::ClusterConfig make_config(std::size_t n,
+                                            Duration net_delay) {
+    runtime::ClusterConfig config;
+    config.seed = 1234;
+    config.node_count = n;
+    config.ta_address = kTa;
+    config.delay = std::make_unique<net::FixedDelay>(net_delay);
+    config.master_secret = Bytes(32, 9);
+    return config;
   }
 
-  std::unique_ptr<sim::Simulation> sim;
-  std::unique_ptr<net::Network> net;
-  std::unique_ptr<crypto::ClusterKeyring> keyring;
-  std::unique_ptr<ta::TimeAuthority> ta;
-  std::vector<std::unique_ptr<TriadNode>> nodes;
+  void start_all() { harness.start(); }
+
+  runtime::ClusterHarness harness;
+  ta::TimeAuthority* ta;
+  std::vector<TriadNode*> nodes;
+  sim::Simulation* sim;
+  net::Network* net;
+  const crypto::ClusterKeyring* keyring;
 };
 
 TEST(TriadNode, StartsInFullCalibAndReachesOk) {
@@ -113,7 +117,7 @@ TEST(TriadNode, MonotonicAcrossBackwardAdoption) {
   ASSERT_TRUE(before.has_value());
   // AEX -> peer round -> the peer's clock is behind (keep-local path).
   node.monitoring_thread().deliver_aex();
-  c.sim->run_until(c.sim->now() + milliseconds(50));
+  c.sim->run_for(milliseconds(50));
   const auto after = node.serve_timestamp();
   ASSERT_TRUE(after.has_value());
   EXPECT_GT(*after, *before);
@@ -130,7 +134,7 @@ TEST(TriadNode, AexTaintsAndPeerUntaints) {
   EXPECT_EQ(node.state(), NodeState::kTainted);
   EXPECT_FALSE(node.serve_timestamp().has_value());
 
-  c.sim->run_until(c.sim->now() + milliseconds(10));
+  c.sim->run_for(milliseconds(10));
   EXPECT_EQ(node.state(), NodeState::kOk);
   EXPECT_EQ(node.stats().peer_rounds, 1u);
   // Fixed equal hardware -> clocks nearly equal; either adopt or keep.
@@ -147,7 +151,7 @@ TEST(TriadNode, AllPeersTaintedFallsBackToTa) {
   // Taint both nodes at the same instant (correlated machine AEX).
   c.nodes[0]->monitoring_thread().deliver_aex();
   c.nodes[1]->monitoring_thread().deliver_aex();
-  c.sim->run_until(c.sim->now() + seconds(1));
+  c.sim->run_for(seconds(1));
 
   EXPECT_EQ(c.nodes[0]->state(), NodeState::kOk);
   EXPECT_EQ(c.nodes[1]->state(), NodeState::kOk);
@@ -161,7 +165,7 @@ TEST(TriadNode, SoloNodeGoesStraightToTaOnAex) {
   c.sim->run_until(seconds(30));
   c.nodes[0]->monitoring_thread().deliver_aex();
   EXPECT_EQ(c.nodes[0]->state(), NodeState::kRefCalib);
-  c.sim->run_until(c.sim->now() + seconds(1));
+  c.sim->run_for(seconds(1));
   EXPECT_EQ(c.nodes[0]->state(), NodeState::kOk);
   EXPECT_EQ(c.nodes[0]->stats().ta_fallbacks, 1u);
 }
@@ -180,7 +184,7 @@ TEST(TriadNode, MaxPolicyFollowsFasterPeerClock) {
   auto& honest = *c.nodes[0];
   const SimTime before = honest.current_time();
   honest.monitoring_thread().deliver_aex();
-  c.sim->run_until(c.sim->now() + milliseconds(10));
+  c.sim->run_for(milliseconds(10));
 
   EXPECT_EQ(honest.state(), NodeState::kOk);
   EXPECT_EQ(honest.stats().peer_adoptions, 1u);
@@ -200,7 +204,7 @@ TEST(TriadNode, IncMonitorTriggersFullRecalibrationOnTscScale) {
   EXPECT_EQ(node.state(), NodeState::kFullCalib);
   EXPECT_EQ(node.stats().full_calibrations, 2u);
 
-  c.sim->run_until(c.sim->now() + seconds(30));
+  c.sim->run_for(seconds(30));
   EXPECT_EQ(node.state(), NodeState::kOk);
   // Recalibrated against the scaled TSC: slope ≈ 1.01 * F.
   EXPECT_NEAR(node.calibrated_frequency_hz(),
@@ -258,12 +262,12 @@ TEST(TriadNode, ErrorBoundGrowsBetweenSyncsAndResets) {
   c.start_all();
   c.sim->run_until(seconds(30));
   const Duration e0 = c.nodes[0]->current_error_bound();
-  c.sim->run_until(c.sim->now() + minutes(5));
+  c.sim->run_for(minutes(5));
   const Duration e1 = c.nodes[0]->current_error_bound();
   EXPECT_GT(e1, e0);
   // TA refresh resets the bound.
   c.nodes[0]->monitoring_thread().deliver_aex();
-  c.sim->run_until(c.sim->now() + seconds(1));
+  c.sim->run_for(seconds(1));
   EXPECT_LT(c.nodes[0]->current_error_bound(), e1);
 }
 
@@ -306,12 +310,12 @@ TEST(TriadNode, InvalidConfigRejected) {
   bad.id = 50;
   bad.ta_address = kTa;
   bad.calib_pairs = 0;
-  EXPECT_THROW(TriadNode(*c.sim, *c.net, *c.keyring, bad,
+  EXPECT_THROW(TriadNode(c.harness.env(), *c.keyring, bad,
                          TriadNode::HardwareParams{}),
                std::invalid_argument);
   bad.calib_pairs = 4;
   bad.calib_wait_high = bad.calib_wait_low;
-  EXPECT_THROW(TriadNode(*c.sim, *c.net, *c.keyring, bad,
+  EXPECT_THROW(TriadNode(c.harness.env(), *c.keyring, bad,
                          TriadNode::HardwareParams{}),
                std::invalid_argument);
 }
@@ -328,7 +332,7 @@ TEST(TriadNode, TrueTimeIntervalContainsReference) {
   c.sim->run_until(seconds(30));
   auto& node = *c.nodes[0];
   for (int i = 0; i < 60; ++i) {
-    c.sim->run_until(c.sim->now() + seconds(10));
+    c.sim->run_for(seconds(10));
     const auto interval = node.now_interval();
     ASSERT_TRUE(interval.has_value());
     // The true reference time (sim.now) lies within the bounds: the
@@ -348,7 +352,7 @@ TEST(TriadNode, TrueTimeIntervalEndpointsMonotonic) {
   auto prev = node.now_interval();
   ASSERT_TRUE(prev.has_value());
   for (int i = 0; i < 200; ++i) {
-    c.sim->run_until(c.sim->now() + milliseconds(200));
+    c.sim->run_for(milliseconds(200));
     if (i == 50) node.monitoring_thread().deliver_aex();  // resync jolt
     const auto interval = node.now_interval();
     if (!interval) continue;  // briefly tainted
@@ -388,7 +392,7 @@ TEST(TriadNode, PeerAnswersCarryErrorBounds) {
   c.start_all();
   c.sim->run_until(seconds(30));
   // Make node 2's bound large by aging it: no sync for 10 minutes.
-  c.sim->run_until(c.sim->now() + minutes(10));
+  c.sim->run_for(minutes(10));
   const Duration bound = c.nodes[1]->current_error_bound();
   EXPECT_GT(bound, milliseconds(100));  // 500 ppm * 600 s = 300 ms
   EXPECT_LT(bound, milliseconds(600));
@@ -408,10 +412,10 @@ TEST(TriadNode, LongWindowCalibrationConvergesToTrueFrequency) {
   ASSERT_EQ(node.state(), NodeState::kOk);
 
   node.monitoring_thread().deliver_aex();  // -> TA (solo node)
-  c.sim->run_until(c.sim->now() + seconds(2));
-  c.sim->run_until(c.sim->now() + seconds(120));
+  c.sim->run_for(seconds(2));
+  c.sim->run_for(seconds(120));
   node.monitoring_thread().deliver_aex();  // second TA anchor, 120 s later
-  c.sim->run_until(c.sim->now() + seconds(2));
+  c.sim->run_for(seconds(2));
 
   EXPECT_NEAR(node.calibrated_frequency_hz(), tsc::kPaperTscFrequencyHz,
               0.3e4);  // ~1 ppm of 2.9 GHz ≈ 2.9 kHz

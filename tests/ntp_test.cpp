@@ -8,6 +8,7 @@
 #include "ntp/disciplined_clock.h"
 #include "ntp/ntp_client.h"
 #include "ntp/ntp_server.h"
+#include "runtime/sim_env.h"
 #include "ntp/sample.h"
 #include "sim/simulation.h"
 #include "tsc/tsc.h"
@@ -92,13 +93,13 @@ TEST(DisciplinedClock, LearnsFrequencyError) {
   ClockFixture f;
   DisciplinedClock clock(f.tsc, tsc::kPaperTscFrequencyHz * (1 - 100e-6));
   for (int i = 0; i < 40; ++i) {
-    f.sim.run_until(f.sim.now() + seconds(32));
+    f.sim.run_for(seconds(32));
     clock.apply_offset(f.sim.now() - clock.now());
   }
   EXPECT_NEAR(clock.frequency_correction_ppm(), -100.0, 20.0);
   // And the residual drift over a quiet minute is now small.
   const Duration before = clock.now() - f.sim.now();
-  f.sim.run_until(f.sim.now() + seconds(60));
+  f.sim.run_for(seconds(60));
   const Duration after = clock.now() - f.sim.now();
   EXPECT_LT(std::abs(after - before), milliseconds(3));
 }
@@ -116,7 +117,7 @@ struct NtpFixture {
     NtpClientConfig config;
     config.id = 1;
     config.servers = {100};
-    client = std::make_unique<NtpClient>(sim, net, keyring, tsc,
+    client = std::make_unique<NtpClient>(env, keyring, tsc,
                                          tsc::kPaperTscFrequencyHz, config);
   }
 
@@ -124,8 +125,9 @@ struct NtpFixture {
   net::Network net{sim, std::make_unique<net::JitterDelay>(
                             microseconds(150), microseconds(120),
                             microseconds(10))};
+  runtime::SimEnv env{sim, net};
   crypto::ClusterKeyring keyring{Bytes(32, 3)};
-  NtpServer server{net, 100, keyring};
+  NtpServer server{env, 100, keyring};
   tsc::Tsc tsc{sim, tsc::kPaperTscFrequencyHz};
   std::unique_ptr<NtpClient> client;
 };
@@ -217,18 +219,18 @@ TEST(NtpClient, HonestMajorityOutvotesLyingServer) {
   net::Network net{sim, std::make_unique<net::JitterDelay>(
                             microseconds(150), microseconds(120),
                             microseconds(10))};
+  runtime::SimEnv env{sim, net};
   crypto::ClusterKeyring keyring{Bytes(32, 3)};
-  NtpServer honest1{net, 100, keyring};
-  NtpServer honest2{net, 101, keyring};
-  NtpServer liar{net, 102, keyring};
+  NtpServer honest1{env, 100, keyring};
+  NtpServer honest2{env, 101, keyring};
+  NtpServer liar{env, 102, keyring};
   liar.set_lie_offset(seconds(5));
   tsc::Tsc tsc{sim, tsc::kPaperTscFrequencyHz};
 
   NtpClientConfig config;
   config.id = 1;
   config.servers = {100, 101, 102};
-  NtpClient client(sim, net, keyring, tsc, tsc::kPaperTscFrequencyHz,
-                   config);
+  NtpClient client(env, keyring, tsc, tsc::kPaperTscFrequencyHz, config);
   client.start();
   sim.run_until(minutes(10));
 
@@ -242,15 +244,15 @@ TEST(NtpClient, SingleLyingServerIsFollowedWithoutQuorum) {
   // multiple sources matter.)
   sim::Simulation sim{34};
   net::Network net{sim, std::make_unique<net::FixedDelay>(microseconds(200))};
+  runtime::SimEnv env{sim, net};
   crypto::ClusterKeyring keyring{Bytes(32, 3)};
-  NtpServer liar{net, 100, keyring};
+  NtpServer liar{env, 100, keyring};
   liar.set_lie_offset(seconds(5));
   tsc::Tsc tsc{sim, tsc::kPaperTscFrequencyHz};
   NtpClientConfig config;
   config.id = 1;
   config.servers = {100};
-  NtpClient client(sim, net, keyring, tsc, tsc::kPaperTscFrequencyHz,
-                   config);
+  NtpClient client(env, keyring, tsc, tsc::kPaperTscFrequencyHz, config);
   client.start();
   sim.run_until(minutes(2));
   EXPECT_GT(client.now() - sim.now(), seconds(4));
@@ -263,7 +265,7 @@ TEST(NtpClient, InvalidConfigThrows) {
   bad.servers = {100};
   bad.min_tau = 5;
   bad.max_tau = 3;
-  EXPECT_THROW(NtpClient(f.sim, f.net, f.keyring, f.tsc, 1e9, bad),
+  EXPECT_THROW(NtpClient(f.env, f.keyring, f.tsc, 1e9, bad),
                std::invalid_argument);
 }
 

@@ -145,7 +145,7 @@ TEST_P(AexStorm, FrequentInterruptsDegradeAvailabilityNotSafety) {
       prev = *ts;
     }
   });
-  sc.run_until(sc.simulation().now() + minutes(2));
+  sc.run_for(minutes(2));
   storm.stop();
 
   EXPECT_FALSE(violated);
@@ -187,11 +187,11 @@ TEST(FailureInjection, TaOutageThenRecovery) {
   }
 
   blackhole.active = true;  // TA unreachable for 10 minutes
-  sc.run_until(sc.simulation().now() + minutes(10));
+  sc.run_for(minutes(10));
   // Correlated AEXs during the outage leave nodes stuck in RefCalib
   // (resending) — but nobody crashes and no clock goes backwards.
   blackhole.active = false;
-  sc.run_until(sc.simulation().now() + minutes(2));
+  sc.run_for(minutes(2));
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(sc.node(i).state(), NodeState::kOk)
         << "node " << i << " must recover after the TA returns";
@@ -226,7 +226,7 @@ TEST(FailureInjection, SingleNodePartitionHealsViaTa) {
 
   // Every AEX now forces a TA fallback (peers unreachable).
   sc.node(0).monitoring_thread().deliver_aex();
-  sc.run_until(sc.simulation().now() + seconds(2));
+  sc.run_for(seconds(2));
   EXPECT_EQ(sc.node(0).state(), NodeState::kOk);
   EXPECT_GT(sc.node(0).stats().ta_fallbacks, 0u);
   sc.network().remove_middlebox(&partition);

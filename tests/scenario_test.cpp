@@ -285,6 +285,38 @@ TEST(ScenarioIntegration, DeterministicAcrossRuns) {
   EXPECT_NE(fingerprint(31), fingerprint(32));
 }
 
+TEST(ScenarioIntegration, ByteIdenticalTracesThroughSimEnv) {
+  // The runtime refactor must not perturb determinism: two scenarios
+  // built from the same seed, run through the same SimEnv-backed stack,
+  // must produce byte-identical adoption and state-change traces.
+  auto trace = [](std::uint64_t seed) {
+    Scenario sc(base_config(seed));
+    Recorder rec(sc);
+    sc.start();
+    sc.run_until(minutes(5));
+    std::string out;
+    for (const auto& a : rec.adoptions()) {
+      out += std::to_string(a.at) + ':' + std::to_string(a.node) + ':' +
+             std::to_string(a.local_before) + ':' +
+             std::to_string(a.adopted) + ':' + std::to_string(a.source) +
+             '\n';
+    }
+    for (const auto& c : rec.state_changes()) {
+      out += std::to_string(c.at) + ':' + std::to_string(c.node) + ':' +
+             std::to_string(static_cast<int>(c.from)) + "->" +
+             std::to_string(static_cast<int>(c.to)) + '\n';
+    }
+    out += std::to_string(sc.simulation().events_executed()) + '/' +
+           std::to_string(sc.network().stats().bytes_delivered);
+    return out;
+  };
+  const std::string first = trace(77);
+  const std::string second = trace(77);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+  EXPECT_NE(first, trace(78));
+}
+
 TEST(ScenarioIntegration, ScenarioValidatesInputs) {
   ScenarioConfig cfg;
   cfg.node_count = 0;

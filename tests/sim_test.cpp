@@ -147,6 +147,40 @@ TEST(Simulation, PendingAndExecutedCounts) {
   EXPECT_EQ(s.pending_events(), 0u);
 }
 
+TEST(Simulation, PendingEventsExactAfterCancelThenPurge) {
+  // Regression: the old implementation derived pending_events() from
+  // heap size minus a cancelled-set size; a cancelled entry that had
+  // already been purged from the heap was double-counted and the count
+  // underflowed (or drifted). Force the purge path: cancel the head,
+  // then let run_until() sweep past it.
+  Simulation s;
+  const EventId head = s.schedule_at(seconds(1), [] {});
+  s.schedule_at(seconds(3), [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  EXPECT_TRUE(s.cancel(head));
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_until(seconds(2));  // purges the dead head without executing it
+  EXPECT_EQ(s.pending_events(), 1u);  // exact: only the 3 s event left
+  EXPECT_EQ(s.events_executed(), 0u);
+  s.run();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+TEST(Simulation, RunForAdvancesRelativeToNow) {
+  Simulation s;
+  int fired = 0;
+  s.schedule_at(seconds(1), [&] { ++fired; });
+  s.schedule_at(seconds(4), [&] { ++fired; });
+  s.run_for(seconds(2));
+  EXPECT_EQ(s.now(), seconds(2));
+  EXPECT_EQ(fired, 1);
+  s.run_for(seconds(2));  // relative to the new now: stops at 4 s
+  EXPECT_EQ(s.now(), seconds(4));
+  EXPECT_EQ(fired, 2);
+  EXPECT_THROW(s.run_for(-seconds(1)), std::logic_error);
+}
+
 TEST(Simulation, DeterministicAcrossRuns) {
   auto run_once = [] {
     Simulation s(123);

@@ -2,6 +2,7 @@
 // attacker delays) and the T3E node's quota/stall semantics.
 #include <gtest/gtest.h>
 
+#include "runtime/sim_env.h"
 #include "sim/simulation.h"
 #include "t3e/t3e_node.h"
 #include "t3e/tpm.h"
@@ -11,12 +12,14 @@ namespace {
 
 struct TpmFixture {
   sim::Simulation sim{42};
-  Tpm tpm{sim, TpmParams{}, Rng(7)};
+  runtime::SimEnv env{sim};
+  Tpm tpm{env, TpmParams{}, Rng(7)};
 };
 
 TEST(Tpm, ClockAdvancesAtConfiguredRate) {
   sim::Simulation sim;
-  Tpm tpm(sim, TpmParams{.rate = 1.0}, Rng(1));
+  runtime::SimEnv env{sim};
+  Tpm tpm(env, TpmParams{.rate = 1.0}, Rng(1));
   sim.run_until(seconds(10));
   EXPECT_NEAR(static_cast<double>(tpm.clock_now()),
               static_cast<double>(seconds(10)), 2.0);
@@ -24,14 +27,16 @@ TEST(Tpm, ClockAdvancesAtConfiguredRate) {
 
 TEST(Tpm, MisconfiguredRateDrifts) {
   sim::Simulation sim;
-  Tpm tpm(sim, TpmParams{.rate = 1.325}, Rng(1));  // spec maximum
+  runtime::SimEnv env{sim};
+  Tpm tpm(env, TpmParams{.rate = 1.325}, Rng(1));  // spec maximum
   sim.run_until(seconds(100));
   EXPECT_NEAR(to_seconds(tpm.clock_now()), 132.5, 0.01);
 }
 
 TEST(Tpm, RateChangeKeepsClockContinuous) {
   sim::Simulation sim;
-  Tpm tpm(sim, TpmParams{}, Rng(1));
+  runtime::SimEnv env{sim};
+  Tpm tpm(env, TpmParams{}, Rng(1));
   sim.run_until(seconds(5));
   const SimTime before = tpm.clock_now();
   tpm.configure_rate(0.675);
@@ -43,9 +48,10 @@ TEST(Tpm, RateChangeKeepsClockContinuous) {
 
 TEST(Tpm, RateOutsideSpecEnvelopeThrows) {
   sim::Simulation sim;
-  EXPECT_THROW(Tpm(sim, TpmParams{.rate = 0.5}, Rng(1)),
+  runtime::SimEnv env{sim};
+  EXPECT_THROW(Tpm(env, TpmParams{.rate = 0.5}, Rng(1)),
                std::invalid_argument);
-  Tpm tpm(sim, TpmParams{}, Rng(1));
+  Tpm tpm(env, TpmParams{}, Rng(1));
   EXPECT_THROW(tpm.configure_rate(1.4), std::invalid_argument);
   EXPECT_THROW(tpm.configure_rate(0.6), std::invalid_argument);
 }
@@ -90,9 +96,10 @@ TEST(Tpm, NullCallbackThrows) {
 struct T3eFixture {
   T3eFixture() { node.start(); }
   sim::Simulation sim{42};
-  Tpm tpm{sim, TpmParams{}, Rng(7)};
+  runtime::SimEnv env{sim};
+  Tpm tpm{env, TpmParams{}, Rng(7)};
   T3eConfig config{};
-  T3eNode node{sim, tpm, config};
+  T3eNode node{env, tpm, config};
 };
 
 TEST(T3eNode, ServesAfterFirstRead) {
@@ -110,7 +117,7 @@ TEST(T3eNode, TimestampsMonotonic) {
   f.sim.run_until(milliseconds(10));
   SimTime prev = 0;
   for (int i = 0; i < 50; ++i) {
-    f.sim.run_until(f.sim.now() + milliseconds(1));
+    f.sim.run_for(milliseconds(1));
     if (const auto ts = f.node.serve_timestamp()) {
       EXPECT_GT(*ts, prev);
       prev = *ts;
@@ -131,11 +138,12 @@ TEST(T3eNode, HonestStalenessBoundedByRefreshPeriod) {
 
 TEST(T3eNode, UseQuotaStallsServing) {
   sim::Simulation sim(1);
-  Tpm tpm(sim, TpmParams{}, Rng(2));
+  runtime::SimEnv env{sim};
+  Tpm tpm(env, TpmParams{}, Rng(2));
   T3eConfig config;
   config.max_uses = 5;
   config.refresh_period = seconds(10);  // no refresh within the test
-  T3eNode node(sim, tpm, config);
+  T3eNode node(env, tpm, config);
   node.start();
   sim.run_until(milliseconds(10));
 
@@ -149,11 +157,12 @@ TEST(T3eNode, UseQuotaStallsServing) {
 
 TEST(T3eNode, QuotaReplenishedByFreshReading) {
   sim::Simulation sim(1);
-  Tpm tpm(sim, TpmParams{}, Rng(2));
+  runtime::SimEnv env{sim};
+  Tpm tpm(env, TpmParams{}, Rng(2));
   T3eConfig config;
   config.max_uses = 2;
   config.refresh_period = milliseconds(20);
-  T3eNode node(sim, tpm, config);
+  T3eNode node(env, tpm, config);
   node.start();
   sim.run_until(milliseconds(10));
   EXPECT_TRUE(node.serve_timestamp().has_value());
@@ -168,11 +177,12 @@ TEST(T3eNode, BlockingTpmResponsesCausesStallNotSilentStretch) {
   // attacker must block fresh readings — then the quota depletes and the
   // node goes loudly unavailable instead of serving stretched time.
   sim::Simulation sim(1);
-  Tpm tpm(sim, TpmParams{}, Rng(2));
+  runtime::SimEnv env{sim};
+  Tpm tpm(env, TpmParams{}, Rng(2));
   T3eConfig config;
   config.max_uses = 10;
   config.refresh_period = milliseconds(50);
-  T3eNode node(sim, tpm, config);
+  T3eNode node(env, tpm, config);
   node.start();
   sim.run_until(seconds(1));  // healthy warm-up
 
@@ -195,9 +205,10 @@ TEST(T3eNode, SteadyDelayShiftsTimeBoundedByDelay) {
   // Uniform 300 ms response delaying: served time lags truth by ~300 ms
   // plus the refresh period — bounded, unlike Triad's compounding F-.
   sim::Simulation sim(1);
-  Tpm tpm(sim, TpmParams{}, Rng(2));
+  runtime::SimEnv env{sim};
+  Tpm tpm(env, TpmParams{}, Rng(2));
   tpm.set_response_delay_hook([] { return milliseconds(300); });
-  T3eNode node(sim, tpm, T3eConfig{});
+  T3eNode node(env, tpm, T3eConfig{});
   node.start();
   sim.run_until(seconds(10));
   const auto ts = node.serve_timestamp();
@@ -212,8 +223,9 @@ TEST(T3eNode, TpmRateAttackIsInvisibleToT3e) {
   // of time races ahead — T3E has no cross-check (unlike Triad's INC
   // monitor + peers).
   sim::Simulation sim(1);
-  Tpm tpm(sim, TpmParams{.rate = 1.325}, Rng(2));
-  T3eNode node(sim, tpm, T3eConfig{});
+  runtime::SimEnv env{sim};
+  Tpm tpm(env, TpmParams{.rate = 1.325}, Rng(2));
+  T3eNode node(env, tpm, T3eConfig{});
   node.start();
   sim.run_until(seconds(100));
   const auto ts = node.serve_timestamp();
@@ -225,7 +237,8 @@ TEST(T3eNode, TpmRateAttackIsInvisibleToT3e) {
 
 TEST(T3eNode, StaleReorderedReadingIgnored) {
   sim::Simulation sim(1);
-  Tpm tpm(sim, TpmParams{}, Rng(2));
+  runtime::SimEnv env{sim};
+  Tpm tpm(env, TpmParams{}, Rng(2));
   // First response delayed 500 ms, later ones fast: the late (older)
   // response must not overwrite a newer reading.
   int call = 0;
@@ -234,7 +247,7 @@ TEST(T3eNode, StaleReorderedReadingIgnored) {
   });
   T3eConfig config;
   config.refresh_period = milliseconds(50);
-  T3eNode node(sim, tpm, config);
+  T3eNode node(env, tpm, config);
   node.start();
   sim.run_until(seconds(2));
   const auto ts = node.serve_timestamp();
@@ -244,13 +257,14 @@ TEST(T3eNode, StaleReorderedReadingIgnored) {
 
 TEST(T3eNode, InvalidConfigThrows) {
   sim::Simulation sim(1);
-  Tpm tpm(sim, TpmParams{}, Rng(2));
+  runtime::SimEnv env{sim};
+  Tpm tpm(env, TpmParams{}, Rng(2));
   T3eConfig bad;
   bad.max_uses = 0;
-  EXPECT_THROW(T3eNode(sim, tpm, bad), std::invalid_argument);
+  EXPECT_THROW(T3eNode(env, tpm, bad), std::invalid_argument);
   bad = {};
   bad.refresh_period = 0;
-  EXPECT_THROW(T3eNode(sim, tpm, bad), std::invalid_argument);
+  EXPECT_THROW(T3eNode(env, tpm, bad), std::invalid_argument);
 }
 
 TEST(T3eNode, StartTwiceThrows) {

@@ -196,7 +196,7 @@ TEST(IncMonitor, ContinuityCleanIntervalConsistent) {
   const IncCalibration cal = f.monitor.calibrate(kPaperWindowTicks, 100);
   f.monitor.reset_continuity();
   for (int i = 1; i <= 20; ++i) {
-    f.sim.run_until(f.sim.now() + seconds(5));
+    f.sim.run_for(seconds(5));
     const auto check = f.monitor.check_continuity(cal);
     EXPECT_TRUE(check.consistent) << "interval " << i;
     EXPECT_NEAR(check.observed_ticks, check.expected_ticks,
