@@ -2,8 +2,10 @@
 //
 //   $ ./triad_sim --nodes 3 --duration 30m
 //   $ ./triad_sim --attack fminus --victim 3 --policy triadplus --csv drift.csv
-
+//   $ ./triad_sim --attack fminus --metrics - --trace trace.jsonl
 //
+// Machine-readable output sent to stdout ('-') moves the human summary
+// to stderr, so `triad_sim --metrics - | promtool check metrics` works.
 // All logic lives in exp/cli.{h,cpp} (unit-tested); this is the thin
 // entry point.
 #include <iostream>
@@ -18,5 +20,5 @@ int main(int argc, char** argv) {
               << triad::exp::cli_usage();
     return 2;
   }
-  return triad::exp::run_cli(*options, std::cout);
+  return triad::exp::run_cli(*options, std::cout, std::cerr);
 }

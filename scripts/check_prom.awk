@@ -1,0 +1,49 @@
+# Tiny Prometheus text-format checker (plain awk — no gawk extensions).
+#
+#   awk -f scripts/check_prom.awk metrics.prom
+#
+# Accepts # HELP/# TYPE comments and sample lines `name[{labels}] value`;
+# requires every sample's family to carry a # TYPE declaration and at
+# least one sample overall. Prints the first offence and exits 1.
+
+function fail(msg) {
+  printf "check_prom: line %d: %s\n", NR, msg
+  bad = 1
+  exit 1
+}
+
+{
+  if ($0 == "") next
+  if (substr($0, 1, 1) == "#") {
+    if ($2 != "HELP" && $2 != "TYPE") fail("unknown comment: " $0)
+    if ($2 == "TYPE") {
+      if ($4 != "counter" && $4 != "gauge" && $4 != "histogram")
+        fail("bad metric type: " $0)
+      typed[$3] = $4
+    }
+    next
+  }
+  name = $0
+  sub(/[{ ].*$/, "", name)
+  if (name !~ /^[A-Za-z_:][A-Za-z0-9_:]*$/)
+    fail("bad metric name: " $0)
+  if (index($0, "{") > 0 && index($0, "}") == 0)
+    fail("unterminated label set: " $0)
+  value = $NF
+  if (value !~ /^[-+]?([0-9]+(\.[0-9]*)?|\.[0-9]+)([eE][-+]?[0-9]+)?$/ &&
+      value != "+Inf" && value != "-Inf" && value != "NaN")
+    fail("bad sample value: " $0)
+  family = name
+  sub(/_(bucket|sum|count)$/, "", family)
+  if (!(name in typed) && !(family in typed))
+    fail("sample without # TYPE: " $0)
+  samples++
+}
+
+END {
+  if (bad) exit 1
+  if (samples == 0) {
+    print "check_prom: no samples found"
+    exit 1
+  }
+}

@@ -21,6 +21,25 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Observability smoke: a short F- run must export Prometheus text that
+# parses, and the adoption-step counter must match the Recorder's
+# adoption event count printed in the summary.
+./build/examples/triad_sim --duration 2m --seed 9 --attack fminus \
+    --metrics obs_metrics.prom --trace obs_trace.jsonl > obs_summary.txt \
+  || { echo "obs smoke: triad_sim failed" >&2; exit 1; }
+awk -f scripts/check_prom.awk obs_metrics.prom \
+  || { echo "obs smoke: metrics failed to parse" >&2; exit 1; }
+adoptions_metric=$(awk '/^triad_node_adoptions_total/ { sum += $NF } \
+                        END { printf "%d", sum }' obs_metrics.prom)
+adoptions_summary=$(awk '/^adoption events:/ { print $3 }' obs_summary.txt)
+if [ "$adoptions_metric" != "$adoptions_summary" ]; then
+  echo "obs smoke: adoption counter ($adoptions_metric) !=" \
+       "summary count ($adoptions_summary)" >&2
+  exit 1
+fi
+echo "obs smoke ok: $adoptions_metric adoptions," \
+     "$(wc -l < obs_trace.jsonl) trace events"
+
 : > bench_output.txt
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue

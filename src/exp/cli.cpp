@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <charconv>
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 
 #include "exp/recorder.h"
 #include "exp/scenario.h"
+#include "obs/export.h"
 #include "resilient/triad_plus.h"
+#include "util/log.h"
 
 namespace triad::exp {
 namespace {
@@ -74,6 +77,10 @@ std::string cli_usage() {
       "  --attested         derive channel keys from X25519 attestation\n"
       "                     handshakes instead of a provisioned secret\n"
       "  --csv PATH         dump recorded series as CSV ('-' = stdout)\n"
+      "  --metrics PATH     dump final metrics as Prometheus text\n"
+      "                     ('-' = stdout)\n"
+      "  --trace PATH       dump the protocol trace as JSON Lines\n"
+      "                     ('-' = stdout)\n"
       "  --help             this text\n";
 }
 
@@ -105,9 +112,10 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       continue;
     }
     static constexpr std::string_view kValueFlags[] = {
-        "--seed",    "--nodes",        "--duration", "--attack",
-        "--victim",  "--policy",       "--env",      "--csv",
-        "--machine", "--attack-delay", "--wan-delay"};
+        "--seed",    "--nodes",        "--duration",  "--attack",
+        "--victim",  "--policy",       "--env",       "--csv",
+        "--machine", "--attack-delay", "--wan-delay", "--metrics",
+        "--trace"};
     const bool known =
         std::find(std::begin(kValueFlags), std::end(kValueFlags), arg) !=
         std::end(kValueFlags);
@@ -158,6 +166,10 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       }
     } else if (arg == "--csv") {
       options.csv_path = std::string(*v);
+    } else if (arg == "--metrics") {
+      options.metrics_path = std::string(*v);
+    } else if (arg == "--trace") {
+      options.trace_path = std::string(*v);
     }
   }
 
@@ -170,14 +182,37 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
   if (options.machines.size() > options.nodes) {
     return fail("more --machine entries than nodes");
   }
+  int stdout_targets = 0;
+  for (const auto& path :
+       {options.csv_path, options.metrics_path, options.trace_path}) {
+    if (path && *path == "-") ++stdout_targets;
+  }
+  if (stdout_targets > 1) {
+    return fail("at most one of --csv/--metrics/--trace may be '-'");
+  }
   return options;
 }
 
 int run_cli(const CliOptions& options, std::ostream& out) {
+  return run_cli(options, out, std::cerr);
+}
+
+int run_cli(const CliOptions& options, std::ostream& out,
+            std::ostream& err) {
   if (options.help) {
     out << cli_usage();
     return 0;
   }
+
+  // When a machine-readable output goes to stdout, the human summary
+  // moves to the error stream so consumers can pipe stdout directly.
+  const auto targets_stdout = [](const std::optional<std::string>& path) {
+    return path && *path == "-";
+  };
+  const bool machine_on_stdout = targets_stdout(options.csv_path) ||
+                                 targets_stdout(options.metrics_path) ||
+                                 targets_stdout(options.trace_path);
+  std::ostream& summary = machine_on_stdout ? err : out;
 
   ScenarioConfig cfg;
   cfg.seed = options.seed;
@@ -194,8 +229,15 @@ int run_cli(const CliOptions& options, std::ostream& out) {
     cfg.node_template = resilient::harden(cfg.node_template);
     cfg.policy_factory = [] { return resilient::make_triad_plus_policy(); };
   }
+  // Metrics are cheap (callback series + pre-resolved handles), so the
+  // CLI always records them; the trace ring only exists when asked for.
+  cfg.enable_metrics = true;
+  if (options.trace_path) cfg.trace_capacity = std::size_t{1} << 18;
 
   Scenario scenario(std::move(cfg));
+  // Log lines carry the same virtual-time tag the trace events do.
+  const runtime::Env env = scenario.env();
+  const ScopedLogTime log_time([env] { return env.now(); });
   if (options.attack != "none") {
     attacks::DelayAttackConfig attack;
     attack.kind = options.attack == "fplus" ? attacks::AttackKind::kFPlus
@@ -210,9 +252,9 @@ int run_cli(const CliOptions& options, std::ostream& out) {
   scenario.start();
   scenario.run_until(options.duration);
 
-  out << "scenario: nodes=" << options.nodes << " seed=" << options.seed
-      << " duration=" << to_seconds(options.duration) << "s attack="
-      << options.attack << " policy=" << options.policy << "\n";
+  summary << "scenario: nodes=" << options.nodes << " seed=" << options.seed
+          << " duration=" << to_seconds(options.duration) << "s attack="
+          << options.attack << " policy=" << options.policy << "\n";
   for (std::size_t i = 0; i < scenario.node_count(); ++i) {
     TriadNode& node = scenario.node(i);
     std::ostringstream drift;
@@ -222,28 +264,55 @@ int run_cli(const CliOptions& options, std::ostream& out) {
     } else {
       drift << "n/a";
     }
-    out << "node " << (i + 1) << ": state=" << to_string(node.state())
-        << " F_calib=" << node.calibrated_frequency_hz() / 1e6
-        << "MHz availability=" << node.availability() * 100.0
-        << "% aex=" << node.stats().aex_count
-        << " ta_refs=" << node.stats().ta_time_references
-        << " drift_ms=[" << drift.str() << "]\n";
+    summary << "node " << (i + 1) << ": state=" << to_string(node.state())
+            << " F_calib=" << node.calibrated_frequency_hz() / 1e6
+            << "MHz availability=" << node.availability() * 100.0
+            << "% aex=" << node.stats().aex_count
+            << " ta_refs=" << node.stats().ta_time_references
+            << " drift_ms=[" << drift.str() << "]\n";
   }
-  out << "ta requests served: "
-      << scenario.time_authority().stats().requests_served << "\n";
+  summary << "ta requests served: "
+          << scenario.time_authority().stats().requests_served << "\n";
+  summary << "adoption events: " << recorder.adoptions().size() << "\n";
+  if (scenario.trace() != nullptr) {
+    summary << "trace events: " << scenario.trace()->total() << " (dropped "
+            << scenario.trace()->dropped() << ")\n";
+  }
 
-  if (options.csv_path) {
-    if (*options.csv_path == "-") {
-      recorder.series().write_csv(out);
-    } else {
-      std::ofstream file(*options.csv_path);
-      if (!file) {
-        out << "error: cannot open " << *options.csv_path << "\n";
-        return 1;
-      }
-      recorder.series().write_csv(file);
-      out << "series written to " << *options.csv_path << "\n";
+  // Writes `what` to the flagged path: stdout when "-", a file otherwise.
+  const auto write_output = [&](const std::string& path, const char* what,
+                                auto&& writer) -> bool {
+    if (path == "-") {
+      writer(out);
+      return true;
     }
+    std::ofstream file(path);
+    if (!file) {
+      summary << "error: cannot open " << path << "\n";
+      return false;
+    }
+    writer(file);
+    summary << what << " written to " << path << "\n";
+    return true;
+  };
+
+  if (options.csv_path &&
+      !write_output(*options.csv_path, "series", [&](std::ostream& os) {
+        recorder.series().write_csv(os);
+      })) {
+    return 1;
+  }
+  if (options.metrics_path &&
+      !write_output(*options.metrics_path, "metrics", [&](std::ostream& os) {
+        scenario.metrics()->write_prometheus(os);
+      })) {
+    return 1;
+  }
+  if (options.trace_path &&
+      !write_output(*options.trace_path, "trace", [&](std::ostream& os) {
+        obs::write_jsonl(*scenario.trace(), os);
+      })) {
+    return 1;
   }
   return 0;
 }

@@ -36,6 +36,11 @@ struct CliOptions {
   bool attested = false;
   /// Write the recorded series as CSV to this path ("-" = stdout).
   std::optional<std::string> csv_path;
+  /// Write the final metrics registry in Prometheus text format ("-" =
+  /// stdout).
+  std::optional<std::string> metrics_path;
+  /// Write the protocol trace as JSON Lines ("-" = stdout).
+  std::optional<std::string> trace_path;
   bool help = false;
 };
 
@@ -46,8 +51,14 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
 /// One-line-per-flag usage text.
 std::string cli_usage();
 
-/// Runs the described experiment, writing human-readable results (and
-/// CSV if requested) to `out`. Returns a process exit code.
+/// Runs the described experiment. Machine-readable output (CSV /
+/// Prometheus metrics / JSONL trace) requested with path "-" goes to
+/// `out`; the human summary then moves to `err` so the streams never
+/// interleave. With no stdout machine output the summary stays on `out`.
+/// At most one output may target stdout. Returns a process exit code.
+int run_cli(const CliOptions& options, std::ostream& out, std::ostream& err);
+
+/// Convenience overload: `err` = std::cerr.
 int run_cli(const CliOptions& options, std::ostream& out);
 
 }  // namespace triad::exp

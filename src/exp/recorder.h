@@ -7,6 +7,12 @@
 //   * protocol state (timing diagram)                      -> Fig 3b
 // plus cluster-wide network traffic (bytes on the wire) and the
 // discrete clock-adoption (time-jump) events.
+//
+// When the scenario has a metrics registry (enable_metrics), the
+// Recorder is a *consumer* of the obs series: per-node counters and
+// network byte counts are read back through the registry instead of the
+// raw stats structs, and the sampled drift is mirrored into the
+// triad_drift_ms gauge so the Prometheus export carries it too.
 #pragma once
 
 #include <memory>
@@ -78,6 +84,8 @@ class Recorder {
   std::vector<stats::TimeSeries*> state_;
   stats::TimeSeries* net_bytes_sent_ = nullptr;
   stats::TimeSeries* net_bytes_delivered_ = nullptr;
+  std::vector<obs::Gauge> drift_gauges_;  // triad_drift_ms{node=}; no-op
+                                          // without a registry
   std::vector<AdoptionEvent> adoptions_;
   std::vector<StateChangeEvent> state_changes_;
   std::unique_ptr<runtime::PeriodicTimer> timer_;

@@ -30,7 +30,7 @@ std::unique_ptr<enclave::AexDistribution> make_distribution(
 }
 
 runtime::ClusterConfig Scenario::make_cluster_config(
-    const ScenarioConfig& config) {
+    const ScenarioConfig& config, runtime::ObsBinding obs) {
   if (config.node_count == 0) {
     throw std::invalid_argument("Scenario: need at least one node");
   }
@@ -40,11 +40,19 @@ runtime::ClusterConfig Scenario::make_cluster_config(
   cluster.delay = std::make_unique<net::JitterDelay>(
       config.net_base_delay, config.net_jitter, microseconds(10));
   cluster.master_secret = demo_master_secret();
+  cluster.obs = obs;
   return cluster;
 }
 
 Scenario::Scenario(ScenarioConfig config)
-    : config_(std::move(config)), harness_(make_cluster_config(config_)) {
+    : config_(std::move(config)),
+      metrics_(config_.enable_metrics ? std::make_unique<obs::Registry>()
+                                      : nullptr),
+      trace_(config_.trace_capacity > 0
+                 ? std::make_unique<obs::RingTraceSink>(config_.trace_capacity)
+                 : nullptr),
+      harness_(make_cluster_config(
+          config_, runtime::ObsBinding{metrics_.get(), trace_.get()})) {
   config_.environments.resize(config_.node_count,
                               AexEnvironment::kTriadLike);
   config_.machine_of.resize(config_.node_count, 0);
@@ -78,6 +86,14 @@ Scenario::Scenario(ScenarioConfig config)
       for (std::size_t j = 0; j < endpoints.size(); ++j) {
         if (i == j) continue;
         auto result = parties[i].accept(parties[j].offer(), measurement);
+        if (trace_) {
+          obs::TraceEvent event;
+          event.type = obs::TraceEventType::kHandshake;
+          event.node = endpoints[i];
+          event.peer = endpoints[j];
+          event.a = result ? 1 : 0;
+          trace_->emit(event);  // deployment time: at stays 0
+        }
         if (!result) {
           throw std::logic_error("Scenario: attestation handshake failed");
         }

@@ -16,6 +16,8 @@
 #include "crypto/channel.h"
 #include "crypto/handshake.h"
 #include "enclave/aex_source.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/cluster_harness.h"
 
 namespace triad::exp {
@@ -75,6 +77,15 @@ struct ScenarioConfig {
   /// the provisioned cluster secret. External endpoints attached via
   /// keyring() are not supported in this mode (they hold no sessions).
   bool attested_keys = false;
+
+  /// Observability: when true the scenario owns an obs::Registry that
+  /// every component (sim, network, nodes, TA) registers into; read it
+  /// via Scenario::metrics(). Off by default — an unobserved scenario
+  /// pays nothing on the hot path.
+  bool enable_metrics = false;
+  /// When > 0, the scenario owns a bounded RingTraceSink holding the
+  /// last `trace_capacity` protocol trace events (Scenario::trace()).
+  std::size_t trace_capacity = 0;
 };
 
 class Scenario {
@@ -115,6 +126,11 @@ class Scenario {
     return config_.machine_of.at(i);
   }
 
+  /// The scenario-owned metrics registry (null unless enable_metrics).
+  [[nodiscard]] obs::Registry* metrics() { return metrics_.get(); }
+  /// The scenario-owned trace ring (null unless trace_capacity > 0).
+  [[nodiscard]] obs::RingTraceSink* trace() { return trace_.get(); }
+
   /// Node addressing: node i (0-based) lives at address i+1; the TA at
   /// node_count()+1.
   [[nodiscard]] NodeId node_address(std::size_t i) const;
@@ -136,9 +152,13 @@ class Scenario {
   /// Builds the harness config (and validates node_count) so harness_
   /// can live in the initializer list.
   static runtime::ClusterConfig make_cluster_config(
-      const ScenarioConfig& config);
+      const ScenarioConfig& config, runtime::ObsBinding obs);
 
   ScenarioConfig config_;
+  // Declared before harness_: every component registers into these at
+  // construction and unregisters at destruction, so they must outlive it.
+  std::unique_ptr<obs::Registry> metrics_;
+  std::unique_ptr<obs::RingTraceSink> trace_;
   runtime::ClusterHarness harness_;
   std::vector<crypto::SessionKeyring> session_keyrings_;  // attested mode
   std::vector<std::unique_ptr<enclave::AexDriver>> drivers_;

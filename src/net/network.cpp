@@ -23,6 +23,65 @@ Network::Network(sim::Simulation& sim,
   }
 }
 
+Network::~Network() {
+  if (obs_registry_ != nullptr) obs_registry_->unregister(this);
+}
+
+void Network::bind_obs(obs::Registry* registry, obs::TraceSink* trace) {
+  if (obs_registry_ != nullptr) obs_registry_->unregister(this);
+  obs_registry_ = registry;
+  trace_ = trace;
+  if (registry == nullptr) {
+    delivery_delay_ = {};
+    return;
+  }
+  const auto count = [this](const std::uint64_t NetworkStats::* field,
+                            const char* name, const char* help) {
+    obs_registry_->set_help(name, help);
+    obs_registry_->counter_fn(this, name, {}, [this, field] {
+      return static_cast<double>(stats_.*field);
+    });
+  };
+  count(&NetworkStats::sent, "triad_net_packets_sent_total",
+        "Datagrams handed to Network::send");
+  count(&NetworkStats::delivered, "triad_net_packets_delivered_total",
+        "Datagrams that reached a receive handler");
+  count(&NetworkStats::dropped_by_loss, "triad_net_dropped_loss_total",
+        "Datagrams dropped by random loss");
+  count(&NetworkStats::dropped_by_middlebox,
+        "triad_net_dropped_middlebox_total",
+        "Datagrams dropped by a middlebox (attacker)");
+  count(&NetworkStats::dropped_no_receiver,
+        "triad_net_dropped_no_receiver_total",
+        "Datagrams whose destination had no handler attached");
+  count(&NetworkStats::bytes_sent, "triad_net_bytes_sent_total",
+        "Payload bytes handed to Network::send");
+  count(&NetworkStats::bytes_delivered, "triad_net_bytes_delivered_total",
+        "Payload bytes that reached a receive handler");
+  registry->set_help("triad_net_delivery_delay_seconds",
+                     "Wire delay of delivered datagrams");
+  delivery_delay_ = registry->histogram(
+      "triad_net_delivery_delay_seconds",
+      {0.0001, 0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0});
+}
+
+void Network::trace_packet(obs::TraceEventType type, const Packet& packet,
+                           std::int64_t b) const {
+  obs::TraceEvent event;
+  event.at = sim_.now();
+  event.type = type;
+  if (type == obs::TraceEventType::kPacketDeliver) {
+    event.node = packet.dst;
+    event.peer = packet.src;
+  } else {
+    event.node = packet.src;
+    event.peer = packet.dst;
+  }
+  event.a = static_cast<std::int64_t>(packet.id);
+  event.b = b;
+  trace_->emit(event);
+}
+
 void Network::attach(NodeId addr, Handler handler) {
   if (!handler) throw std::invalid_argument("Network::attach: null handler");
   handlers_[addr] = std::move(handler);
@@ -63,9 +122,16 @@ void Network::send(NodeId src, NodeId dst, Bytes payload) {
   ++stats_.sent;
   stats_.bytes_sent += payload.size();
   Packet packet{src, dst, std::move(payload), sim_.now(), next_packet_id_++};
+  if (trace_ != nullptr) {
+    trace_packet(obs::TraceEventType::kPacketSend, packet,
+                 static_cast<std::int64_t>(packet.payload.size()));
+  }
 
   if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
     ++stats_.dropped_by_loss;
+    if (trace_ != nullptr) {
+      trace_packet(obs::TraceEventType::kPacketDrop, packet, 0);
+    }
     return;
   }
 
@@ -74,7 +140,10 @@ void Network::send(NodeId src, NodeId dst, Bytes payload) {
     const Middlebox::Action action = box->on_packet(packet, sim_.now());
     if (action.drop) {
       ++stats_.dropped_by_middlebox;
-      TRIAD_LOG_DEBUG("net") << "packet " << packet.id << " " << src << "->"
+      if (trace_ != nullptr) {
+        trace_packet(obs::TraceEventType::kPacketDrop, packet, 1);
+      }
+      TRIAD_LOG_DEBUG("triad.net") << "packet " << packet.id << " " << src << "->"
                              << dst << " dropped by middlebox";
       return;
     }
@@ -104,10 +173,18 @@ void Network::deliver(std::uint32_t slot) {
   const auto it = handlers_.find(packet.dst);
   if (it == handlers_.end()) {
     ++stats_.dropped_no_receiver;
+    if (trace_ != nullptr) {
+      trace_packet(obs::TraceEventType::kPacketDrop, packet, 2);
+    }
     return;
   }
   ++stats_.delivered;
   stats_.bytes_delivered += packet.payload.size();
+  delivery_delay_.observe(to_seconds(sim_.now() - packet.sent_at));
+  if (trace_ != nullptr) {
+    trace_packet(obs::TraceEventType::kPacketDeliver, packet,
+                 static_cast<std::int64_t>(packet.payload.size()));
+  }
   it->second(packet);
 }
 

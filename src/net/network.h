@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "net/delay_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulation.h"
 #include "util/bytes.h"
 #include "util/types.h"
@@ -60,6 +62,9 @@ class Network {
 
   /// The default delay model applies to every link without an override.
   Network(sim::Simulation& sim, std::unique_ptr<DelayModel> default_delay);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   /// Registers the receive handler for an address. One handler per
   /// address; re-attaching replaces the previous handler.
@@ -84,9 +89,18 @@ class Network {
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
 
+  /// Folds NetworkStats into `registry` as triad_net_* callback series
+  /// (zero hot-path cost; unregistered in the destructor), registers the
+  /// triad_net_delivery_delay_seconds histogram, and starts emitting
+  /// packet_send/packet_drop/packet_deliver trace events to `trace`.
+  /// Either pointer may be null; null detaches.
+  void bind_obs(obs::Registry* registry, obs::TraceSink* trace);
+
  private:
   DelayModel& model_for(NodeId src, NodeId dst);
   void deliver(std::uint32_t slot);
+  void trace_packet(obs::TraceEventType type, const Packet& packet,
+                    std::int64_t b) const;
 
   sim::Simulation& sim_;
   Rng rng_;
@@ -97,6 +111,9 @@ class Network {
   double loss_probability_ = 0.0;
   std::uint64_t next_packet_id_ = 1;
   NetworkStats stats_;
+  obs::Registry* obs_registry_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Histogram delivery_delay_;
   // Packets in flight live in a slab; the delivery closure captures only
   // (this, slot), which fits std::function's inline storage, so neither
   // the payload nor the closure is copied or heap-allocated per send.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ntp/ntp_server.h"  // wire-format tags
+#include "obs/metrics.h"
 #include "resilient/marzullo.h"
 #include "util/bytes.h"
 #include "util/log.h"
@@ -32,11 +33,38 @@ NtpClient::NtpClient(runtime::Env env, const crypto::Keyring& keyring,
   }
   env_.transport().attach(
       config_.id, [this](const runtime::Packet& packet) { on_packet(packet); });
+  if (obs::Registry* registry = env_.metrics(); registry != nullptr) {
+    const obs::Labels labels{{"node", std::to_string(config_.id)}};
+    const auto count = [&](const std::uint64_t NtpClientStats::* field,
+                           const char* name, const char* help) {
+      registry->set_help(name, help);
+      registry->counter_fn(this, name, labels, [this, field] {
+        return static_cast<double>(stats_.*field);
+      });
+    };
+    count(&NtpClientStats::polls, "triad_ntp_polls_total",
+          "Poll rounds sent to the server set");
+    count(&NtpClientStats::samples, "triad_ntp_samples_total",
+          "Plausible round-trip samples accepted");
+    count(&NtpClientStats::implausible, "triad_ntp_implausible_total",
+          "Samples discarded by the plausibility check");
+    count(&NtpClientStats::applied, "triad_ntp_applied_total",
+          "Offsets applied to the disciplined clock");
+    count(&NtpClientStats::steps, "triad_ntp_steps_total",
+          "Applied offsets large enough to step the clock");
+    count(&NtpClientStats::falsetickers_rejected,
+          "triad_ntp_falsetickers_rejected_total",
+          "Server candidates excluded by Marzullo selection");
+    registry->set_help("triad_ntp_tau", "Current poll exponent (2^tau s)");
+    registry->gauge_fn(this, "triad_ntp_tau", labels,
+                       [this] { return static_cast<double>(tau_); });
+  }
 }
 
 NtpClient::~NtpClient() {
   env_.cancel(next_poll_);
   env_.transport().detach(config_.id);
+  if (env_.metrics() != nullptr) env_.metrics()->unregister(this);
 }
 
 void NtpClient::start() {
@@ -152,6 +180,13 @@ void NtpClient::select_and_apply() {
   const bool stepped = clock_.apply_offset(chosen->offset);
   if (stepped) {
     ++stats_.steps;
+    if (env_.tracing()) {
+      obs::TraceEvent event;
+      event.type = obs::TraceEventType::kClockStep;
+      event.node = config_.id;
+      event.a = chosen->offset;
+      env_.emit(event);
+    }
     // Retained samples were measured against the pre-step timescale;
     // mixing them with post-step ones would corrupt the selection.
     for (Source& source : sources_) source.filter.clear();
@@ -164,7 +199,7 @@ void NtpClient::select_and_apply() {
   } else {
     tau_ = std::max(tau_ - 1, config_.min_tau);
   }
-  TRIAD_LOG_DEBUG("ntp") << "client " << config_.id << " offset "
+  TRIAD_LOG_DEBUG("triad.ntp") << "client " << config_.id << " offset "
                          << to_milliseconds(chosen->offset) << "ms delay "
                          << to_milliseconds(chosen->delay) << "ms tau "
                          << tau_;

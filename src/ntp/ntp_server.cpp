@@ -1,5 +1,6 @@
 #include "ntp/ntp_server.h"
 
+#include "obs/metrics.h"
 #include "util/bytes.h"
 
 namespace triad::ntp {
@@ -11,9 +12,27 @@ NtpServer::NtpServer(runtime::Env env, NodeId address,
       processing_delay_(processing_delay) {
   env_.transport().attach(
       address_, [this](const runtime::Packet& packet) { on_packet(packet); });
+  if (obs::Registry* registry = env_.metrics(); registry != nullptr) {
+    const obs::Labels labels{{"node", std::to_string(address_)}};
+    registry->set_help("triad_ntp_server_requests_total",
+                       "NTP requests answered");
+    registry->counter_fn(this, "triad_ntp_server_requests_total", labels,
+                         [this] {
+                           return static_cast<double>(stats_.requests_served);
+                         });
+    registry->set_help("triad_ntp_server_rejected_frames_total",
+                       "Unauthenticated/malformed NTP frames dropped");
+    registry->counter_fn(this, "triad_ntp_server_rejected_frames_total",
+                         labels, [this] {
+                           return static_cast<double>(stats_.rejected_frames);
+                         });
+  }
 }
 
-NtpServer::~NtpServer() { env_.transport().detach(address_); }
+NtpServer::~NtpServer() {
+  env_.transport().detach(address_);
+  if (env_.metrics() != nullptr) env_.metrics()->unregister(this);
+}
 
 void NtpServer::on_packet(const runtime::Packet& packet) {
   const auto opened = channel_.open(packet.payload);

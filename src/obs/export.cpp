@@ -1,0 +1,183 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace triad::obs {
+namespace {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin() { buf_ = "{"; }
+  void end() {
+    buf_ += '}';
+    out_ << buf_;
+  }
+
+  void field(const char* key, std::int64_t value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRId64, sep(), key, value);
+    buf_ += buf;
+  }
+  void field(const char* key, std::uint64_t value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, sep(), key, value);
+    buf_ += buf;
+  }
+  void field(const char* key, double value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%.10g", sep(), key, value);
+    buf_ += buf;
+  }
+  void field(const char* key, const char* value) {
+    buf_ += sep();
+    buf_ += '"';
+    buf_ += key;
+    buf_ += "\":\"";
+    buf_ += value;  // values are enum names: never need escaping
+    buf_ += '"';
+  }
+  void field(const char* key, bool value) {
+    buf_ += sep();
+    buf_ += '"';
+    buf_ += key;
+    buf_ += value ? "\":true" : "\":false";
+  }
+
+ private:
+  const char* sep() { return buf_.size() > 1 ? "," : ""; }
+  std::ostream& out_;
+  std::string buf_;
+};
+
+const char* drop_reason_name(std::int64_t reason) {
+  switch (reason) {
+    case 0: return "loss";
+    case 1: return "middlebox";
+    case 2: return "no_receiver";
+  }
+  return "?";
+}
+
+const char* outcome_name(std::int64_t outcome) {
+  switch (outcome) {
+    case 0: return "adopt";
+    case 1: return "keep_local";
+    case 2: return "ta_fallback";
+    case 3: return "no_answers";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_prometheus(const Registry& registry, std::ostream& out) {
+  registry.write_prometheus(out);
+}
+
+void write_csv(const Registry& registry, std::ostream& out) {
+  registry.write_csv(out);
+}
+
+void write_json_line(const TraceEvent& event, std::ostream& out) {
+  JsonWriter w(out);
+  w.begin();
+  w.field("t", static_cast<std::int64_t>(event.at));
+  w.field("type", to_string(event.type));
+  if (event.node != 0) w.field("node", static_cast<std::int64_t>(event.node));
+  switch (event.type) {
+    case TraceEventType::kStateChange:
+      w.field("from", event.a);
+      w.field("to", event.b);
+      break;
+    case TraceEventType::kAdoption:
+      w.field("source", static_cast<std::int64_t>(event.peer));
+      w.field("before", event.a);
+      w.field("adopted", event.b);
+      w.field("step_ns", event.b - event.a);
+      break;
+    case TraceEventType::kAex:
+      w.field("count", event.a);
+      break;
+    case TraceEventType::kIncAlarm:
+      w.field("window_failed", event.a != 0);
+      w.field("continuity_failed", event.b != 0);
+      break;
+    case TraceEventType::kCalibration:
+      w.field("f_hz", event.x);
+      w.field("r2", event.y);
+      w.field("samples", event.a);
+      break;
+    case TraceEventType::kPeerQuery:
+      w.field("request", event.a);
+      w.field("proactive", event.b != 0);
+      break;
+    case TraceEventType::kPeerResponse:
+      w.field("peer", static_cast<std::int64_t>(event.peer));
+      w.field("request", event.a);
+      w.field("tainted", event.b != 0);
+      break;
+    case TraceEventType::kPeerOutcome:
+      w.field("request", event.a);
+      w.field("outcome", outcome_name(event.b));
+      if (event.peer != 0) {
+        w.field("source", static_cast<std::int64_t>(event.peer));
+      }
+      break;
+    case TraceEventType::kTaRequest:
+      w.field("request", event.a);
+      w.field("wait_s", event.x);
+      break;
+    case TraceEventType::kTaResponse:
+      w.field("request", event.a);
+      w.field("ta_time", event.b);
+      break;
+    case TraceEventType::kTaFallback:
+      w.field("count", event.a);
+      break;
+    case TraceEventType::kTaServe:
+      w.field("client", static_cast<std::int64_t>(event.peer));
+      w.field("request", event.a);
+      w.field("wait_s", event.x);
+      break;
+    case TraceEventType::kPacketSend:
+      w.field("dst", static_cast<std::int64_t>(event.peer));
+      w.field("packet", event.a);
+      w.field("bytes", event.b);
+      break;
+    case TraceEventType::kPacketDrop:
+      w.field("dst", static_cast<std::int64_t>(event.peer));
+      w.field("packet", event.a);
+      w.field("reason", drop_reason_name(event.b));
+      break;
+    case TraceEventType::kPacketDeliver:
+      w.field("src", static_cast<std::int64_t>(event.peer));
+      w.field("packet", event.a);
+      w.field("bytes", event.b);
+      break;
+    case TraceEventType::kHandshake:
+      w.field("peer", static_cast<std::int64_t>(event.peer));
+      w.field("ok", event.a != 0);
+      break;
+    case TraceEventType::kBadFrame:
+      w.field("src", static_cast<std::int64_t>(event.peer));
+      w.field("count", event.a);
+      break;
+    case TraceEventType::kClockStep:
+      w.field("offset_ns", event.a);
+      break;
+  }
+  w.end();
+}
+
+void write_jsonl(const RingTraceSink& sink, std::ostream& out) {
+  sink.for_each([&out](const TraceEvent& event) {
+    write_json_line(event, out);
+    out << '\n';
+  });
+}
+
+}  // namespace triad::obs

@@ -1,0 +1,34 @@
+// Exporters for the observability layer:
+//   * Prometheus text exposition format for the metrics registry;
+//   * JSON Lines (one object per line) for protocol traces;
+//   * CSV snapshots of the registry.
+//
+// All exports are deterministic for identical inputs (registration-order
+// iteration, fixed float formatting), so seeded runs produce
+// byte-identical files — the property the determinism tests pin down.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace triad::obs {
+
+/// Prometheus text format (# TYPE/# HELP comments + one sample per line;
+/// histograms expand to _bucket/_sum/_count).
+void write_prometheus(const Registry& registry, std::ostream& out);
+
+/// Registry snapshot as "metric,kind,labels,value,count" rows.
+void write_csv(const Registry& registry, std::ostream& out);
+
+/// One event as a single-line JSON object (no trailing newline). The
+/// generic a/b/x/y slots are rendered under per-type field names, e.g.
+///   {"t":1500000000,"type":"adoption","node":3,"source":4,
+///    "before":1499998000,"adopted":1500002000,"step_ns":4000}
+void write_json_line(const TraceEvent& event, std::ostream& out);
+
+/// Every retained event of the ring, oldest first, one line each.
+void write_jsonl(const RingTraceSink& sink, std::ostream& out);
+
+}  // namespace triad::obs

@@ -1,0 +1,338 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace triad::obs {
+namespace {
+
+/// Prometheus-compatible value formatting. Integral values print without
+/// a decimal point (counters stay exact); everything else uses %.10g.
+/// Deterministic for identical inputs, which the byte-stable export
+/// guarantee rests on.
+void append_value(std::string& out, double v) {
+  char buf[64];
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  out += buf;
+}
+
+/// Renders {k="v",...} with minimal escaping (label values here are node
+/// ids and component names; quotes/backslashes are escaped defensively).
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += label.key;
+    out += "=\"";
+    for (char c : label.value) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Labels with one pair appended (for histogram le="...").
+std::string render_labels_with(const Labels& labels, const Label& extra) {
+  Labels all = labels;
+  all.push_back(extra);
+  return render_labels(all);
+}
+
+std::string format_bound(double bound) {
+  std::string out;
+  append_value(out, bound);
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void HistogramCell::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds.size() && v > bounds[i]) ++i;
+  ++counts[i];
+  sum += v;
+  ++count;
+}
+
+double Registry::Series::scalar_value() const {
+  if (read) return read();
+  if (counter != nullptr) return static_cast<double>(*counter);
+  if (gauge != nullptr) return *gauge;
+  if (histogram != nullptr) return histogram->sum;
+  return 0.0;
+}
+
+Registry::Family& Registry::family(std::string_view name, MetricKind kind) {
+  for (Family& fam : families_) {
+    if (fam.name == name) {
+      if (fam.kind != kind) {
+        throw std::logic_error("obs::Registry: metric '" + fam.name +
+                               "' re-registered as a different kind");
+      }
+      return fam;
+    }
+  }
+  families_.push_back(Family{std::string(name), kind, {}, {}});
+  Family& fam = families_.back();
+  if (const auto it = pending_help_.find(fam.name);
+      it != pending_help_.end()) {
+    fam.help = it->second;
+    pending_help_.erase(it);
+  }
+  return fam;
+}
+
+Registry::Series* Registry::find_series(Family& fam, const Labels& labels) {
+  for (Series& series : fam.series) {
+    if (series.labels == labels) return &series;
+  }
+  return nullptr;
+}
+
+Counter Registry::counter(std::string_view name, Labels labels) {
+  Family& fam = family(name, MetricKind::kCounter);
+  if (Series* existing = find_series(fam, labels)) {
+    if (existing->counter == nullptr) {
+      throw std::logic_error("obs::Registry: counter '" + fam.name +
+                             "' already exported as a callback series");
+    }
+    return Counter(existing->counter);
+  }
+  counter_cells_.push_back(0);
+  Series series;
+  series.labels = std::move(labels);
+  series.counter = &counter_cells_.back();
+  fam.series.push_back(std::move(series));
+  return Counter(fam.series.back().counter);
+}
+
+Gauge Registry::gauge(std::string_view name, Labels labels) {
+  Family& fam = family(name, MetricKind::kGauge);
+  if (Series* existing = find_series(fam, labels)) {
+    if (existing->gauge == nullptr) {
+      throw std::logic_error("obs::Registry: gauge '" + fam.name +
+                             "' already exported as a callback series");
+    }
+    return Gauge(existing->gauge);
+  }
+  gauge_cells_.push_back(0.0);
+  Series series;
+  series.labels = std::move(labels);
+  series.gauge = &gauge_cells_.back();
+  fam.series.push_back(std::move(series));
+  return Gauge(fam.series.back().gauge);
+}
+
+Histogram Registry::histogram(std::string_view name, std::vector<double> bounds,
+                              Labels labels) {
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    throw std::invalid_argument(
+        "obs::Registry: histogram bounds must be non-empty and strictly "
+        "ascending");
+  }
+  Family& fam = family(name, MetricKind::kHistogram);
+  if (Series* existing = find_series(fam, labels)) {
+    return Histogram(existing->histogram);
+  }
+  HistogramCell cell;
+  cell.counts.assign(bounds.size() + 1, 0);
+  cell.bounds = std::move(bounds);
+  histogram_cells_.push_back(std::move(cell));
+  Series series;
+  series.labels = std::move(labels);
+  series.histogram = &histogram_cells_.back();
+  fam.series.push_back(std::move(series));
+  return Histogram(fam.series.back().histogram);
+}
+
+void Registry::counter_fn(const void* owner, std::string_view name,
+                          Labels labels, ReadFn fn) {
+  Family& fam = family(name, MetricKind::kCounter);
+  if (find_series(fam, labels) != nullptr) {
+    throw std::logic_error("obs::Registry: duplicate series for counter '" +
+                           fam.name + "'");
+  }
+  Series series;
+  series.labels = std::move(labels);
+  series.read = std::move(fn);
+  series.owner = owner;
+  fam.series.push_back(std::move(series));
+}
+
+void Registry::gauge_fn(const void* owner, std::string_view name,
+                        Labels labels, ReadFn fn) {
+  Family& fam = family(name, MetricKind::kGauge);
+  if (find_series(fam, labels) != nullptr) {
+    throw std::logic_error("obs::Registry: duplicate series for gauge '" +
+                           fam.name + "'");
+  }
+  Series series;
+  series.labels = std::move(labels);
+  series.read = std::move(fn);
+  series.owner = owner;
+  fam.series.push_back(std::move(series));
+}
+
+void Registry::unregister(const void* owner) {
+  if (owner == nullptr) return;
+  for (Family& fam : families_) {
+    std::erase_if(fam.series,
+                  [owner](const Series& s) { return s.owner == owner; });
+  }
+}
+
+void Registry::set_help(std::string_view name, std::string_view help) {
+  for (Family& fam : families_) {
+    if (fam.name == name) {
+      fam.help = std::string(help);
+      return;
+    }
+  }
+  // Help may be declared before the first series registers (components
+  // set help alongside registration in either order); stash it.
+  pending_help_[std::string(name)] = std::string(help);
+}
+
+std::vector<SeriesSnapshot> Registry::snapshot() const {
+  std::vector<SeriesSnapshot> out;
+  for (const Family& fam : families_) {
+    for (const Series& series : fam.series) {
+      SeriesSnapshot snap;
+      snap.name = fam.name;
+      snap.labels = series.labels;
+      snap.kind = fam.kind;
+      snap.value = series.scalar_value();
+      if (series.histogram != nullptr) {
+        snap.count = series.histogram->count;
+        snap.bounds = series.histogram->bounds;
+        snap.bucket_counts = series.histogram->counts;
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  return out;
+}
+
+std::optional<double> Registry::value(std::string_view name,
+                                      const Labels& labels) const {
+  for (const Family& fam : families_) {
+    if (fam.name != name) continue;
+    for (const Series& series : fam.series) {
+      if (series.labels == labels) return series.scalar_value();
+    }
+  }
+  return std::nullopt;
+}
+
+double Registry::total(std::string_view name) const {
+  double sum = 0.0;
+  for (const Family& fam : families_) {
+    if (fam.name != name) continue;
+    for (const Series& series : fam.series) sum += series.scalar_value();
+  }
+  return sum;
+}
+
+std::size_t Registry::series_count() const {
+  std::size_t n = 0;
+  for (const Family& fam : families_) n += fam.series.size();
+  return n;
+}
+
+void Registry::write_prometheus(std::ostream& out) const {
+  std::string buf;
+  for (const Family& fam : families_) {
+    if (fam.series.empty()) continue;
+    buf.clear();
+    if (!fam.help.empty()) {
+      buf += "# HELP " + fam.name + " " + fam.help + "\n";
+    }
+    buf += "# TYPE " + fam.name + " " + to_string(fam.kind) + "\n";
+    for (const Series& series : fam.series) {
+      if (series.histogram != nullptr) {
+        const HistogramCell& cell = *series.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < cell.bounds.size(); ++i) {
+          cumulative += cell.counts[i];
+          buf += fam.name + "_bucket" +
+                 render_labels_with(series.labels,
+                                    {"le", format_bound(cell.bounds[i])});
+          buf += ' ';
+          append_value(buf, static_cast<double>(cumulative));
+          buf += '\n';
+        }
+        cumulative += cell.counts.back();
+        buf += fam.name + "_bucket" +
+               render_labels_with(series.labels, {"le", "+Inf"});
+        buf += ' ';
+        append_value(buf, static_cast<double>(cumulative));
+        buf += '\n';
+        buf += fam.name + "_sum" + render_labels(series.labels) + ' ';
+        append_value(buf, cell.sum);
+        buf += '\n';
+        buf += fam.name + "_count" + render_labels(series.labels) + ' ';
+        append_value(buf, static_cast<double>(cell.count));
+        buf += '\n';
+      } else {
+        buf += fam.name + render_labels(series.labels) + ' ';
+        append_value(buf, series.scalar_value());
+        buf += '\n';
+      }
+    }
+    out << buf;
+  }
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  out << "metric,kind,labels,value,count\n";
+  std::string buf;
+  for (const SeriesSnapshot& snap : snapshot()) {
+    buf.clear();
+    buf += snap.name;
+    buf += ',';
+    buf += to_string(snap.kind);
+    buf += ',';
+    // Labels as k=v pairs joined with ';' (CSV-safe: no commas).
+    bool first = true;
+    for (const Label& label : snap.labels) {
+      if (!first) buf += ';';
+      first = false;
+      buf += label.key + "=" + label.value;
+    }
+    buf += ',';
+    append_value(buf, snap.value);
+    buf += ',';
+    append_value(buf, static_cast<double>(snap.count));
+    buf += '\n';
+    out << buf;
+  }
+}
+
+}  // namespace triad::obs

@@ -1,0 +1,212 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with a small label dimension (node=, component=).
+//
+// Two registration styles, both deterministic in iteration order
+// (registration order, never hash order — exports must be byte-stable
+// across identical runs):
+//   * direct handles — counter()/gauge()/histogram() resolve the series
+//     once and hand back a value-type handle whose hot-path operation is
+//     a null check plus one store, with no map lookup and no allocation
+//     per increment. A default-constructed handle is a no-op, so
+//     components built without a registry pay a single predictable
+//     branch.
+//   * callback series — counter_fn()/gauge_fn() export an existing stats
+//     struct field (NodeStats, NetworkStats, ...) by reading it at
+//     snapshot time. Zero hot-path cost; the owner tag lets a component
+//     unregister its callbacks on destruction.
+//
+// The registry must outlive every component bound to it (same lifetime
+// rule as runtime::Env backends).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace triad::obs {
+
+struct Label {
+  std::string key;
+  std::string value;
+  friend bool operator==(const Label&, const Label&) = default;
+};
+using Labels = std::vector<Label>;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricKind kind);
+
+/// Monotonically increasing count. No-op when default-constructed.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) {
+    if (cell_ != nullptr) *cell_ += n;
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return cell_ != nullptr ? *cell_ : 0;
+  }
+  [[nodiscard]] bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
+  std::uint64_t* cell_ = nullptr;
+};
+
+/// Last-write-wins scalar. No-op when default-constructed.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (cell_ != nullptr) *cell_ = v;
+  }
+  void add(double v) {
+    if (cell_ != nullptr) *cell_ += v;
+  }
+  [[nodiscard]] double value() const { return cell_ != nullptr ? *cell_ : 0.0; }
+  [[nodiscard]] bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(double* cell) : cell_(cell) {}
+  double* cell_ = nullptr;
+};
+
+/// Fixed upper bounds (ascending); the implicit +Inf bucket is counts
+/// back(). observe() is a short linear scan — bucket lists stay small.
+struct HistogramCell {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  void observe(double v);
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) {
+    if (cell_ != nullptr) cell_->observe(v);
+  }
+  [[nodiscard]] bool attached() const { return cell_ != nullptr; }
+  [[nodiscard]] const HistogramCell* cell() const { return cell_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(HistogramCell* cell) : cell_(cell) {}
+  HistogramCell* cell_ = nullptr;
+};
+
+/// One series' exported state (see Registry::snapshot()).
+struct SeriesSnapshot {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  // counter/gauge value; histogram sum
+  std::uint64_t count = 0;  // histogram observation count
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // --- direct handles (pre-resolved; hot-path safe) --------------------
+  /// Resolves (name, labels) to a cell, creating it on first use; the
+  /// same pair always yields the same cell. Throws std::logic_error when
+  /// `name` is already registered with a different kind.
+  Counter counter(std::string_view name, Labels labels = {});
+  Gauge gauge(std::string_view name, Labels labels = {});
+  /// `bounds` must be strictly ascending; reuse of an existing series
+  /// keeps the original bounds.
+  Histogram histogram(std::string_view name, std::vector<double> bounds,
+                      Labels labels = {});
+
+  // --- callback series (zero hot-path cost) ----------------------------
+  using ReadFn = std::function<double()>;
+  /// Exports fn() as a counter/gauge series. `owner` tags the series so
+  /// the registering component can unregister() it before it dies.
+  void counter_fn(const void* owner, std::string_view name, Labels labels,
+                  ReadFn fn);
+  void gauge_fn(const void* owner, std::string_view name, Labels labels,
+                ReadFn fn);
+  /// Drops every callback series registered under `owner`.
+  void unregister(const void* owner);
+
+  /// Help text shown in the Prometheus export ("# HELP ..." line).
+  void set_help(std::string_view name, std::string_view help);
+
+  // --- reading ---------------------------------------------------------
+  /// Every series in deterministic (registration) order.
+  [[nodiscard]] std::vector<SeriesSnapshot> snapshot() const;
+  /// Value of one series; nullopt when absent. Histograms report sum.
+  [[nodiscard]] std::optional<double> value(std::string_view name,
+                                            const Labels& labels = {}) const;
+  /// Sum across all series of one family (e.g. a counter over all nodes).
+  [[nodiscard]] double total(std::string_view name) const;
+  [[nodiscard]] std::size_t series_count() const;
+
+  void write_prometheus(std::ostream& out) const;
+  void write_csv(std::ostream& out) const;
+
+ private:
+  struct Series {
+    Labels labels;
+    // Exactly one of these is set.
+    std::uint64_t* counter = nullptr;
+    double* gauge = nullptr;
+    HistogramCell* histogram = nullptr;
+    ReadFn read;
+    const void* owner = nullptr;
+    [[nodiscard]] double scalar_value() const;
+  };
+  struct Family {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    std::vector<Series> series;
+  };
+
+  Family& family(std::string_view name, MetricKind kind);
+  static Series* find_series(Family& fam, const Labels& labels);
+
+  std::vector<Family> families_;
+  // Help text declared before the family's first series registers; moved
+  // onto the Family at creation time.
+  std::map<std::string, std::string, std::less<>> pending_help_;
+  // Cells live in deques: stable addresses across growth, owned here.
+  std::deque<std::uint64_t> counter_cells_;
+  std::deque<double> gauge_cells_;
+  std::deque<HistogramCell> histogram_cells_;
+};
+
+/// Handle helpers for optional registries: resolve when `registry` is
+/// non-null, otherwise return a no-op handle.
+inline Counter make_counter(Registry* registry, std::string_view name,
+                            Labels labels = {}) {
+  return registry != nullptr ? registry->counter(name, std::move(labels))
+                             : Counter{};
+}
+inline Gauge make_gauge(Registry* registry, std::string_view name,
+                        Labels labels = {}) {
+  return registry != nullptr ? registry->gauge(name, std::move(labels))
+                             : Gauge{};
+}
+inline Histogram make_histogram(Registry* registry, std::string_view name,
+                                std::vector<double> bounds,
+                                Labels labels = {}) {
+  return registry != nullptr
+             ? registry->histogram(name, std::move(bounds), std::move(labels))
+             : Histogram{};
+}
+
+}  // namespace triad::obs

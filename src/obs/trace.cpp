@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace triad::obs {
+
+const char* to_string(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kStateChange: return "state_change";
+    case TraceEventType::kAdoption: return "adoption";
+    case TraceEventType::kAex: return "aex";
+    case TraceEventType::kIncAlarm: return "inc_alarm";
+    case TraceEventType::kCalibration: return "calibration";
+    case TraceEventType::kPeerQuery: return "peer_query";
+    case TraceEventType::kPeerResponse: return "peer_response";
+    case TraceEventType::kPeerOutcome: return "peer_outcome";
+    case TraceEventType::kTaRequest: return "ta_request";
+    case TraceEventType::kTaResponse: return "ta_response";
+    case TraceEventType::kTaFallback: return "ta_fallback";
+    case TraceEventType::kTaServe: return "ta_serve";
+    case TraceEventType::kPacketSend: return "packet_send";
+    case TraceEventType::kPacketDrop: return "packet_drop";
+    case TraceEventType::kPacketDeliver: return "packet_deliver";
+    case TraceEventType::kHandshake: return "handshake";
+    case TraceEventType::kBadFrame: return "bad_frame";
+    case TraceEventType::kClockStep: return "clock_step";
+  }
+  return "?";
+}
+
+RingTraceSink::RingTraceSink(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("RingTraceSink: capacity must be > 0");
+  }
+  ring_.reserve(capacity_);
+}
+
+void RingTraceSink::emit(const TraceEvent& event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[total_ % capacity_] = event;
+  }
+  ++total_;
+}
+
+std::size_t RingTraceSink::size() const { return ring_.size(); }
+
+void RingTraceSink::for_each(
+    const std::function<void(const TraceEvent&)>& fn) const {
+  if (ring_.size() < capacity_) {
+    for (const TraceEvent& event : ring_) fn(event);
+    return;
+  }
+  const std::size_t start = total_ % capacity_;  // oldest retained event
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    fn(ring_[(start + i) % capacity_]);
+  }
+}
+
+std::vector<TraceEvent> RingTraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size());
+  for_each([&out](const TraceEvent& event) { out.push_back(event); });
+  return out;
+}
+
+void RingTraceSink::clear() {
+  ring_.clear();
+  total_ = 0;
+}
+
+void TeeTraceSink::add(TraceSink* sink) {
+  if (sink == nullptr) throw std::invalid_argument("TeeTraceSink: null sink");
+  sinks_.push_back(sink);
+}
+
+void TeeTraceSink::remove(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void TeeTraceSink::emit(const TraceEvent& event) {
+  for (TraceSink* sink : sinks_) sink->emit(event);
+}
+
+}  // namespace triad::obs

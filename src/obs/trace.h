@@ -1,0 +1,132 @@
+// Structured protocol trace: a typed event record emitted through a
+// TraceSink hung off runtime::Env, so every backend and component shares
+// one emission path.
+//
+// TraceEvent is a fixed-size POD — emission never allocates, and with no
+// sink attached the whole path is one pointer null check (see
+// runtime::Env::emit). Field meaning is per-type (documented at the
+// enum); the JSONL exporter (obs/export.h) maps the generic a/b/x/y
+// slots to named fields.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/types.h"
+
+namespace triad::obs {
+
+enum class TraceEventType : std::uint8_t {
+  /// Node protocol-state transition. a=from, b=to (triad::NodeState).
+  kStateChange = 0,
+  /// Clock stepped onto external evidence. peer=source (peer id or TA
+  /// address), a=local time before, b=adopted time.
+  kAdoption,
+  /// Asynchronous enclave exit severed time continuity. a=cumulative
+  /// AEX count.
+  kAex,
+  /// INC monitor flagged a TSC rate/offset discrepancy. a=1 when the
+  /// windowed check failed, b=1 when the continuity check failed.
+  kIncAlarm,
+  /// Frequency calibration regression completed. x=slope (F_calib Hz),
+  /// y=r², a=sample count.
+  kCalibration,
+  /// Peer untaint round started. a=request id, b=1 when proactive.
+  kPeerQuery,
+  /// Peer answer received. peer=responder, a=request id, b=1 when the
+  /// responder reported itself tainted.
+  kPeerResponse,
+  /// Peer round decided. a=request id, b=outcome (0 adopt, 1 keep-local,
+  /// 2 TA fallback, 3 no usable answers), peer=adopted source (0 = none).
+  kPeerOutcome,
+  /// TA round-trip started. a=request id, x=requested wait (seconds).
+  kTaRequest,
+  /// TA answer accepted. a=request id, b=TA time.
+  kTaResponse,
+  /// Peer evidence unusable; node falls back to the TA. a=cumulative
+  /// fallback count.
+  kTaFallback,
+  /// TA served a request. peer=client, a=request id, x=wait (seconds).
+  kTaServe,
+  /// Datagram handed to the transport. peer=destination, a=packet id,
+  /// b=payload bytes.
+  kPacketSend,
+  /// Datagram dropped. peer=destination, a=packet id, b=reason
+  /// (0 random loss, 1 middlebox, 2 no receiver).
+  kPacketDrop,
+  /// Datagram delivered. node=destination, peer=source, a=packet id,
+  /// b=payload bytes.
+  kPacketDeliver,
+  /// Attestation handshake finished. peer=remote endpoint, a=1 on
+  /// success, 0 on failure.
+  kHandshake,
+  /// Authenticated frame rejected (bad auth tag / decode). peer=claimed
+  /// source address, a=cumulative bad-frame count.
+  kBadFrame,
+  /// Disciplined clock stepped (vs slewed). a=offset (ns).
+  kClockStep,
+};
+
+[[nodiscard]] const char* to_string(TraceEventType type);
+
+struct TraceEvent {
+  SimTime at = 0;
+  TraceEventType type = TraceEventType::kStateChange;
+  NodeId node = 0;  // subject endpoint (0 = environment-level event)
+  NodeId peer = 0;  // other endpoint, when the type defines one
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Consumer of trace events. Implementations must not throw from emit.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+};
+
+/// Bounded ring of events: keeps the most recent `capacity` events and
+/// counts what it had to drop. Emission is an index increment plus a
+/// 48-byte store — no allocation after construction.
+class RingTraceSink final : public TraceSink {
+ public:
+  explicit RingTraceSink(std::size_t capacity);
+
+  void emit(const TraceEvent& event) override;
+
+  /// Events currently retained (<= capacity()).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events ever emitted / overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ - static_cast<std::uint64_t>(size());
+  }
+
+  /// Visits retained events oldest-to-newest.
+  void for_each(const std::function<void(const TraceEvent&)>& fn) const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+};
+
+/// Fan-out sink: forwards each event to every registered sink (non-owning).
+class TeeTraceSink final : public TraceSink {
+ public:
+  void add(TraceSink* sink);
+  void remove(TraceSink* sink);
+  void emit(const TraceEvent& event) override;
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace triad::obs

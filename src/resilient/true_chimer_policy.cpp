@@ -16,12 +16,31 @@ TrueChimerPolicy::TrueChimerPolicy(TrueChimerConfig config)
   }
 }
 
+void TrueChimerPolicy::bind_obs(obs::Registry* registry, NodeId node) {
+  if (registry == nullptr) return;
+  const std::string id = std::to_string(node);
+  registry->set_help("triad_policy_decisions_total",
+                     "True-chimer untaint decisions by outcome");
+  decide_keep_local_ = registry->counter(
+      "triad_policy_decisions_total",
+      {{"node", id}, {"outcome", "keep_local"}});
+  decide_adopt_ = registry->counter("triad_policy_decisions_total",
+                                    {{"node", id}, {"outcome", "adopt"}});
+  decide_ask_ta_ = registry->counter("triad_policy_decisions_total",
+                                     {{"node", id}, {"outcome", "ask_ta"}});
+  registry->set_help("triad_policy_quorum_failures_total",
+                     "Decisions where no majority clique of clocks agreed");
+  quorum_failures_ =
+      registry->counter("triad_policy_quorum_failures_total", {{"node", id}});
+}
+
 UntaintPolicy::Decision TrueChimerPolicy::decide(
     SimTime local_now, Duration local_error,
     const std::vector<PeerSample>& samples) {
   Decision decision;
   if (samples.empty() || local_error > config_.max_local_error) {
     decision.action = Decision::Action::kAskTimeAuthority;
+    decide_ask_ta_.inc();
     return decision;
   }
 
@@ -45,6 +64,8 @@ UntaintPolicy::Decision TrueChimerPolicy::decide(
     // No majority clique of true-chimers: do not guess, ask the root of
     // trust.
     decision.action = Decision::Action::kAskTimeAuthority;
+    quorum_failures_.inc();
+    decide_ask_ta_.inc();
     return decision;
   }
 
@@ -64,6 +85,7 @@ UntaintPolicy::Decision TrueChimerPolicy::decide(
       std::find(chimers.begin(), chimers.end(), 0u) != chimers.end();
   if (own_consistent) {
     decision.action = Decision::Action::kKeepLocal;
+    decide_keep_local_.inc();
     return decision;
   }
 
@@ -77,10 +99,12 @@ UntaintPolicy::Decision TrueChimerPolicy::decide(
   }
   if (widest > config_.adopt_error_ceiling) {
     decision.action = Decision::Action::kAskTimeAuthority;
+    decide_ask_ta_.inc();
     return decision;
   }
 
   decision.action = Decision::Action::kAdopt;
+  decide_adopt_.inc();
   decision.adopted_time = best.midpoint();
   Duration best_error = kSimTimeMax;
   for (std::size_t idx : chimers) {

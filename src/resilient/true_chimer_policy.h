@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "triad/policy.h"
 
 namespace triad::resilient {
@@ -46,6 +47,11 @@ class TrueChimerPolicy final : public UntaintPolicy {
  public:
   explicit TrueChimerPolicy(TrueChimerConfig config = {});
 
+  /// Registers triad_policy_decisions_total{node=,outcome=} plus
+  /// triad_policy_quorum_failures_total{node=} (direct counters;
+  /// incremented inside decide(), no-op without a registry).
+  void bind_obs(obs::Registry* registry, NodeId node) override;
+
   [[nodiscard]] Mode mode() const override { return Mode::kCollectAll; }
   [[nodiscard]] Decision decide(
       SimTime local_now, Duration local_error,
@@ -53,6 +59,10 @@ class TrueChimerPolicy final : public UntaintPolicy {
 
  private:
   TrueChimerConfig config_;
+  obs::Counter decide_keep_local_;
+  obs::Counter decide_adopt_;
+  obs::Counter decide_ask_ta_;
+  obs::Counter quorum_failures_;
 };
 
 std::unique_ptr<UntaintPolicy> make_true_chimer_policy(

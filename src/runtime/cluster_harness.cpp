@@ -26,7 +26,7 @@ ClusterHarness::ClusterHarness(ClusterConfig config)
       sim_(config.seed),
       network_(std::make_unique<net::Network>(
           sim_, delay_or_default(std::move(config.delay)))),
-      sim_env_(sim_, *network_),
+      sim_env_(sim_, *network_, config.obs),
       keyring_(std::move(config.master_secret)) {}
 
 NodeId ClusterHarness::node_address(std::size_t i) const {

@@ -36,6 +36,10 @@ struct ClusterConfig {
   std::unique_ptr<net::DelayModel> delay;
   /// Cluster master secret standing in for SGX attested key exchange.
   Bytes master_secret = Bytes(32, 0x42);
+  /// Observability attachment, threaded into every component's Env and
+  /// bound to the Simulation/Network backends (see SimEnv). The owner of
+  /// the Registry/TraceSink must outlive the harness. Default: unobserved.
+  ObsBinding obs{};
 };
 
 /// Owns the simulated world a cluster runs in. Move- and copy-disabled:

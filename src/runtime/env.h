@@ -19,11 +19,27 @@
 #include <functional>
 #include <string_view>
 
+#include "obs/trace.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 #include "util/types.h"
 
+namespace triad::obs {
+class Registry;
+}  // namespace triad::obs
+
 namespace triad::runtime {
+
+/// Observability attachment shared by every component of one environment.
+/// Both pointers are optional and non-owning; with `trace == nullptr`
+/// emission is a single null check and with `metrics == nullptr`
+/// components skip registration and use no-op handles, so an unobserved
+/// environment pays (almost) nothing. Whoever owns the Registry/TraceSink
+/// must keep them alive as long as the components bound to them.
+struct ObsBinding {
+  obs::Registry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
+};
 
 /// Token identifying a scheduled callback; usable to cancel it.
 struct TimerId {
@@ -91,9 +107,10 @@ class Env {
  public:
   /// `transport` may be null for components that never touch the network
   /// (accessing transport() then throws std::logic_error).
-  Env(Clock& clock, Scheduler& scheduler, Transport* transport, Rng& rng)
+  Env(Clock& clock, Scheduler& scheduler, Transport* transport, Rng& rng,
+      ObsBinding obs = {})
       : clock_(&clock), scheduler_(&scheduler), transport_(transport),
-        rng_(&rng) {}
+        rng_(&rng), obs_(obs) {}
 
   [[nodiscard]] Clock& clock() const { return *clock_; }
   [[nodiscard]] Scheduler& scheduler() const { return *scheduler_; }
@@ -115,11 +132,28 @@ class Env {
     return rng_->fork(label);
   }
 
+  // --- observability ---------------------------------------------------
+  /// Metrics registry, or null when the environment is unobserved.
+  [[nodiscard]] obs::Registry* metrics() const { return obs_.metrics; }
+  [[nodiscard]] obs::TraceSink* trace_sink() const { return obs_.trace; }
+  /// Guard for emit(): true only when a trace sink is attached. Call
+  /// sites wrap event construction in `if (env.tracing())` so building
+  /// the event costs nothing when tracing is off.
+  [[nodiscard]] bool tracing() const { return obs_.trace != nullptr; }
+  /// Stamps `event.at` with the environment clock and emits it. No-op
+  /// (one null check) without a sink.
+  void emit(obs::TraceEvent event) const {
+    if (obs_.trace == nullptr) return;
+    event.at = clock_->now();
+    obs_.trace->emit(event);
+  }
+
  private:
   Clock* clock_;
   Scheduler* scheduler_;
   Transport* transport_;
   Rng* rng_;
+  ObsBinding obs_;
 };
 
 /// Periodic callback helper built on Env; cancels itself on destruction

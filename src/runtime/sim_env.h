@@ -33,15 +33,25 @@ class SimTransport final : public Transport {
 /// One simulated environment: Simulation for clock+scheduler+rng, and an
 /// optional Network for transport. Components receive env() by value;
 /// SimEnv must outlive every component built on it.
+///
+/// An ObsBinding given here is threaded everywhere: into the Env handed
+/// to protocol components AND into the backends themselves (Simulation
+/// registers its event-loop metrics, Network its packet metrics + trace
+/// events), so one attachment observes the whole environment.
 class SimEnv {
  public:
   /// Environment without a network (Env::transport() throws).
-  explicit SimEnv(sim::Simulation& sim)
-      : env_(sim, sim, nullptr, sim.rng()) {}
+  explicit SimEnv(sim::Simulation& sim, ObsBinding obs = {})
+      : env_(sim, sim, nullptr, sim.rng(), obs) {
+    sim.bind_obs(obs.metrics);
+  }
 
-  SimEnv(sim::Simulation& sim, net::Network& network)
+  SimEnv(sim::Simulation& sim, net::Network& network, ObsBinding obs = {})
       : transport_(std::in_place, network),
-        env_(sim, sim, &transport_.value(), sim.rng()) {}
+        env_(sim, sim, &transport_.value(), sim.rng(), obs) {
+    sim.bind_obs(obs.metrics);
+    network.bind_obs(obs.metrics, obs.trace);
+  }
 
   [[nodiscard]] Env env() const { return env_; }
   operator Env() const { return env_; }  // NOLINT(google-explicit-constructor)

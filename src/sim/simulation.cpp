@@ -7,7 +7,34 @@ namespace triad::sim {
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
 
-Simulation::~Simulation() = default;
+Simulation::~Simulation() {
+  if (obs_registry_ != nullptr) obs_registry_->unregister(this);
+}
+
+void Simulation::bind_obs(obs::Registry* registry) {
+  if (obs_registry_ != nullptr) obs_registry_->unregister(this);
+  obs_registry_ = registry;
+  if (registry == nullptr) {
+    obs_scheduled_ = {};
+    obs_fired_ = {};
+    obs_cancelled_ = {};
+    return;
+  }
+  registry->set_help("triad_sim_events_scheduled_total",
+                     "Events accepted by schedule_at/schedule_after");
+  registry->set_help("triad_sim_events_fired_total",
+                     "Events whose handler actually ran");
+  registry->set_help("triad_sim_events_cancelled_total",
+                     "Pending events cancelled before firing");
+  registry->set_help("triad_sim_queue_depth",
+                     "Currently pending (non-cancelled) events");
+  obs_scheduled_ = registry->counter("triad_sim_events_scheduled_total");
+  obs_fired_ = registry->counter("triad_sim_events_fired_total");
+  obs_cancelled_ = registry->counter("triad_sim_events_cancelled_total");
+  registry->gauge_fn(this, "triad_sim_queue_depth", {}, [this] {
+    return static_cast<double>(live_count_);
+  });
+}
 
 std::uint32_t Simulation::acquire_slot(std::function<void()> fn) {
   std::uint32_t index;
@@ -46,6 +73,7 @@ EventId Simulation::schedule_at(SimTime t, std::function<void()> fn) {
       (index + 1);
   heap_.push(Event{t, next_seq_++, id});
   ++live_count_;
+  obs_scheduled_.inc();
   return EventId{id};
 }
 
@@ -68,6 +96,7 @@ bool Simulation::cancel(EventId id) {
   slot.fn = nullptr;
   slot.live = false;
   --live_count_;
+  obs_cancelled_.inc();
   return true;
 }
 
@@ -94,6 +123,7 @@ bool Simulation::step() {
   --live_count_;
   now_ = ev.time;
   ++events_executed_;
+  obs_fired_.inc();
   fn();
   return true;
 }

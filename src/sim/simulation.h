@@ -22,6 +22,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/env.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -78,6 +79,12 @@ class Simulation final : public runtime::Clock, public runtime::Scheduler {
   /// Exact number of currently pending (non-cancelled) events.
   [[nodiscard]] std::size_t pending_events() const { return live_count_; }
 
+  /// Registers the event loop's metrics with `registry` (null detaches):
+  /// counters triad_sim_events_{scheduled,fired,cancelled}_total plus a
+  /// triad_sim_queue_depth gauge read at snapshot time. The callback
+  /// series is tagged with this Simulation and dropped in the destructor.
+  void bind_obs(obs::Registry* registry);
+
  private:
   /// One handler slot in the slab. A slot is bound to exactly one heap
   /// entry at a time and is recycled (generation bumped) only when that
@@ -118,6 +125,10 @@ class Simulation final : public runtime::Clock, public runtime::Scheduler {
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;
   std::size_t live_count_ = 0;
+  obs::Registry* obs_registry_ = nullptr;
+  obs::Counter obs_scheduled_;
+  obs::Counter obs_fired_;
+  obs::Counter obs_cancelled_;
   Rng rng_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
   std::vector<Slot> slots_;

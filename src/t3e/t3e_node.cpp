@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace triad::t3e {
 
 T3eNode::T3eNode(runtime::Env env, Tpm& tpm, T3eConfig config)
@@ -10,9 +12,26 @@ T3eNode::T3eNode(runtime::Env env, Tpm& tpm, T3eConfig config)
   if (config_.refresh_period <= 0 || config_.max_uses == 0) {
     throw std::invalid_argument("T3eConfig: invalid parameters");
   }
+  if (obs::Registry* registry = env_.metrics(); registry != nullptr) {
+    const auto count = [&](const std::uint64_t T3eStats::* field,
+                           const char* name, const char* help) {
+      registry->set_help(name, help);
+      registry->counter_fn(this, name, {}, [this, field] {
+        return static_cast<double>(stats_.*field);
+      });
+    };
+    count(&T3eStats::tpm_reads, "triad_t3e_tpm_reads_total",
+          "TPM clock fetches requested");
+    count(&T3eStats::served, "triad_t3e_served_total",
+          "Timestamps served from the current reading");
+    count(&T3eStats::stalled, "triad_t3e_stalled_total",
+          "Requests refused: reading depleted or missing");
+  }
 }
 
-T3eNode::~T3eNode() = default;
+T3eNode::~T3eNode() {
+  if (env_.metrics() != nullptr) env_.metrics()->unregister(this);
+}
 
 void T3eNode::start() {
   if (started_) throw std::logic_error("T3eNode::start called twice");

@@ -1,5 +1,6 @@
 #include "ta/time_authority.h"
 
+#include "obs/metrics.h"
 #include "util/log.h"
 
 namespace triad::ta {
@@ -11,9 +12,27 @@ TimeAuthority::TimeAuthority(runtime::Env env, NodeId address,
       max_wait_(max_wait) {
   env_.transport().attach(
       address_, [this](const runtime::Packet& packet) { on_packet(packet); });
+  if (obs::Registry* registry = env_.metrics(); registry != nullptr) {
+    const auto count = [&](const std::uint64_t TimeAuthorityStats::* field,
+                           const char* name, const char* help) {
+      registry->set_help(name, help);
+      registry->counter_fn(this, name, {}, [this, field] {
+        return static_cast<double>(stats_.*field);
+      });
+    };
+    count(&TimeAuthorityStats::requests_served, "triad_ta_requests_total",
+          "Authenticated wait-then-timestamp requests served");
+    count(&TimeAuthorityStats::rejected_frames, "triad_ta_rejected_frames_total",
+          "Unauthenticated/malformed frames dropped");
+    count(&TimeAuthorityStats::rejected_waits, "triad_ta_rejected_waits_total",
+          "Requests rejected for exceeding the wait bound");
+  }
 }
 
-TimeAuthority::~TimeAuthority() { env_.transport().detach(address_); }
+TimeAuthority::~TimeAuthority() {
+  env_.transport().detach(address_);
+  if (env_.metrics() != nullptr) env_.metrics()->unregister(this);
+}
 
 SimTime TimeAuthority::reference_now() const { return env_.now(); }
 
@@ -38,13 +57,22 @@ void TimeAuthority::on_packet(const runtime::Packet& packet) {
   const std::uint64_t request_id = request.request_id;
   const Duration wait = request.wait;
   ++stats_.requests_served;
+  if (env_.tracing()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kTaServe;
+    event.node = address_;
+    event.peer = client;
+    event.a = static_cast<std::int64_t>(request_id);
+    event.x = to_seconds(wait);
+    env_.emit(event);
+  }
 
   env_.schedule_after(wait, [this, client, request_id, wait] {
     proto::TaResponse response;
     response.request_id = request_id;
     response.ta_time = reference_now();
     response.requested_wait = wait;
-    TRIAD_LOG_DEBUG("ta") << "reply to node " << client << " req "
+    TRIAD_LOG_DEBUG("triad.ta") << "reply to node " << client << " req "
                           << request_id << " wait " << to_seconds(wait)
                           << "s";
     env_.transport().send(address_, client,

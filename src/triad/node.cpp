@@ -1,6 +1,7 @@
 #include "triad/node.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/log.h"
@@ -40,6 +41,8 @@ TriadNode::TriadNode(runtime::Env env, const crypto::Keyring& keyring,
   env_.transport().attach(
       config_.id, [this](const runtime::Packet& packet) { on_packet(packet); });
   thread_.set_aex_handler([this] { on_aex(); });
+  register_metrics();
+  policy_->bind_obs(env_.metrics(), config_.id);
 }
 
 TriadNode::~TriadNode() {
@@ -48,6 +51,68 @@ TriadNode::~TriadNode() {
   if (peer_round_) env_.cancel(peer_round_->timeout);
   deadline_timer_.reset();
   env_.transport().detach(config_.id);
+  if (env_.metrics() != nullptr) env_.metrics()->unregister(this);
+}
+
+void TriadNode::register_metrics() {
+  obs::Registry* registry = env_.metrics();
+  if (registry == nullptr) return;
+  const obs::Labels labels{{"node", std::to_string(config_.id)}};
+  const auto count = [&](const std::uint64_t NodeStats::* field,
+                         const char* name, const char* help) {
+    registry->set_help(name, help);
+    registry->counter_fn(this, name, labels, [this, field] {
+      return static_cast<double>(stats_.*field);
+    });
+  };
+  count(&NodeStats::aex_count, "triad_node_aex_total",
+        "Asynchronous enclave exits observed");
+  count(&NodeStats::full_calibrations, "triad_node_full_calibrations_total",
+        "Full frequency calibrations started");
+  count(&NodeStats::ta_time_references, "triad_node_ta_references_total",
+        "Time references adopted from the TA");
+  count(&NodeStats::calib_samples_rejected,
+        "triad_node_calib_samples_rejected_total",
+        "Calibration round-trips invalidated by an AEX");
+  count(&NodeStats::peer_rounds, "triad_node_peer_rounds_total",
+        "Peer untainting rounds started");
+  count(&NodeStats::peer_adoptions, "triad_node_peer_adoptions_total",
+        "Peer clocks adopted (forward jumps)");
+  count(&NodeStats::kept_local, "triad_node_kept_local_total",
+        "Untaint rounds resolved by keeping the local clock");
+  count(&NodeStats::ta_fallbacks, "triad_node_ta_fallbacks_total",
+        "Untaint rounds that fell back to the TA");
+  count(&NodeStats::proactive_checks, "triad_node_proactive_checks_total",
+        "Triad+ refresh-deadline firings");
+  count(&NodeStats::inc_check_failures, "triad_node_inc_failures_total",
+        "INC monitor checks that detected a TSC discrepancy");
+  count(&NodeStats::timestamps_served, "triad_node_timestamps_served_total",
+        "Trusted timestamps served");
+  count(&NodeStats::serve_unavailable, "triad_node_serve_unavailable_total",
+        "Timestamp requests refused while not Ok");
+  count(&NodeStats::bad_frames, "triad_node_bad_frames_total",
+        "Undecodable or unauthenticated inbound frames");
+  registry->set_help("triad_node_state",
+                     "Current state (0=FullCalib 1=RefCalib 2=Ok 3=Tainted)");
+  registry->gauge_fn(this, "triad_node_state", labels, [this] {
+    return static_cast<double>(state_);
+  });
+  registry->set_help("triad_node_f_calib_hz",
+                     "Calibrated TSC frequency estimate");
+  registry->gauge_fn(this, "triad_node_f_calib_hz", labels,
+                     [this] { return f_calib_hz_; });
+  registry->set_help("triad_node_availability",
+                     "Fraction of elapsed time spent serving (Ok)");
+  registry->gauge_fn(this, "triad_node_availability", labels,
+                     [this] { return availability(); });
+  registry->set_help("triad_node_adoptions_total",
+                     "Clock steps onto external evidence (peer or TA)");
+  adoptions_counter_ = registry->counter("triad_node_adoptions_total", labels);
+  registry->set_help("triad_node_adoption_step_ms",
+                     "Absolute clock step size per adoption");
+  adoption_step_ms_ = registry->histogram(
+      "triad_node_adoption_step_ms",
+      {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0}, labels);
 }
 
 void TriadNode::start() {
@@ -100,8 +165,19 @@ void TriadNode::sync_clock_to(SimTime new_time, Duration new_error,
   ref_tsc_ = tsc_.read();
   last_sync_ = env_.now();
   error_at_sync_ = new_error;
+  adoptions_counter_.inc();
+  adoption_step_ms_.observe(std::abs(to_milliseconds(new_time - before)));
+  if (env_.tracing()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kAdoption;
+    event.node = config_.id;
+    event.peer = source;
+    event.a = before;
+    event.b = new_time;
+    env_.emit(event);
+  }
   if (hooks_.on_adoption) hooks_.on_adoption(before, new_time, source);
-  TRIAD_LOG_DEBUG("node") << "node " << config_.id << " clock set to "
+  TRIAD_LOG_DEBUG("triad.node") << "node " << config_.id << " clock set to "
                           << to_seconds(new_time) << "s (source " << source
                           << ", step "
                           << to_milliseconds(new_time - before) << "ms)";
@@ -144,8 +220,16 @@ void TriadNode::set_state(NodeState next) {
   const NodeState prev = state_;
   state_ = next;
   state_since_ = env_.now();
+  if (env_.tracing()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kStateChange;
+    event.node = config_.id;
+    event.a = static_cast<std::int64_t>(prev);
+    event.b = static_cast<std::int64_t>(next);
+    env_.emit(event);
+  }
   if (hooks_.on_state_change) hooks_.on_state_change(prev, next);
-  TRIAD_LOG_DEBUG("node") << "node " << config_.id << " " << to_string(prev)
+  TRIAD_LOG_DEBUG("triad.node") << "node " << config_.id << " " << to_string(prev)
                           << " -> " << to_string(next);
 }
 
@@ -169,6 +253,13 @@ double TriadNode::availability() const {
 void TriadNode::on_aex() {
   if (!started_) return;
   ++stats_.aex_count;
+  if (env_.tracing()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kAex;
+    event.node = config_.id;
+    event.a = static_cast<std::int64_t>(stats_.aex_count);
+    env_.emit(event);
+  }
 
   // The monitoring thread re-validates the TSC whenever continuity
   // breaks: the most recent window checks for an ongoing rate mismatch,
@@ -182,7 +273,15 @@ void TriadNode::on_aex() {
     monitor_.reset_continuity();
     if (!window_ok || !interval_ok) {
       ++stats_.inc_check_failures;
-      TRIAD_LOG_WARN("node") << "node " << config_.id
+      if (env_.tracing()) {
+        obs::TraceEvent event;
+        event.type = obs::TraceEventType::kIncAlarm;
+        event.node = config_.id;
+        event.a = window_ok ? 0 : 1;
+        event.b = interval_ok ? 0 : 1;
+        env_.emit(event);
+      }
+      TRIAD_LOG_WARN("triad.node") << "node " << config_.id
                              << " INC monitor detected TSC manipulation ("
                              << (window_ok ? "interval" : "window") << ")";
       begin_full_calibration();
@@ -264,6 +363,14 @@ void TriadNode::send_ta_request(Duration wait) {
       config_.ta_timeout + wait,
       [this, id = ota.request_id] { on_ta_timeout(id); });
   outstanding_ta_ = ota;
+  if (env_.tracing()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kTaRequest;
+    event.node = config_.id;
+    event.a = static_cast<std::int64_t>(ota.request_id);
+    event.x = to_seconds(wait);
+    env_.emit(event);
+  }
 
   proto::TaRequest request;
   request.request_id = ota.request_id;
@@ -275,7 +382,7 @@ void TriadNode::on_ta_timeout(std::uint64_t request_id) {
   if (!outstanding_ta_ || outstanding_ta_->request_id != request_id) return;
   const Duration wait = outstanding_ta_->wait;
   outstanding_ta_.reset();
-  TRIAD_LOG_DEBUG("node") << "node " << config_.id << " TA request "
+  TRIAD_LOG_DEBUG("triad.node") << "node " << config_.id << " TA request "
                           << request_id << " timed out; resending";
   send_ta_request(wait);
 }
@@ -288,6 +395,14 @@ void TriadNode::on_ta_response(const proto::TaResponse& response) {
   const OutstandingTa ota = *outstanding_ta_;
   env_.cancel(ota.timeout);
   outstanding_ta_.reset();
+  if (env_.tracing()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kTaResponse;
+    event.node = config_.id;
+    event.a = static_cast<std::int64_t>(response.request_id);
+    event.b = response.ta_time;
+    env_.emit(event);
+  }
 
   if (ota.for_full_calibration && state_ == NodeState::kFullCalib) {
     // The measurement is only usable if the monitoring thread ran
@@ -310,7 +425,16 @@ void TriadNode::on_ta_response(const proto::TaResponse& response) {
         calib_samples_high_ >= config_.calib_pairs) {
       const stats::LinearFit fit = calib_regression_.fit();
       f_calib_hz_ = fit.slope;
-      TRIAD_LOG_INFO("node")
+      if (env_.tracing()) {
+        obs::TraceEvent event;
+        event.type = obs::TraceEventType::kCalibration;
+        event.node = config_.id;
+        event.a = calib_samples_low_ + calib_samples_high_;
+        event.x = fit.slope;
+        event.y = fit.r_squared;
+        env_.emit(event);
+      }
+      TRIAD_LOG_INFO("triad.node")
           << "node " << config_.id << " calibrated F = "
           << f_calib_hz_ / 1e6 << " MHz (r2 " << fit.r_squared << ")";
       ++stats_.ta_time_references;
@@ -355,7 +479,7 @@ void TriadNode::maybe_refine_frequency(SimTime ta_time) {
           refined = std::clamp(refined, f_calib_hz_ - bound,
                                f_calib_hz_ + bound);
         }
-        TRIAD_LOG_INFO("node")
+        TRIAD_LOG_INFO("triad.node")
             << "node " << config_.id << " long-window refine F: "
             << f_calib_hz_ / 1e6 << " -> " << refined / 1e6 << " MHz over "
             << to_seconds(window) << "s";
@@ -381,6 +505,13 @@ void TriadNode::begin_peer_round(bool proactive) {
   if (config_.peers.empty()) {
     if (!proactive) {
       ++stats_.ta_fallbacks;
+      if (env_.tracing()) {
+        obs::TraceEvent event;
+        event.type = obs::TraceEventType::kTaFallback;
+        event.node = config_.id;
+        event.a = static_cast<std::int64_t>(stats_.ta_fallbacks);
+        env_.emit(event);
+      }
       begin_ref_calibration();
     }
     return;
@@ -392,6 +523,14 @@ void TriadNode::begin_peer_round(bool proactive) {
   round.timeout =
       env_.schedule_after(config_.peer_timeout, [this] { finish_peer_round(); });
   peer_round_ = std::move(round);
+  if (env_.tracing()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kPeerQuery;
+    event.node = config_.id;
+    event.a = static_cast<std::int64_t>(peer_round_->request_id);
+    event.b = proactive ? 1 : 0;
+    env_.emit(event);
+  }
 
   proto::PeerTimeRequest request;
   request.request_id = peer_round_->request_id;
@@ -402,6 +541,15 @@ void TriadNode::on_peer_response(NodeId peer,
                                  const proto::PeerTimeResponse& response) {
   if (!peer_round_ || peer_round_->request_id != response.request_id) return;
   ++peer_round_->answers;
+  if (env_.tracing()) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kPeerResponse;
+    event.node = config_.id;
+    event.peer = peer;
+    event.a = static_cast<std::int64_t>(response.request_id);
+    event.b = response.tainted ? 1 : 0;
+    env_.emit(event);
+  }
   if (!response.tainted) {
     peer_round_->samples.push_back(PeerSample{peer, response.timestamp,
                                               response.error_bound,
@@ -425,9 +573,31 @@ void TriadNode::finish_peer_round() {
   const PeerRound round = std::move(*peer_round_);
   peer_round_.reset();
 
+  const auto trace_outcome = [this, &round](std::int64_t outcome,
+                                            NodeId source) {
+    if (!env_.tracing()) return;
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kPeerOutcome;
+    event.node = config_.id;
+    event.peer = source;
+    event.a = static_cast<std::int64_t>(round.request_id);
+    event.b = outcome;  // 0 adopt, 1 keep_local, 2 ta_fallback, 3 no_answers
+    env_.emit(event);
+  };
+  const auto trace_ta_fallback = [this] {
+    if (!env_.tracing()) return;
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kTaFallback;
+    event.node = config_.id;
+    event.a = static_cast<std::int64_t>(stats_.ta_fallbacks);
+    env_.emit(event);
+  };
+
   if (round.samples.empty()) {
+    trace_outcome(3, 0);
     if (round.proactive) return;  // stay Ok on our own clock
     ++stats_.ta_fallbacks;
+    trace_ta_fallback();
     begin_ref_calibration();
     return;
   }
@@ -438,6 +608,7 @@ void TriadNode::finish_peer_round() {
   switch (decision.action) {
     case UntaintPolicy::Decision::Action::kAdopt: {
       ++stats_.peer_adoptions;
+      trace_outcome(0, decision.source);
       Duration source_error = config_.base_sync_error;
       for (const PeerSample& s : round.samples) {
         if (s.peer == decision.source) {
@@ -453,10 +624,13 @@ void TriadNode::finish_peer_round() {
       // Original protocol: bump the local timestamp by the smallest
       // increment — serve_timestamp()'s monotonicity provides that.
       ++stats_.kept_local;
+      trace_outcome(1, 0);
       if (!round.proactive) set_state(NodeState::kOk);
       break;
     case UntaintPolicy::Decision::Action::kAskTimeAuthority:
       ++stats_.ta_fallbacks;
+      trace_outcome(2, 0);
+      trace_ta_fallback();
       begin_ref_calibration();
       break;
   }
@@ -481,18 +655,29 @@ void TriadNode::send_message(NodeId to, const proto::Message& message) {
 }
 
 void TriadNode::on_packet(const runtime::Packet& packet) {
+  const auto bad_frame = [this](NodeId src) {
+    ++stats_.bad_frames;
+    if (env_.tracing()) {
+      obs::TraceEvent event;
+      event.type = obs::TraceEventType::kBadFrame;
+      event.node = config_.id;
+      event.peer = src;
+      event.a = static_cast<std::int64_t>(stats_.bad_frames);
+      env_.emit(event);
+    }
+  };
   const auto opened = channel_.open(packet.payload);
   if (!opened) {
-    ++stats_.bad_frames;
+    bad_frame(packet.src);
     return;
   }
   const auto message = proto::decode(opened->plaintext);
   if (!message) {
-    ++stats_.bad_frames;
+    bad_frame(packet.src);
     return;
   }
   std::visit(
-      [this, sender = opened->sender](const auto& m) {
+      [this, sender = opened->sender, &bad_frame](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, proto::TaResponse>) {
           if (sender == config_.ta_address) on_ta_response(m);
@@ -502,7 +687,7 @@ void TriadNode::on_packet(const runtime::Packet& packet) {
           on_peer_response(sender, m);
         } else {
           // Nodes never serve TaRequest.
-          ++stats_.bad_frames;
+          bad_frame(sender);
         }
       },
       *message);

@@ -22,6 +22,7 @@
 
 #include "crypto/channel.h"
 #include "enclave/enclave_thread.h"
+#include "obs/metrics.h"
 #include "runtime/env.h"
 #include "stats/regression.h"
 #include "triad/messages.h"
@@ -181,6 +182,13 @@ class TriadNode {
   [[nodiscard]] double availability() const;
 
  private:
+  // --- observability ---------------------------------------------------
+  /// Exports NodeStats + state/frequency/availability gauges as
+  /// triad_node_* series labelled node="<id>" (callback series, zero
+  /// hot-path cost) and resolves the direct adoption counter/histogram.
+  /// No-op when the Env carries no registry.
+  void register_metrics();
+
   // --- state management ------------------------------------------------
   void set_state(NodeState next);
 
@@ -273,6 +281,8 @@ class TriadNode {
 
   std::uint64_t next_request_id_ = 1;
   NodeStats stats_;
+  obs::Counter adoptions_counter_;       // triad_node_adoptions_total
+  obs::Histogram adoption_step_ms_;      // triad_node_adoption_step_ms
 };
 
 }  // namespace triad

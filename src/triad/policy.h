@@ -13,6 +13,10 @@
 
 #include "util/types.h"
 
+namespace triad::obs {
+class Registry;
+}  // namespace triad::obs
+
 namespace triad {
 
 /// One peer answer collected during an untaint round.
@@ -41,6 +45,15 @@ class UntaintPolicy {
   };
 
   virtual ~UntaintPolicy() = default;
+
+  /// Called once by the owning node so the policy can register its own
+  /// decision metrics (labelled node="<node>"). Default: no metrics.
+  /// The registry outlives the node and thus the policy; policies using
+  /// callback series must unregister in their destructor.
+  virtual void bind_obs(obs::Registry* registry, NodeId node) {
+    (void)registry;
+    (void)node;
+  }
 
   [[nodiscard]] virtual Mode mode() const = 0;
 

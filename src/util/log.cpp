@@ -24,6 +24,34 @@ Logger& Logger::instance() {
   return logger;
 }
 
+void Logger::set_level(std::string_view component, LogLevel level) {
+  for (auto& [name, lvl] : component_levels_) {
+    if (name == component) {
+      lvl = level;
+      return;
+    }
+  }
+  component_levels_.emplace_back(std::string(component), level);
+}
+
+LogLevel Logger::effective_level(std::string_view component) const {
+  const std::pair<std::string, LogLevel>* best = nullptr;
+  for (const auto& entry : component_levels_) {
+    const std::string& prefix = entry.first;
+    // A match is the component itself or a dot-separated ancestor:
+    // "triad.node" governs "triad.node.calib" but not "triad.nodex".
+    const bool matches =
+        component.size() >= prefix.size() &&
+        component.substr(0, prefix.size()) == prefix &&
+        (component.size() == prefix.size() ||
+         component[prefix.size()] == '.');
+    if (matches && (best == nullptr || prefix.size() > best->first.size())) {
+      best = &entry;
+    }
+  }
+  return best != nullptr ? best->second : level_;
+}
+
 void Logger::set_time_source(std::function<SimTime()> source) {
   time_source_ = std::move(source);
 }
@@ -32,7 +60,7 @@ void Logger::clear_time_source() { time_source_ = nullptr; }
 
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view msg) {
-  if (!enabled(level)) return;
+  if (!enabled(level, component)) return;
   if (time_source_) {
     std::fprintf(stderr, "[%12.6fs] %s %.*s: %.*s\n",
                  to_seconds(time_source_()), level_name(level),

@@ -1,13 +1,24 @@
 // Minimal leveled logger.
 //
 // The simulator tags lines with virtual time when a clock hook is
-// installed. Logging defaults to Warn so tests and benches stay quiet;
-// examples turn on Info to narrate protocol behaviour.
+// installed — the same timestamp the protocol trace (obs::TraceEvent.at)
+// carries, so log lines and trace events line up. Logging defaults to
+// Warn so tests and benches stay quiet; examples turn on Info to narrate
+// protocol behaviour.
+//
+// Components are dotted paths ("triad.node", "triad.net"). A level can
+// be overridden per component subtree: set_level("triad.node", Debug)
+// applies to "triad.node" and "triad.node.calib" but not "triad.net";
+// the longest matching dot-prefix wins, the global level is the
+// fallback.
 #pragma once
 
 #include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/types.h"
 
@@ -22,6 +33,14 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
 
+  /// Overrides the level for one component subtree (longest-dot-prefix
+  /// match). Setting the same component again replaces the override.
+  void set_level(std::string_view component, LogLevel level);
+  void clear_component_levels() { component_levels_.clear(); }
+
+  /// The level governing `component` after prefix overrides.
+  [[nodiscard]] LogLevel effective_level(std::string_view component) const;
+
   /// Installs a callback that reports current virtual time for log tags.
   void set_time_source(std::function<SimTime()> source);
   void clear_time_source();
@@ -29,11 +48,28 @@ class Logger {
   void write(LogLevel level, std::string_view component, std::string_view msg);
 
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  [[nodiscard]] bool enabled(LogLevel level, std::string_view component) const {
+    return level >= effective_level(component);
+  }
 
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::Warn;
+  std::vector<std::pair<std::string, LogLevel>> component_levels_;
   std::function<SimTime()> time_source_;
+};
+
+/// RAII virtual-time tagging: installs a time source on construction and
+/// clears it on destruction, so a scenario run can scope log timestamps
+/// to its simulation clock.
+class ScopedLogTime {
+ public:
+  explicit ScopedLogTime(std::function<SimTime()> source) {
+    Logger::instance().set_time_source(std::move(source));
+  }
+  ~ScopedLogTime() { Logger::instance().clear_time_source(); }
+  ScopedLogTime(const ScopedLogTime&) = delete;
+  ScopedLogTime& operator=(const ScopedLogTime&) = delete;
 };
 
 namespace detail {
@@ -58,13 +94,25 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+/// Swallows the LogLine chain so both arms of the TRIAD_LOG ternary have
+/// type void. operator& binds looser than operator<<, so the whole
+/// stream expression evaluates first.
+struct Voidify {
+  void operator&(const LogLine&) const {}
+};
+
 }  // namespace detail
 }  // namespace triad
 
-#define TRIAD_LOG(level, component)                         \
-  if (!::triad::Logger::instance().enabled(level)) {        \
-  } else                                                    \
-    ::triad::detail::LogLine(level, component)
+// Expands to a single expression (ternary), so the macro nests safely in
+// unbraced if/else — an `if {} else` expansion would capture the caller's
+// `else` (dangling-else). The stream arguments are only evaluated when
+// the level is enabled for the component.
+#define TRIAD_LOG(level, component)                            \
+  (!::triad::Logger::instance().enabled(level, component))     \
+      ? (void)0                                                \
+      : ::triad::detail::Voidify() &                           \
+            ::triad::detail::LogLine(level, component)
 
 #define TRIAD_LOG_DEBUG(component) TRIAD_LOG(::triad::LogLevel::Debug, component)
 #define TRIAD_LOG_INFO(component) TRIAD_LOG(::triad::LogLevel::Info, component)

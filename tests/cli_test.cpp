@@ -134,6 +134,54 @@ TEST(CliRunner, CsvToStdout) {
   EXPECT_NE(out.str().find("time_s,drift_ms_node1"), std::string::npos);
 }
 
+TEST(CliParser, RejectsMultipleStdoutTargets) {
+  std::string error;
+  EXPECT_FALSE(parse({"--csv", "-", "--metrics", "-"}, &error).has_value());
+  EXPECT_NE(error.find("at most one"), std::string::npos);
+  EXPECT_FALSE(parse({"--metrics", "-", "--trace", "-"}, &error).has_value());
+  // One stdout target plus file targets is fine.
+  EXPECT_TRUE(parse({"--csv", "-", "--metrics", "m.prom"}).has_value());
+}
+
+TEST(CliRunner, CsvStdoutMovesSummaryToErrStream) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(*parse({"--duration", "1m", "--csv", "-"}), out, err), 0);
+  // stdout carries only the machine-readable CSV...
+  EXPECT_NE(out.str().find("time_s,drift_ms_node1"), std::string::npos);
+  EXPECT_EQ(out.str().find("scenario:"), std::string::npos);
+  // ...and the human summary lands on the error stream.
+  EXPECT_NE(err.str().find("scenario:"), std::string::npos);
+  EXPECT_NE(err.str().find("node 1:"), std::string::npos);
+}
+
+TEST(CliRunner, SummaryStaysOnStdoutWithoutMachineOutput) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(*parse({"--duration", "1m"}), out, err), 0);
+  EXPECT_NE(out.str().find("scenario:"), std::string::npos);
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(CliRunner, MetricsToStdout) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(*parse({"--duration", "1m", "--metrics", "-"}), out, err),
+            0);
+  EXPECT_NE(out.str().find("# TYPE triad_sim_events_scheduled_total counter"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("triad_node_adoptions_total"), std::string::npos);
+  EXPECT_NE(err.str().find("adoption events:"), std::string::npos);
+}
+
+TEST(CliRunner, TraceToStdoutEmitsJsonl) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_cli(*parse({"--duration", "1m", "--seed", "9", "--attack",
+                            "fminus", "--trace", "-"}),
+                    out, err),
+            0);
+  EXPECT_NE(out.str().find("\"type\":\"packet_send\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"type\":\"state_change\""), std::string::npos);
+  EXPECT_NE(err.str().find("trace events:"), std::string::npos);
+}
+
 TEST(CliRunner, HelpPrintsUsage) {
   std::ostringstream out;
   EXPECT_EQ(run_cli(*parse({"--help"}), out), 0);

@@ -11,6 +11,7 @@ class LogTest : public ::testing::Test {
  protected:
   void TearDown() override {
     Logger::instance().set_level(LogLevel::Warn);  // restore default
+    Logger::instance().clear_component_levels();
     Logger::instance().clear_time_source();
   }
 };
@@ -38,6 +39,80 @@ TEST_F(LogTest, MacroShortCircuitsWhenDisabled) {
   Logger::instance().set_level(LogLevel::Off);  // silence actual output
   TRIAD_LOG_ERROR("test") << expensive();
   EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LogTest, ComponentOverridesUseLongestDotPrefix) {
+  Logger& logger = Logger::instance();
+  logger.set_level(LogLevel::Warn);
+  logger.set_level("triad.node", LogLevel::Debug);
+  EXPECT_TRUE(logger.enabled(LogLevel::Debug, "triad.node"));
+  EXPECT_TRUE(logger.enabled(LogLevel::Debug, "triad.node.calib"));
+  EXPECT_FALSE(logger.enabled(LogLevel::Debug, "triad.nodex"));  // not a
+  EXPECT_FALSE(logger.enabled(LogLevel::Debug, "triad.net"));    // subtree
+  // Longest matching prefix wins over a shorter ancestor override.
+  logger.set_level("triad", LogLevel::Error);
+  EXPECT_TRUE(logger.enabled(LogLevel::Debug, "triad.node"));
+  EXPECT_FALSE(logger.enabled(LogLevel::Warn, "triad.net"));
+  EXPECT_EQ(logger.effective_level("triad.ta"), LogLevel::Error);
+  EXPECT_EQ(logger.effective_level("other"), LogLevel::Warn);
+  // Re-setting a component replaces its override.
+  logger.set_level("triad.node", LogLevel::Off);
+  EXPECT_FALSE(logger.enabled(LogLevel::Error, "triad.node"));
+  logger.clear_component_levels();
+  EXPECT_FALSE(logger.enabled(LogLevel::Debug, "triad.node"));
+  EXPECT_TRUE(logger.enabled(LogLevel::Warn, "triad.node"));
+}
+
+TEST_F(LogTest, MacroHonoursComponentOverrides) {
+  Logger& logger = Logger::instance();
+  logger.set_level(LogLevel::Error);
+  logger.set_level("quiet", LogLevel::Off);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "expensive";
+  };
+  TRIAD_LOG_ERROR("quiet") << expensive();  // component override gates it
+  EXPECT_EQ(evaluations, 0);
+  TRIAD_LOG_WARN("loud") << expensive();  // below the global Error level
+  EXPECT_EQ(evaluations, 0);
+}
+
+// Regression: TRIAD_LOG must expand to a single expression so it nests
+// in unbraced if/else without capturing the caller's `else` (the
+// dangling-else hazard of `if {} else`-style logging macros). This test
+// fails to compile (or binds the wrong branch) with such an expansion.
+TEST_F(LogTest, MacroIsDanglingElseSafe) {
+  Logger::instance().set_level(LogLevel::Off);
+  bool took_else = false;
+  const bool condition = false;
+  if (condition)
+    TRIAD_LOG_INFO("test") << "then-branch";
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+
+  // And the symmetric shape: macro in the if-branch of a taken branch.
+  bool reached_tail = false;
+  if (!condition)
+    TRIAD_LOG_INFO("test") << "quiet";
+  else
+    ADD_FAILURE() << "else bound to the macro's internals";
+  reached_tail = true;
+  EXPECT_TRUE(reached_tail);
+}
+
+TEST_F(LogTest, ScopedLogTimeInstallsAndClears) {
+  sim::Simulation sim;
+  Logger& logger = Logger::instance();
+  logger.set_level(LogLevel::Off);
+  {
+    ScopedLogTime scoped([&sim] { return sim.now(); });
+    sim.run_until(seconds(3));
+    logger.write(LogLevel::Error, "test", "tagged");  // must not crash
+  }
+  // Source cleared on scope exit; writing afterwards must not touch it.
+  logger.write(LogLevel::Error, "test", "untagged");
 }
 
 TEST_F(LogTest, TimeSourceInstallAndClear) {

@@ -1,0 +1,296 @@
+// Observability layer: metrics registry, trace ring, exporters, and the
+// end-to-end determinism guarantee (seeded runs produce byte-identical
+// Prometheus text and JSONL traces).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace triad::obs {
+namespace {
+
+// --- metrics registry -----------------------------------------------------
+
+TEST(Registry, CounterGaugeHistogramBasics) {
+  Registry reg;
+  Counter c = reg.counter("c_total", {{"node", "1"}});
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(reg.value("c_total", {{"node", "1"}}), 5.0);
+
+  Gauge g = reg.gauge("g");
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_EQ(g.value(), 3.0);
+
+  Histogram h = reg.histogram("h", {1.0, 10.0});
+  h.observe(0.5);   // bucket le=1
+  h.observe(5.0);   // bucket le=10
+  h.observe(100.0); // +Inf bucket
+  const HistogramCell* cell = h.cell();
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->count, 3u);
+  EXPECT_EQ(cell->counts, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(cell->sum, 105.5);
+}
+
+TEST(Registry, DefaultHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.set(1.0);
+  h.observe(1.0);
+  EXPECT_FALSE(c.attached());
+  EXPECT_FALSE(g.attached());
+  EXPECT_FALSE(h.attached());
+  // make_* helpers return no-op handles for a null registry.
+  EXPECT_FALSE(make_counter(nullptr, "x").attached());
+  EXPECT_FALSE(make_gauge(nullptr, "x").attached());
+  EXPECT_FALSE(make_histogram(nullptr, "x", {1.0}).attached());
+}
+
+TEST(Registry, SameNameAndLabelsResolveToSameCell) {
+  Registry reg;
+  Counter a = reg.counter("c_total", {{"node", "1"}});
+  Counter b = reg.counter("c_total", {{"node", "1"}});
+  Counter other = reg.counter("c_total", {{"node", "2"}});
+  a.inc(3);
+  b.inc(2);
+  other.inc(10);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(reg.value("c_total", {{"node", "1"}}), 5.0);
+  EXPECT_EQ(reg.total("c_total"), 15.0);
+}
+
+TEST(Registry, KindAndDuplicateConflictsThrow) {
+  Registry reg;
+  (void)reg.counter("m");
+  EXPECT_THROW((void)reg.gauge("m"), std::logic_error);  // kind mismatch
+  EXPECT_THROW(reg.counter_fn(&reg, "m", {}, [] { return 0.0; }),
+               std::logic_error);  // direct cell already holds the series
+  int owner = 0;
+  reg.gauge_fn(&owner, "cb", {}, [] { return 1.0; });
+  EXPECT_THROW(reg.gauge_fn(&owner, "cb", {}, [] { return 2.0; }),
+               std::logic_error);  // duplicate callback series
+  EXPECT_THROW((void)reg.histogram("hb", {}), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("hb", {2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Registry, UnregisterDropsOnlyTheOwnersSeries) {
+  Registry reg;
+  int owner_a = 0, owner_b = 0;
+  reg.counter_fn(&owner_a, "cb_total", {{"node", "1"}}, [] { return 1.0; });
+  reg.counter_fn(&owner_b, "cb_total", {{"node", "2"}}, [] { return 2.0; });
+  EXPECT_EQ(reg.series_count(), 2u);
+  reg.unregister(&owner_a);
+  EXPECT_EQ(reg.series_count(), 1u);
+  EXPECT_FALSE(reg.value("cb_total", {{"node", "1"}}).has_value());
+  EXPECT_EQ(reg.value("cb_total", {{"node", "2"}}), 2.0);
+}
+
+TEST(Registry, HelpMayBeSetBeforeOrAfterRegistration) {
+  // Components declare help next to registration in either order; both
+  // must end up on the # HELP line.
+  Registry reg;
+  reg.set_help("early_total", "declared before the series");
+  (void)reg.counter("early_total");
+  (void)reg.counter("late_total");
+  reg.set_help("late_total", "declared after the series");
+  std::ostringstream out;
+  reg.write_prometheus(out);
+  EXPECT_NE(out.str().find("# HELP early_total declared before the series"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("# HELP late_total declared after the series"),
+            std::string::npos);
+}
+
+TEST(Registry, SnapshotKeepsRegistrationOrder) {
+  Registry reg;
+  (void)reg.counter("z_total");
+  (void)reg.gauge("a_gauge");
+  (void)reg.counter("m_total");
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "z_total");  // registration order, not sorted
+  EXPECT_EQ(snaps[1].name, "a_gauge");
+  EXPECT_EQ(snaps[2].name, "m_total");
+}
+
+TEST(Registry, PrometheusTextFormat) {
+  Registry reg;
+  reg.set_help("req_total", "requests");
+  reg.counter("req_total", {{"node", "1"}}).inc(7);
+  Histogram h = reg.histogram("lat_seconds", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(2.0);
+  std::ostringstream out;
+  reg.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# HELP req_total requests\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{node=\"1\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 2.55\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(Registry, CsvSnapshotFormat) {
+  Registry reg;
+  reg.counter("c_total", {{"node", "1"}, {"kind", "x"}}).inc(2);
+  std::ostringstream out;
+  reg.write_csv(out);
+  EXPECT_NE(out.str().find("metric,kind,labels,value,count\n"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("c_total,counter,node=1;kind=x,2,0\n"),
+            std::string::npos);
+}
+
+// --- trace ring -----------------------------------------------------------
+
+TraceEvent make_event(std::int64_t at, TraceEventType type) {
+  TraceEvent event;
+  event.at = at;
+  event.type = type;
+  return event;
+}
+
+TEST(RingTraceSink, BoundedAndCountsDrops) {
+  RingTraceSink ring(3);
+  for (int i = 0; i < 5; ++i) {
+    ring.emit(make_event(i, TraceEventType::kAex));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total(), 5u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  // Oldest-to-newest visit of the retained (most recent) events.
+  std::vector<std::int64_t> order;
+  ring.for_each([&order](const TraceEvent& e) { order.push_back(e.at); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{2, 3, 4}));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(TeeTraceSink, FansOutToEverySink) {
+  RingTraceSink a(8), b(8);
+  TeeTraceSink tee;
+  tee.add(&a);
+  tee.add(&b);
+  tee.emit(make_event(1, TraceEventType::kAex));
+  tee.remove(&b);
+  tee.emit(make_event(2, TraceEventType::kAex));
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(b.total(), 1u);
+}
+
+// --- JSONL export ---------------------------------------------------------
+
+TEST(TraceExport, JsonLineRendersTypedFields) {
+  TraceEvent event;
+  event.at = 1500000000;
+  event.type = TraceEventType::kAdoption;
+  event.node = 3;
+  event.peer = 4;
+  event.a = 1499998000;
+  event.b = 1500002000;
+  std::ostringstream out;
+  write_json_line(event, out);
+  EXPECT_EQ(out.str(),
+            "{\"t\":1500000000,\"type\":\"adoption\",\"node\":3,"
+            "\"source\":4,\"before\":1499998000,\"adopted\":1500002000,"
+            "\"step_ns\":4000}");
+}
+
+TEST(TraceExport, JsonlWritesOneLinePerEvent) {
+  RingTraceSink ring(4);
+  ring.emit(make_event(1, TraceEventType::kAex));
+  ring.emit(make_event(2, TraceEventType::kClockStep));
+  std::ostringstream out;
+  write_jsonl(ring, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("{\"t\":1,\"type\":\"aex\""), std::string::npos);
+  EXPECT_NE(text.find("{\"t\":2,\"type\":\"clock_step\""), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+// --- end-to-end determinism and attack reconstruction ---------------------
+
+exp::ScenarioConfig observed_config(std::uint64_t seed) {
+  exp::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.enable_metrics = true;
+  cfg.trace_capacity = 1 << 16;
+  return cfg;
+}
+
+struct ObservedRun {
+  std::string prometheus;
+  std::string jsonl;
+};
+
+ObservedRun run_observed(std::uint64_t seed, bool attack) {
+  exp::Scenario sc(observed_config(seed));
+  if (attack) {
+    attacks::DelayAttackConfig config;
+    config.kind = attacks::AttackKind::kFMinus;
+    config.victim = sc.node_address(2);
+    config.ta_address = sc.ta_address();
+    config.added_delay = milliseconds(100);
+    sc.add_delay_attack(config);
+  }
+  sc.start();
+  sc.run_until(minutes(3));
+  ObservedRun run;
+  std::ostringstream prom, jsonl;
+  sc.metrics()->write_prometheus(prom);
+  write_jsonl(*sc.trace(), jsonl);
+  run.prometheus = prom.str();
+  run.jsonl = jsonl.str();
+  return run;
+}
+
+TEST(ObsDeterminism, SeededRunsProduceByteIdenticalExports) {
+  const ObservedRun first = run_observed(77, /*attack=*/false);
+  const ObservedRun second = run_observed(77, /*attack=*/false);
+  EXPECT_EQ(first.prometheus, second.prometheus);
+  EXPECT_EQ(first.jsonl, second.jsonl);
+  EXPECT_FALSE(first.jsonl.empty());
+  EXPECT_NE(first.prometheus.find("triad_node_adoptions_total"),
+            std::string::npos);
+  const ObservedRun other = run_observed(78, /*attack=*/false);
+  EXPECT_NE(first.jsonl, other.jsonl);
+}
+
+TEST(ObsDeterminism, FMinusTraceReconstructsTheAttackChain) {
+  // The F- middlebox inflates the victim's calibration; the trace must
+  // let a reader reconstruct the chain: taint (state change), peer
+  // query, and an adoption of external evidence.
+  const ObservedRun run = run_observed(9, /*attack=*/true);
+  EXPECT_NE(run.jsonl.find("\"type\":\"state_change\",\"node\":3"),
+            std::string::npos);
+  EXPECT_NE(run.jsonl.find("\"type\":\"peer_query\",\"node\":3"),
+            std::string::npos);
+  EXPECT_NE(run.jsonl.find("\"type\":\"adoption\",\"node\":3"),
+            std::string::npos);
+  // And the metrics agree that the victim's adoption counter exists.
+  EXPECT_NE(run.prometheus.find("triad_node_adoptions_total{node=\"3\"}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace triad::obs

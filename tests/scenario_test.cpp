@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "exp/recorder.h"
 #include "attacks/ramp_attack.h"
 #include "exp/scenario.h"
+#include "obs/export.h"
 #include "resilient/triad_plus.h"
 
 namespace triad::exp {
@@ -288,9 +290,13 @@ TEST(ScenarioIntegration, DeterministicAcrossRuns) {
 TEST(ScenarioIntegration, ByteIdenticalTracesThroughSimEnv) {
   // The runtime refactor must not perturb determinism: two scenarios
   // built from the same seed, run through the same SimEnv-backed stack,
-  // must produce byte-identical adoption and state-change traces.
+  // must produce byte-identical adoption and state-change traces — and,
+  // with observability on, byte-identical metric and trace exports.
   auto trace = [](std::uint64_t seed) {
-    Scenario sc(base_config(seed));
+    ScenarioConfig cfg = base_config(seed);
+    cfg.enable_metrics = true;
+    cfg.trace_capacity = 1 << 16;
+    Scenario sc(std::move(cfg));
     Recorder rec(sc);
     sc.start();
     sc.run_until(minutes(5));
@@ -308,6 +314,10 @@ TEST(ScenarioIntegration, ByteIdenticalTracesThroughSimEnv) {
     }
     out += std::to_string(sc.simulation().events_executed()) + '/' +
            std::to_string(sc.network().stats().bytes_delivered);
+    std::ostringstream obs_bytes;
+    sc.metrics()->write_prometheus(obs_bytes);
+    obs::write_jsonl(*sc.trace(), obs_bytes);
+    out += obs_bytes.str();
     return out;
   };
   const std::string first = trace(77);
