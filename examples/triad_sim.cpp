@@ -10,6 +10,7 @@
 // entry point.
 #include <iostream>
 
+#include "campaign/sim_sweep.h"
 #include "exp/cli.h"
 
 int main(int argc, char** argv) {
@@ -19,6 +20,10 @@ int main(int argc, char** argv) {
     std::cerr << "triad_sim: " << error << "\n\n"
               << triad::exp::cli_usage();
     return 2;
+  }
+  // --seeds / --repeat turn the single run into a campaign seed sweep.
+  if (!options->help && triad::exp::is_sweep(*options)) {
+    return triad::campaign::run_sim_sweep(*options, std::cout, std::cerr);
   }
   return triad::exp::run_cli(*options, std::cout, std::cerr);
 }

@@ -40,6 +40,23 @@ fi
 echo "obs smoke ok: $adoptions_metric adoptions," \
      "$(wc -l < obs_trace.jsonl) trace events"
 
+# Campaign smoke: a small F- seed sweep must carry the honest-node
+# max-jump statistic and aggregate deterministically — the report from
+# --jobs 4 must be byte-identical to the one from --jobs 1.
+./build/examples/triad_campaign --seeds 1..4 --attack fminus \
+    --duration 2m --jobs 1 --json campaign_j1.json \
+  || { echo "campaign smoke: jobs=1 sweep failed" >&2; exit 1; }
+./build/examples/triad_campaign --seeds 1..4 --attack fminus \
+    --duration 2m --jobs 4 --json campaign_j4.json \
+  || { echo "campaign smoke: jobs=4 sweep failed" >&2; exit 1; }
+grep -q '"honest_max_jump_ms"' campaign_j1.json \
+  || { echo "campaign smoke: honest_max_jump_ms missing from report" >&2
+       exit 1; }
+cmp -s campaign_j1.json campaign_j4.json \
+  || { echo "campaign smoke: reports differ between jobs 1 and 4" >&2
+       exit 1; }
+echo "campaign smoke ok: jobs 1 vs 4 reports byte-identical"
+
 : > bench_output.txt
 for b in build/bench/bench_*; do
   [ -x "$b" ] || continue

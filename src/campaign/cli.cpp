@@ -1,0 +1,247 @@
+#include "campaign/cli.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "campaign/aggregate.h"
+#include "campaign/runner.h"
+#include "exp/cli.h"
+
+namespace triad::campaign {
+namespace {
+
+std::vector<std::string> split_csv(std::string_view text) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string_view item = text.substr(
+        start, comma == std::string_view::npos ? text.size() - start
+                                               : comma - start);
+    if (!item.empty()) items.emplace_back(item);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+}  // namespace
+
+std::string campaign_cli_usage() {
+  return
+      "triad_campaign — run a grid of Triad scenarios and aggregate them\n"
+      "  --spec FILE        key=value spec file (see below); flags given\n"
+      "                     after --spec override its values\n"
+      "  --seeds LIST       seed axis; items are N or A..B ranges,\n"
+      "                     e.g. 1..32 or 1,2,7 (default 1)\n"
+      "  --attack LIST      none | fplus | fminus (default none)\n"
+      "  --policy LIST      original | triadplus (default original)\n"
+      "  --env LIST         cluster-wide AEX env: triad | low | none\n"
+      "                     (default triad)\n"
+      "  --nodes LIST       cluster sizes, e.g. 3 or 1,3,5,7 (default 3)\n"
+      "  --duration D       virtual time per run (default 2m)\n"
+      "  --attack-delay D   injected delay (default 100ms)\n"
+      "  --victim N         1-based attacked node; 0 = last (default 0)\n"
+      "  --no-machine-interrupts   disable correlated residual interrupts\n"
+      "  --jobs N           worker threads (default 1)\n"
+      "  --json PATH        aggregate JSON report ('-' = stdout)\n"
+      "  --csv PATH         aggregate CSV report ('-' = stdout)\n"
+      "  --metrics-dir DIR  per-run Prometheus dumps (run_<i>.prom)\n"
+      "  --verbose          per-run progress on stderr\n"
+      "  --help             this text\n"
+      "\n"
+      "Spec file keys: seeds, attacks, policies, environments, nodes,\n"
+      "duration, attack_delay, victim, machine_interrupts (on|off).\n"
+      "Example:\n"
+      "  seeds = 1..32\n"
+      "  attacks = none, fminus\n"
+      "  duration = 5m\n";
+}
+
+std::optional<CampaignCliOptions> parse_campaign_cli(int argc,
+                                                     const char* const* argv,
+                                                     std::string* error) {
+  CampaignCliOptions options;
+  auto fail = [error](std::string message) -> std::optional<CampaignCliOptions> {
+    if (error != nullptr) *error = std::move(message);
+    return std::nullopt;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> std::optional<std::string_view> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string_view(argv[++i]);
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+      return options;
+    }
+    if (arg == "--no-machine-interrupts") {
+      options.spec.machine_interrupts = false;
+      continue;
+    }
+    if (arg == "--verbose") {
+      options.verbose = true;
+      continue;
+    }
+    static constexpr std::string_view kValueFlags[] = {
+        "--spec",   "--seeds",        "--attack", "--policy",
+        "--env",    "--nodes",        "--duration", "--attack-delay",
+        "--victim", "--jobs",         "--json",   "--csv",
+        "--metrics-dir"};
+    const bool known =
+        std::find(std::begin(kValueFlags), std::end(kValueFlags), arg) !=
+        std::end(kValueFlags);
+    if (!known) return fail("unknown flag " + std::string(arg));
+
+    const auto v = value();
+    if (!v) return fail("missing value for " + std::string(arg));
+
+    if (arg == "--spec") {
+      std::string spec_error;
+      // Scalars already set by earlier flags are overwritten by the
+      // file — documented: put --spec first, overrides after.
+      auto spec = parse_spec_file(std::string(*v), &spec_error);
+      if (!spec) return fail(std::move(spec_error));
+      options.spec = std::move(*spec);
+    } else if (arg == "--seeds") {
+      options.spec.seeds.clear();
+      for (const std::string& item : split_csv(*v)) {
+        std::uint64_t lo = 0, hi = 0;
+        if (!exp::parse_seed_range(item, &lo, &hi)) {
+          return fail("bad --seeds (use N, A..B, or a comma list)");
+        }
+        for (std::uint64_t s = lo; s <= hi; ++s) {
+          options.spec.seeds.push_back(s);
+        }
+      }
+      if (options.spec.seeds.empty()) return fail("bad --seeds (empty)");
+    } else if (arg == "--attack") {
+      options.spec.attacks = split_csv(*v);
+    } else if (arg == "--policy") {
+      options.spec.policies = split_csv(*v);
+    } else if (arg == "--env") {
+      options.spec.environments = split_csv(*v);
+    } else if (arg == "--nodes") {
+      options.spec.node_counts.clear();
+      for (const std::string& item : split_csv(*v)) {
+        std::uint64_t n = 0;
+        if (!exp::parse_u64(item, &n) || n == 0) {
+          return fail("bad --nodes");
+        }
+        options.spec.node_counts.push_back(n);
+      }
+      if (options.spec.node_counts.empty()) return fail("bad --nodes");
+    } else if (arg == "--duration") {
+      if (!exp::parse_duration(*v, &options.spec.duration) ||
+          options.spec.duration <= 0) {
+        return fail("bad --duration (use e.g. 90s, 30m, 8h)");
+      }
+    } else if (arg == "--attack-delay") {
+      if (!exp::parse_duration(*v, &options.spec.attack_delay)) {
+        return fail("bad --attack-delay");
+      }
+    } else if (arg == "--victim") {
+      std::uint64_t n = 0;
+      if (!exp::parse_u64(*v, &n)) return fail("bad --victim");
+      options.spec.victim = n;
+    } else if (arg == "--jobs") {
+      std::uint64_t n = 0;
+      if (!exp::parse_u64(*v, &n) || n == 0) return fail("bad --jobs");
+      options.jobs = n;
+    } else if (arg == "--json") {
+      options.json_path = std::string(*v);
+    } else if (arg == "--csv") {
+      options.csv_path = std::string(*v);
+    } else if (arg == "--metrics-dir") {
+      options.metrics_dir = std::string(*v);
+    }
+  }
+
+  if (std::string message = options.spec.validate(); !message.empty()) {
+    return fail(std::move(message));
+  }
+  int stdout_targets = 0;
+  for (const auto& path : {options.json_path, options.csv_path}) {
+    if (path && *path == "-") ++stdout_targets;
+  }
+  if (stdout_targets > 1) {
+    return fail("at most one of --json/--csv may be '-'");
+  }
+  return options;
+}
+
+int run_campaign_cli(const CampaignCliOptions& options, std::ostream& out,
+                     std::ostream& err) {
+  if (options.help) {
+    out << campaign_cli_usage();
+    return 0;
+  }
+
+  CampaignCliOptions resolved = options;
+  if (!resolved.json_path && !resolved.csv_path) resolved.json_path = "-";
+  const auto targets_stdout = [](const std::optional<std::string>& path) {
+    return path && *path == "-";
+  };
+  const bool machine_on_stdout = targets_stdout(resolved.json_path) ||
+                                 targets_stdout(resolved.csv_path);
+  std::ostream& summary = machine_on_stdout ? err : out;
+
+  const std::size_t total = resolved.spec.run_count();
+  RunnerOptions runner_options;
+  runner_options.jobs = resolved.jobs;
+  runner_options.run.metrics_dir = resolved.metrics_dir;
+  std::size_t done = 0;
+  if (resolved.verbose) {
+    runner_options.on_complete = [&err, &done, total](const RunResult& run) {
+      err << "[" << ++done << "/" << total << "] run " << run.index
+          << " seed=" << run.seed
+          << (run.failed ? " FAILED: " + run.error : " ok") << " ("
+          << run.wall_ms << " ms)\n";
+    };
+  }
+
+  CampaignRunner runner(std::move(runner_options));
+  const CampaignResult result = runner.run(resolved.spec);
+  const CampaignReport report =
+      CampaignReport::aggregate(resolved.spec, result);
+
+  summary << "campaign: cells=" << resolved.spec.cell_count()
+          << " runs=" << result.runs.size() << " failures="
+          << result.failures << " jobs=" << resolved.jobs << " wall="
+          << result.wall_ms / 1000.0 << "s\n";
+
+  const auto write_output = [&](const std::string& path, const char* what,
+                                auto&& writer) -> bool {
+    if (path == "-") {
+      writer(out);
+      return true;
+    }
+    std::ofstream file(path);
+    if (!file) {
+      summary << "error: cannot open " << path << "\n";
+      return false;
+    }
+    writer(file);
+    summary << what << " written to " << path << "\n";
+    return true;
+  };
+
+  if (resolved.json_path &&
+      !write_output(*resolved.json_path, "json report",
+                    [&](std::ostream& os) { report.write_json(os); })) {
+    return 1;
+  }
+  if (resolved.csv_path &&
+      !write_output(*resolved.csv_path, "csv report",
+                    [&](std::ostream& os) { report.write_csv(os); })) {
+    return 1;
+  }
+  return result.failures == 0 ? 0 : 1;
+}
+
+}  // namespace triad::campaign

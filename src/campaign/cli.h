@@ -1,0 +1,46 @@
+// Command-line campaign runner (backs the `triad_campaign` tool).
+//
+// Builds a CampaignSpec from flags and/or a key=value spec file, runs
+// the sweep on a worker pool, and writes the deterministic aggregate
+// report (JSON and/or CSV). Kept in the library so the parser and
+// runner are unit-testable.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "campaign/spec.h"
+
+namespace triad::campaign {
+
+struct CampaignCliOptions {
+  CampaignSpec spec;
+  std::size_t jobs = 1;
+  /// Aggregate report paths ("-" = stdout; at most one may be stdout).
+  /// With neither given, the JSON report goes to stdout.
+  std::optional<std::string> json_path;
+  std::optional<std::string> csv_path;
+  /// Per-run Prometheus dumps land in this directory when set.
+  std::string metrics_dir;
+  /// Per-run progress lines on the error stream.
+  bool verbose = false;
+  bool help = false;
+};
+
+/// Parses argv (a --spec file loads first, explicit flags override it).
+/// On error returns nullopt and writes a message to `error`.
+std::optional<CampaignCliOptions> parse_campaign_cli(int argc,
+                                                     const char* const* argv,
+                                                     std::string* error);
+
+std::string campaign_cli_usage();
+
+/// Runs the campaign. Report output targeting stdout goes to `out`; the
+/// human summary then moves to `err` (mirroring triad_sim's stream
+/// rules). Returns a process exit code; a completed campaign with
+/// failed runs exits 1.
+int run_campaign_cli(const CampaignCliOptions& options, std::ostream& out,
+                     std::ostream& err);
+
+}  // namespace triad::campaign

@@ -1,0 +1,211 @@
+#include "campaign/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "attacks/delay_attack.h"
+#include "exp/recorder.h"
+#include "exp/scenario.h"
+#include "resilient/triad_plus.h"
+
+namespace triad::campaign {
+namespace {
+
+exp::AexEnvironment to_environment(const std::string& name) {
+  if (name == "triad") return exp::AexEnvironment::kTriadLike;
+  if (name == "low") return exp::AexEnvironment::kLowAex;
+  if (name == "none") return exp::AexEnvironment::kNone;
+  throw std::invalid_argument("bad environment '" + name + "'");
+}
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+RunResult execute_run(const RunSpec& spec, const RunOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  if (spec.nodes == 0) throw std::invalid_argument("run has zero nodes");
+  if (spec.victim > spec.nodes) {
+    throw std::invalid_argument("victim exceeds cluster size");
+  }
+
+  exp::ScenarioConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.node_count = spec.nodes;
+  cfg.machine_interrupts = spec.machine_interrupts;
+  cfg.environments.assign(spec.nodes, to_environment(spec.environment));
+  if (spec.policy == "triadplus") {
+    cfg.node_template = resilient::harden(cfg.node_template);
+    cfg.policy_factory = [] { return resilient::make_triad_plus_policy(); };
+  } else if (spec.policy != "original") {
+    throw std::invalid_argument("bad policy '" + spec.policy + "'");
+  }
+  cfg.enable_metrics = true;
+  if (options.configure) options.configure(spec, cfg);
+
+  exp::Scenario scenario(std::move(cfg));
+  const std::size_t victim_index = spec.victim_index();
+  if (spec.attack != "none") {
+    attacks::DelayAttackConfig attack;
+    if (spec.attack == "fplus") {
+      attack.kind = attacks::AttackKind::kFPlus;
+    } else if (spec.attack == "fminus") {
+      attack.kind = attacks::AttackKind::kFMinus;
+    } else {
+      throw std::invalid_argument("bad attack '" + spec.attack + "'");
+    }
+    attack.victim = scenario.node_address(victim_index);
+    attack.ta_address = scenario.ta_address();
+    attack.added_delay = spec.attack_delay;
+    scenario.add_delay_attack(attack);
+  }
+  if (options.customize) options.customize(spec, scenario);
+
+  exp::Recorder recorder(scenario, options.sample_period);
+  scenario.start();
+  scenario.run_until(spec.duration);
+
+  RunResult result;
+  result.index = spec.index;
+  result.cell = spec.cell;
+  result.seed = spec.seed;
+
+  const bool attacked = spec.attack != "none";
+  std::uint64_t peer_rounds = 0;
+  std::uint64_t peer_successes = 0;
+  std::uint64_t aex = 0;
+  for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+    const TriadNode& node = scenario.node(i);
+    result.availability +=
+        node.availability() / static_cast<double>(scenario.node_count());
+    peer_rounds += node.stats().peer_rounds;
+    peer_successes += node.stats().peer_adoptions + node.stats().kept_local;
+    aex += node.stats().aex_count;
+    const bool honest = !attacked || i != victim_index;
+    const stats::TimeSeries& drift = recorder.drift_ms(i);
+    if (honest && !drift.empty()) {
+      result.honest_max_abs_drift_ms =
+          std::max({result.honest_max_abs_drift_ms,
+                    std::abs(drift.min_value()), std::abs(drift.max_value())});
+    }
+  }
+  result.peer_untaint_rate =
+      peer_rounds == 0 ? 0.0
+                       : static_cast<double>(peer_successes) /
+                             static_cast<double>(peer_rounds);
+  result.aex_total = static_cast<double>(aex);
+  const stats::TimeSeries& victim_drift = recorder.drift_ms(victim_index);
+  if (!victim_drift.empty()) {
+    result.victim_final_drift_ms = victim_drift.samples().back().value;
+  }
+  result.victim_freq_mhz =
+      scenario.node(victim_index).calibrated_frequency_hz() / 1e6;
+  for (const exp::AdoptionEvent& event : recorder.adoptions()) {
+    const bool honest = !attacked || event.node != victim_index;
+    if (honest && event.source != scenario.ta_address() && event.step() > 0) {
+      result.honest_max_jump_ms =
+          std::max(result.honest_max_jump_ms, to_milliseconds(event.step()));
+    }
+  }
+  result.adoptions = static_cast<double>(recorder.adoptions().size());
+  result.ta_requests = static_cast<double>(
+      scenario.time_authority().stats().requests_served);
+  result.events_executed =
+      static_cast<double>(scenario.simulation().events_executed());
+  if (options.inspect) options.inspect(spec, scenario, recorder, result);
+
+  if (!options.metrics_dir.empty()) {
+    std::filesystem::create_directories(options.metrics_dir);
+    const std::filesystem::path path =
+        std::filesystem::path(options.metrics_dir) /
+        ("run_" + std::to_string(spec.index) + ".prom");
+    std::ofstream file(path);
+    if (!file) {
+      throw std::runtime_error("cannot open " + path.string());
+    }
+    scenario.metrics()->write_prometheus(file);
+  }
+
+  result.wall_ms = wall_ms_since(start);
+  return result;
+}
+
+CampaignRunner::CampaignRunner(RunnerOptions options)
+    : options_(std::move(options)) {
+  if (options_.jobs == 0) options_.jobs = 1;
+}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
+  if (std::string message = spec.validate(); !message.empty()) {
+    throw std::invalid_argument("invalid campaign spec: " + message);
+  }
+  return run(spec.expand());
+}
+
+CampaignResult CampaignRunner::run(const std::vector<RunSpec>& runs) {
+  const auto start = std::chrono::steady_clock::now();
+  CampaignResult result;
+  result.runs.resize(runs.size());
+
+  const auto run_one = [this](const RunSpec& spec) {
+    return options_.run_fn ? options_.run_fn(spec)
+                           : execute_run(spec, options_.run);
+  };
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> failures{0};
+  std::mutex complete_mutex;
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < runs.size();
+         i = next.fetch_add(1)) {
+      RunResult run_result;
+      try {
+        run_result = run_one(runs[i]);
+      } catch (const std::exception& e) {
+        run_result = RunResult{};
+        run_result.failed = true;
+        run_result.error = e.what();
+      }
+      // A failed run keeps its grid coordinates so the Aggregator can
+      // attribute the failure to the right cell.
+      run_result.index = runs[i].index;
+      run_result.cell = runs[i].cell;
+      run_result.seed = runs[i].seed;
+      if (run_result.failed) failures.fetch_add(1);
+      // Slot by position in the run list: deterministic regardless of
+      // which worker finished first.
+      result.runs[i] = std::move(run_result);
+      if (options_.on_complete) {
+        const std::lock_guard<std::mutex> lock(complete_mutex);
+        options_.on_complete(result.runs[i]);
+      }
+    }
+  };
+
+  const std::size_t jobs = std::min(options_.jobs, std::max<std::size_t>(
+                                                       runs.size(), 1));
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) threads.emplace_back(worker);
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  result.failures = failures.load();
+  result.wall_ms = wall_ms_since(start);
+  return result;
+}
+
+}  // namespace triad::campaign

@@ -1,0 +1,22 @@
+// triad_sim's sweep mode: --seeds A..B / --repeat N hand a
+// one-dimensional seed sweep to the campaign runner.
+//
+// The full CliOptions scenario shape (per-node environments, machine
+// placement, WAN delay, attestation) is applied to every run via the
+// campaign configure hook; only the seed varies. The aggregate JSON
+// report goes to stdout (or the CSV report to --csv), with the human
+// summary on the error stream — the same stream rules as run_cli.
+#pragma once
+
+#include <iosfwd>
+
+#include "exp/cli.h"
+
+namespace triad::campaign {
+
+/// Runs the sweep described by `options` (requires exp::is_sweep).
+/// Returns a process exit code.
+int run_sim_sweep(const exp::CliOptions& options, std::ostream& out,
+                  std::ostream& err);
+
+}  // namespace triad::campaign

@@ -14,7 +14,6 @@
 #include "util/log.h"
 
 namespace triad::exp {
-namespace {
 
 bool parse_u64(std::string_view text, std::uint64_t* out) {
   const auto result =
@@ -49,6 +48,20 @@ bool parse_duration(std::string_view text, Duration* out) {
   return true;
 }
 
+bool parse_seed_range(std::string_view text, std::uint64_t* lo,
+                      std::uint64_t* hi) {
+  const std::size_t dots = text.find("..");
+  if (dots == std::string_view::npos) {
+    if (!parse_u64(text, lo)) return false;
+    *hi = *lo;
+    return true;
+  }
+  return parse_u64(text.substr(0, dots), lo) &&
+         parse_u64(text.substr(dots + 2), hi) && *lo <= *hi;
+}
+
+namespace {
+
 std::optional<AexEnvironment> parse_environment(std::string_view text) {
   if (text == "triad") return AexEnvironment::kTriadLike;
   if (text == "low") return AexEnvironment::kLowAex;
@@ -62,6 +75,11 @@ std::string cli_usage() {
   return
       "triad_sim — run a Triad trusted-time scenario\n"
       "  --seed N           RNG seed (default 1)\n"
+      "  --seeds A..B       seed sweep (inclusive): runs one scenario per\n"
+      "                     seed via the campaign engine and prints the\n"
+      "                     aggregate report; excludes --seed\n"
+      "  --repeat N         shorthand for --seeds seed..seed+N-1\n"
+      "  --jobs N           worker threads for a sweep (default 1)\n"
       "  --nodes N          cluster size (default 3)\n"
       "  --duration D       virtual time, e.g. 30m, 8h, 90s (default 10m)\n"
       "  --attack KIND      none | fplus | fminus (default none)\n"
@@ -115,7 +133,7 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
         "--seed",    "--nodes",        "--duration",  "--attack",
         "--victim",  "--policy",       "--env",       "--csv",
         "--machine", "--attack-delay", "--wan-delay", "--metrics",
-        "--trace"};
+        "--trace",   "--seeds",        "--repeat",    "--jobs"};
     const bool known =
         std::find(std::begin(kValueFlags), std::end(kValueFlags), arg) !=
         std::end(kValueFlags);
@@ -126,6 +144,21 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
 
     if (arg == "--seed") {
       if (!parse_u64(*v, &options.seed)) return fail("bad --seed");
+      options.seed_set = true;
+    } else if (arg == "--seeds") {
+      std::uint64_t lo = 0, hi = 0;
+      if (!parse_seed_range(*v, &lo, &hi)) {
+        return fail("bad --seeds (use A..B with A <= B, e.g. 1..32)");
+      }
+      options.seed_range = {lo, hi};
+    } else if (arg == "--repeat") {
+      std::uint64_t n = 0;
+      if (!parse_u64(*v, &n) || n == 0) return fail("bad --repeat");
+      options.repeat = n;
+    } else if (arg == "--jobs") {
+      std::uint64_t n = 0;
+      if (!parse_u64(*v, &n) || n == 0) return fail("bad --jobs");
+      options.jobs = n;
     } else if (arg == "--nodes") {
       std::uint64_t n = 0;
       if (!parse_u64(*v, &n) || n == 0) return fail("bad --nodes");
@@ -176,6 +209,20 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
   if (options.victim > options.nodes) {
     return fail("--victim exceeds --nodes");
   }
+  if (options.seed_set && options.seed_range) {
+    return fail(
+        "--seed and --seeds are mutually exclusive: use --seed N for one "
+        "run or --seeds A..B for a sweep");
+  }
+  if (options.seed_range && options.repeat > 1) {
+    return fail("--repeat and --seeds are mutually exclusive");
+  }
+  if ((options.seed_range || options.repeat > 1) &&
+      (options.metrics_path || options.trace_path)) {
+    return fail(
+        "--metrics/--trace are per-run outputs; for sweeps use "
+        "triad_campaign --metrics-dir");
+  }
   if (options.environments.size() > options.nodes) {
     return fail("more --env entries than nodes");
   }
@@ -191,6 +238,23 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
     return fail("at most one of --csv/--metrics/--trace may be '-'");
   }
   return options;
+}
+
+bool is_sweep(const CliOptions& options) {
+  return options.seed_range.has_value() || options.repeat > 1;
+}
+
+std::vector<std::uint64_t> sweep_seeds(const CliOptions& options) {
+  std::uint64_t lo = options.seed;
+  std::uint64_t hi = options.seed + (options.repeat - 1);
+  if (options.seed_range) {
+    lo = options.seed_range->first;
+    hi = options.seed_range->second;
+  }
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(hi - lo + 1);
+  for (std::uint64_t s = lo; s <= hi; ++s) seeds.push_back(s);
+  return seeds;
 }
 
 int run_cli(const CliOptions& options, std::ostream& out) {

@@ -8,6 +8,8 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/types.h"
@@ -16,6 +18,15 @@ namespace triad::exp {
 
 struct CliOptions {
   std::uint64_t seed = 1;
+  /// True when --seed was given explicitly (to reject --seed + --seeds).
+  bool seed_set = false;
+  /// --seeds A..B: inclusive seed range; the run becomes a campaign
+  /// sweep (one scenario per seed) instead of a single scenario.
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> seed_range;
+  /// --repeat N: shorthand for --seeds seed..seed+N-1.
+  std::size_t repeat = 1;
+  /// Worker threads for sweep mode (ignored for a single run).
+  std::size_t jobs = 1;
   std::size_t nodes = 3;
   Duration duration = minutes(10);
   /// "none" | "fplus" | "fminus"
@@ -47,6 +58,22 @@ struct CliOptions {
 /// Parses argv. On error returns nullopt and writes a message to `error`.
 std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
                                     std::string* error);
+
+/// True when the options describe a multi-run sweep (--seeds / --repeat)
+/// that should be handed to the campaign runner rather than run_cli.
+[[nodiscard]] bool is_sweep(const CliOptions& options);
+
+/// The inclusive seed list a sweep expands to ({seed} for a single run).
+[[nodiscard]] std::vector<std::uint64_t> sweep_seeds(const CliOptions& options);
+
+// Shared flag/spec-file scalar parsers (also used by triad_campaign).
+/// Parses a non-negative integer; the whole string must be consumed.
+bool parse_u64(std::string_view text, std::uint64_t* out);
+/// Parses "<n>ms" | "<n>s" | "<n>m" | "<n>h" into nanoseconds.
+bool parse_duration(std::string_view text, Duration* out);
+/// Parses "A..B" (inclusive, A <= B) or a single "A" into [*lo, *hi].
+bool parse_seed_range(std::string_view text, std::uint64_t* lo,
+                      std::uint64_t* hi);
 
 /// One-line-per-flag usage text.
 std::string cli_usage();

@@ -17,6 +17,12 @@
 //
 // The registry must outlive every component bound to it (same lifetime
 // rule as runtime::Env backends).
+//
+// Thread-ownership rule (campaign engine): a Registry and its handles
+// are not synchronized — "one Registry per run". Each campaign worker's
+// scenario owns a private Registry; registries are never shared across
+// threads, and cross-run aggregation happens after the runs finish, on
+// the RunResult scalars, never on live registries.
 #pragma once
 
 #include <cstdint>

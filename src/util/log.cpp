@@ -1,6 +1,7 @@
 #include "util/log.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace triad {
 namespace {
@@ -25,6 +26,7 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_level(std::string_view component, LogLevel level) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   for (auto& [name, lvl] : component_levels_) {
     if (name == component) {
       lvl = level;
@@ -32,9 +34,17 @@ void Logger::set_level(std::string_view component, LogLevel level) {
     }
   }
   component_levels_.emplace_back(std::string(component), level);
+  has_overrides_.store(true, std::memory_order_release);
+}
+
+void Logger::clear_component_levels() {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  component_levels_.clear();
+  has_overrides_.store(false, std::memory_order_release);
 }
 
 LogLevel Logger::effective_level(std::string_view component) const {
+  const std::shared_lock<std::shared_mutex> lock(mutex_);
   const std::pair<std::string, LogLevel>* best = nullptr;
   for (const auto& entry : component_levels_) {
     const std::string& prefix = entry.first;
@@ -49,21 +59,32 @@ LogLevel Logger::effective_level(std::string_view component) const {
       best = &entry;
     }
   }
-  return best != nullptr ? best->second : level_;
+  return best != nullptr ? best->second : level();
 }
 
 void Logger::set_time_source(std::function<SimTime()> source) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
   time_source_ = std::move(source);
 }
 
-void Logger::clear_time_source() { time_source_ = nullptr; }
+void Logger::clear_time_source() {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  time_source_ = nullptr;
+}
 
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view msg) {
   if (!enabled(level, component)) return;
-  if (time_source_) {
+  // Copy the hook out so the (possibly slow) call and fprintf run
+  // without holding the lock; fprintf itself is atomic per call.
+  std::function<SimTime()> time_source;
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    time_source = time_source_;
+  }
+  if (time_source) {
     std::fprintf(stderr, "[%12.6fs] %s %.*s: %.*s\n",
-                 to_seconds(time_source_()), level_name(level),
+                 to_seconds(time_source()), level_name(level),
                  static_cast<int>(component.size()), component.data(),
                  static_cast<int>(msg.size()), msg.data());
   } else {

@@ -11,9 +11,17 @@
 // applies to "triad.node" and "triad.node.calib" but not "triad.net";
 // the longest matching dot-prefix wins, the global level is the
 // fallback.
+//
+// The Logger is the one process-wide singleton, and campaign workers
+// log concurrently: level reads/writes are thread-safe (atomics + a
+// shared_mutex over the component map and time source). The time
+// source is still process-global — parallel scenario runs must not
+// install per-run ScopedLogTime hooks (see DESIGN.md §2.3).
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <shared_mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -30,13 +38,17 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
 
   /// Overrides the level for one component subtree (longest-dot-prefix
   /// match). Setting the same component again replaces the override.
   void set_level(std::string_view component, LogLevel level);
-  void clear_component_levels() { component_levels_.clear(); }
+  void clear_component_levels();
 
   /// The level governing `component` after prefix overrides.
   [[nodiscard]] LogLevel effective_level(std::string_view component) const;
@@ -47,14 +59,25 @@ class Logger {
 
   void write(LogLevel level, std::string_view component, std::string_view msg);
 
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= this->level();
+  }
   [[nodiscard]] bool enabled(LogLevel level, std::string_view component) const {
+    // Fast path: no overrides installed (the common case on the sim hot
+    // path) — skip the shared lock entirely.
+    if (!has_overrides_.load(std::memory_order_acquire)) {
+      return enabled(level);
+    }
     return level >= effective_level(component);
   }
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::Warn;
+  std::atomic<LogLevel> level_{LogLevel::Warn};
+  std::atomic<bool> has_overrides_{false};
+  // Guards component_levels_ and time_source_ (hot-path readers vs the
+  // occasional set_level / set_time_source writer).
+  mutable std::shared_mutex mutex_;
   std::vector<std::pair<std::string, LogLevel>> component_levels_;
   std::function<SimTime()> time_source_;
 };

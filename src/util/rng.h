@@ -3,6 +3,12 @@
 // Every scenario owns a single root Rng; components derive child streams
 // with fork(label) so adding a new consumer never perturbs the draws seen
 // by existing ones. The generator is xoshiro256**, seeded via splitmix64.
+//
+// Thread-ownership rule (campaign engine): Rng holds no global state,
+// but an *instance* is mutable and not synchronized — each campaign run
+// owns its root Rng (inside its private Scenario) and never shares it
+// or its forks across workers. Audited for parallel sweeps: there are
+// no statics here, so concurrent runs with distinct instances are safe.
 #pragma once
 
 #include <array>

@@ -95,6 +95,78 @@ TEST(CliParser, GeoAndAttestationFlags) {
                    .has_value());
 }
 
+TEST(CliParser, SeedSweepFlags) {
+  const auto range = parse({"--seeds", "1..32", "--jobs", "4"});
+  ASSERT_TRUE(range.has_value());
+  ASSERT_TRUE(range->seed_range.has_value());
+  EXPECT_EQ(range->seed_range->first, 1u);
+  EXPECT_EQ(range->seed_range->second, 32u);
+  EXPECT_EQ(range->jobs, 4u);
+  EXPECT_TRUE(is_sweep(*range));
+  EXPECT_EQ(sweep_seeds(*range).size(), 32u);
+  EXPECT_EQ(sweep_seeds(*range).front(), 1u);
+  EXPECT_EQ(sweep_seeds(*range).back(), 32u);
+
+  // A single-value range is a one-run sweep.
+  const auto single = parse({"--seeds", "7..7"});
+  ASSERT_TRUE(single.has_value());
+  EXPECT_TRUE(is_sweep(*single));
+  EXPECT_EQ(sweep_seeds(*single), (std::vector<std::uint64_t>{7}));
+
+  // --repeat N expands to seed..seed+N-1.
+  const auto repeat = parse({"--seed", "10", "--repeat", "3"});
+  ASSERT_TRUE(repeat.has_value());
+  EXPECT_TRUE(is_sweep(*repeat));
+  EXPECT_EQ(sweep_seeds(*repeat), (std::vector<std::uint64_t>{10, 11, 12}));
+
+  // Plain --seed stays a single run.
+  const auto plain = parse({"--seed", "10"});
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(is_sweep(*plain));
+  EXPECT_EQ(sweep_seeds(*plain), (std::vector<std::uint64_t>{10}));
+}
+
+TEST(CliParser, RejectsConflictingSeedFlags) {
+  std::string error;
+  EXPECT_FALSE(parse({"--seed", "5", "--seeds", "1..4"}, &error).has_value());
+  EXPECT_NE(error.find("mutually exclusive"), std::string::npos);
+  // Order must not matter.
+  EXPECT_FALSE(parse({"--seeds", "1..4", "--seed", "5"}, &error).has_value());
+  EXPECT_NE(error.find("mutually exclusive"), std::string::npos);
+  EXPECT_FALSE(
+      parse({"--seeds", "1..4", "--repeat", "2"}, &error).has_value());
+  EXPECT_NE(error.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(CliParser, RejectsBadSweepValues) {
+  std::string error;
+  EXPECT_FALSE(parse({"--seeds", "9..2"}, &error).has_value());  // hi < lo
+  EXPECT_NE(error.find("--seeds"), std::string::npos);
+  EXPECT_FALSE(parse({"--seeds", "abc"}, &error).has_value());
+  EXPECT_FALSE(parse({"--seeds", "1.."}, &error).has_value());
+  EXPECT_FALSE(parse({"--repeat", "0"}, &error).has_value());
+  EXPECT_FALSE(parse({"--jobs", "0"}, &error).has_value());
+  // Per-run outputs are rejected in sweep mode.
+  EXPECT_FALSE(
+      parse({"--seeds", "1..4", "--metrics", "-"}, &error).has_value());
+  EXPECT_NE(error.find("per-run"), std::string::npos);
+  EXPECT_FALSE(
+      parse({"--repeat", "2", "--trace", "t.jsonl"}, &error).has_value());
+}
+
+TEST(CliParser, SeedRangeParser) {
+  std::uint64_t lo = 0, hi = 0;
+  EXPECT_TRUE(parse_seed_range("3..17", &lo, &hi));
+  EXPECT_EQ(lo, 3u);
+  EXPECT_EQ(hi, 17u);
+  EXPECT_TRUE(parse_seed_range("5", &lo, &hi));
+  EXPECT_EQ(lo, 5u);
+  EXPECT_EQ(hi, 5u);
+  EXPECT_FALSE(parse_seed_range("5..4", &lo, &hi));
+  EXPECT_FALSE(parse_seed_range("..4", &lo, &hi));
+  EXPECT_FALSE(parse_seed_range("4..x", &lo, &hi));
+}
+
 TEST(CliRunner, GeoDistributedAttestedRun) {
   const auto options = parse({"--duration", "2m", "--machine", "0",
                               "--machine", "1", "--machine", "2",

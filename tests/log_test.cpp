@@ -1,6 +1,10 @@
 // Logger: level gating and virtual-time tagging.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "sim/simulation.h"
 #include "util/log.h"
 
@@ -100,6 +104,58 @@ TEST_F(LogTest, MacroIsDanglingElseSafe) {
     ADD_FAILURE() << "else bound to the macro's internals";
   reached_tail = true;
   EXPECT_TRUE(reached_tail);
+}
+
+// Regression for the campaign engine: set_level(component, ...) mutates
+// the component->level map while worker threads evaluate TRIAD_LOG's
+// enabled() check concurrently. Before the Logger grew its shared_mutex
+// this was a data race (vector growth under a concurrent scan) that
+// ASan/TSan flag and that could crash; now writers and readers
+// serialize. The test hammers both sides from several threads.
+TEST_F(LogTest, ConcurrentSetLevelAndGatingIsSafe) {
+  Logger& logger = Logger::instance();
+  logger.set_level(LogLevel::Off);  // keep stderr quiet
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&logger, &stop, &reads, t] {
+      const std::string component =
+          "triad.worker" + std::to_string(t) + ".calib";
+      while (!stop.load(std::memory_order_relaxed)) {
+        // The exact macro hot path: gate, then (rarely) write.
+        if (logger.enabled(LogLevel::Debug, component)) {
+          logger.write(LogLevel::Debug, component, "tick");
+        }
+        (void)logger.effective_level(component);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int round = 0; round < 200; ++round) {
+    const std::string component =
+        "triad.worker" + std::to_string(round % 4);
+    logger.set_level(component,
+                     round % 2 == 0 ? LogLevel::Off : LogLevel::Error);
+    if (round % 50 == 49) logger.clear_component_levels();
+  }
+  // Keep mutating until every reader has demonstrably overlapped with
+  // at least one write (a single-core box may not schedule the readers
+  // until the writer loop above has already finished).
+  for (int round = 0; reads.load() < 100; ++round) {
+    logger.set_level("triad.worker" + std::to_string(round % 4),
+                     LogLevel::Error);
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& thread : readers) thread.join();
+
+  EXPECT_GT(reads.load(), 0u);
+  // Writers' final state is intact and readable.
+  logger.set_level("triad.worker0", LogLevel::Debug);
+  EXPECT_EQ(logger.effective_level("triad.worker0.calib"), LogLevel::Debug);
 }
 
 TEST_F(LogTest, ScopedLogTimeInstallsAndClears) {
