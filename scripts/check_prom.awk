@@ -4,7 +4,14 @@
 #
 # Accepts # HELP/# TYPE comments and sample lines `name[{labels}] value`;
 # requires every sample's family to carry a # TYPE declaration and at
-# least one sample overall. Prints the first offence and exits 1.
+# least one sample overall. Knows the detector families' fixed shapes:
+# triad_detector_alarms_total must be a counter and
+# triad_detector_first_alarm_seconds a gauge wherever they appear, and
+# with `-v require_detectors=1` all three detector-labelled alarm series
+# (slope, disagreement, jump) plus the first-alarm gauge become
+# mandatory — attack-free runs export them as explicit zeros, so their
+# absence means the detector bank was not wired in. Prints the first
+# offence and exits 1.
 
 function fail(msg) {
   printf "check_prom: line %d: %s\n", NR, msg
@@ -37,6 +44,17 @@ function fail(msg) {
   sub(/_(bucket|sum|count)$/, "", family)
   if (!(name in typed) && !(family in typed))
     fail("sample without # TYPE: " $0)
+  if (name == "triad_detector_alarms_total") {
+    if (typed[name] != "counter")
+      fail("triad_detector_alarms_total must be a counter")
+    if (match($0, /detector="[a-z]+"/))
+      detector_series[substr($0, RSTART + 10, RLENGTH - 11)] = value
+  }
+  if (name == "triad_detector_first_alarm_seconds") {
+    if (typed[name] != "gauge")
+      fail("triad_detector_first_alarm_seconds must be a gauge")
+    first_alarm_seen = 1
+  }
   samples++
 }
 
@@ -45,5 +63,17 @@ END {
   if (samples == 0) {
     print "check_prom: no samples found"
     exit 1
+  }
+  if (require_detectors) {
+    if (!("slope" in detector_series) ||
+        !("disagreement" in detector_series) ||
+        !("jump" in detector_series)) {
+      print "check_prom: missing detector alarm series"
+      exit 1
+    }
+    if (!first_alarm_seen) {
+      print "check_prom: missing triad_detector_first_alarm_seconds"
+      exit 1
+    }
   }
 }

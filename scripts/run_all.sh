@@ -27,7 +27,7 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 ./build/examples/triad_sim --duration 2m --seed 9 --attack fminus \
     --metrics obs_metrics.prom --trace obs_trace.jsonl > obs_summary.txt \
   || { echo "obs smoke: triad_sim failed" >&2; exit 1; }
-awk -f scripts/check_prom.awk obs_metrics.prom \
+awk -f scripts/check_prom.awk -v require_detectors=1 obs_metrics.prom \
   || { echo "obs smoke: metrics failed to parse" >&2; exit 1; }
 adoptions_metric=$(awk '/^triad_node_adoptions_total/ { sum += $NF } \
                         END { printf "%d", sum }' obs_metrics.prom)
@@ -37,8 +37,50 @@ if [ "$adoptions_metric" != "$adoptions_summary" ]; then
        "summary count ($adoptions_summary)" >&2
   exit 1
 fi
+# The trace ring must have kept every event — a dropped event would make
+# the forensic reconstruction below unsound.
+dropped=$(awk '/^trace events:/ { gsub(/\)/, "", $NF); print $NF }' \
+              obs_summary.txt)
+if [ "$dropped" != "0" ]; then
+  echo "obs smoke: trace ring dropped $dropped events" >&2
+  exit 1
+fi
 echo "obs smoke ok: $adoptions_metric adoptions," \
      "$(wc -l < obs_trace.jsonl) trace events"
+
+# Detector smoke: on the paper seed the F- detectors must raise at least
+# one alarm, and raise it before the first significant clock jump — the
+# forensic report's "detection latency" is positive exactly then. The
+# report itself must be byte-deterministic across repeated reads.
+./build/examples/triad_trace obs_trace.jsonl > obs_forensic.txt \
+  || { echo "detector smoke: triad_trace failed" >&2; exit 1; }
+grep -q '^suspect: node 3' obs_forensic.txt \
+  || { echo "detector smoke: forensic report misses the victim" >&2
+       exit 1; }
+grep -q '^detection latency: +' obs_forensic.txt \
+  || { echo "detector smoke: no alarm before the first jump" >&2; exit 1; }
+./build/examples/triad_trace obs_trace.jsonl | cmp -s - obs_forensic.txt \
+  || { echo "detector smoke: forensic report not deterministic" >&2
+       exit 1; }
+echo "detector smoke ok: $(awk '/^alarms:/ { print $2 }' obs_forensic.txt)" \
+     "alarms, $(awk '/^detection latency:/ { print $3 }' obs_forensic.txt)" \
+     "s lead"
+
+# Attack-free sweep: eight honest seeds must raise zero alarms — the
+# detectors' false-positive floor on clean runs.
+./build/examples/triad_campaign --seeds 1..8 --attack none --duration 2m \
+    --json campaign_honest.json \
+  || { echo "detector smoke: honest sweep failed" >&2; exit 1; }
+python3 - <<'EOF' || exit 1
+import json
+report = json.load(open("campaign_honest.json"))
+for cell in report["cells"]:
+    alarms = cell["metrics"]["detector_alarms"]
+    if alarms["max"] != 0:
+        raise SystemExit(
+            f"detector smoke: {alarms['max']} alarms on an attack-free run")
+print("detector smoke ok: zero alarms across the honest 8-seed sweep")
+EOF
 
 # Campaign smoke: a small F- seed sweep must carry the honest-node
 # max-jump statistic and aggregate deterministically — the report from

@@ -31,6 +31,12 @@ constexpr BuiltinMetric kBuiltins[] = {
     {"aex_total", [](const RunResult& r) { return r.aex_total; }},
     {"events_executed",
      [](const RunResult& r) { return r.events_executed; }},
+    {"detector_alarms",
+     [](const RunResult& r) { return r.detector_alarms; }},
+    {"detector_first_alarm_s",
+     [](const RunResult& r) { return r.detector_first_alarm_s; }},
+    {"detector_false_alarms",
+     [](const RunResult& r) { return r.detector_false_alarms; }},
 };
 
 /// Fixed float formatting: identical doubles always print identically,

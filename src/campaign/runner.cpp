@@ -12,6 +12,7 @@
 #include "attacks/delay_attack.h"
 #include "exp/recorder.h"
 #include "exp/scenario.h"
+#include "obs/export.h"
 #include "resilient/triad_plus.h"
 
 namespace triad::campaign {
@@ -51,6 +52,8 @@ RunResult execute_run(const RunSpec& spec, const RunOptions& options) {
     throw std::invalid_argument("bad policy '" + spec.policy + "'");
   }
   cfg.enable_metrics = true;
+  cfg.enable_detectors = true;
+  if (!options.metrics_dir.empty()) cfg.trace_capacity = options.trace_capacity;
   if (options.configure) options.configure(spec, cfg);
 
   exp::Scenario scenario(std::move(cfg));
@@ -122,18 +125,50 @@ RunResult execute_run(const RunSpec& spec, const RunOptions& options) {
       scenario.time_authority().stats().requests_served);
   result.events_executed =
       static_cast<double>(scenario.simulation().events_executed());
+  if (const obs::DetectorBank* bank = scenario.detectors();
+      bank != nullptr) {
+    result.detector_alarms = static_cast<double>(bank->alarms().size());
+    result.detector_first_alarm_s =
+        bank->first_alarm_at() < 0 ? -1.0
+                                   : to_seconds(bank->first_alarm_at());
+    const NodeId victim_address = scenario.node_address(victim_index);
+    for (const obs::Alarm& alarm : bank->alarms()) {
+      // With no attack there is nothing to detect: every alarm is
+      // false. Under attack an alarm is false when it points at a
+      // wrong node — true positives implicate the victim directly
+      // (slope, disagreement) or as the adoption source (jump), or
+      // stay unattributed (disagreement before three nodes calibrated).
+      const bool accuses_honest =
+          (alarm.node != 0 || alarm.source != 0) &&
+          alarm.node != victim_address && alarm.source != victim_address;
+      if (!attacked || accuses_honest) {
+        result.detector_false_alarms += 1.0;
+      }
+    }
+  }
   if (options.inspect) options.inspect(spec, scenario, recorder, result);
 
   if (!options.metrics_dir.empty()) {
     std::filesystem::create_directories(options.metrics_dir);
-    const std::filesystem::path path =
+    const std::filesystem::path base =
         std::filesystem::path(options.metrics_dir) /
-        ("run_" + std::to_string(spec.index) + ".prom");
+        ("run_" + std::to_string(spec.index));
+    const std::filesystem::path path =
+        std::filesystem::path(base).concat(".prom");
     std::ofstream file(path);
     if (!file) {
       throw std::runtime_error("cannot open " + path.string());
     }
     scenario.metrics()->write_prometheus(file);
+    if (scenario.trace() != nullptr) {
+      const std::filesystem::path trace_path =
+          std::filesystem::path(base).concat(".jsonl");
+      std::ofstream trace_file(trace_path);
+      if (!trace_file) {
+        throw std::runtime_error("cannot open " + trace_path.string());
+      }
+      obs::write_jsonl(*scenario.trace(), trace_file);
+    }
   }
 
   result.wall_ms = wall_ms_since(start);

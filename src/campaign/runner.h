@@ -62,6 +62,14 @@ struct RunResult {
   double aex_total = 0.0;
   double events_executed = 0.0;
 
+  /// Online detector verdicts (obs/detect.h; detectors run in every
+  /// campaign scenario). Alarm count, virtual time of the first alarm
+  /// (-1 when none fired), and false positives — alarms implicating a
+  /// node other than the victim, or any alarm in an attack-free run.
+  double detector_alarms = 0.0;
+  double detector_first_alarm_s = -1.0;
+  double detector_false_alarms = 0.0;
+
   /// Named bench-specific values captured by RunOptions::inspect;
   /// aggregated per key (sorted) alongside the built-in metrics.
   std::vector<std::pair<std::string, double>> extra;
@@ -88,8 +96,12 @@ struct RunOptions {
                      RunResult&)>
       inspect;
   /// When non-empty, each run dumps its final metrics registry as
-  /// Prometheus text to <metrics_dir>/run_<index>.prom.
+  /// Prometheus text to <metrics_dir>/run_<index>.prom and its protocol
+  /// trace as JSON Lines to <metrics_dir>/run_<index>.jsonl (readable by
+  /// the triad_trace forensic CLI).
   std::string metrics_dir;
+  /// Ring capacity for the per-run trace dumps above.
+  std::size_t trace_capacity = std::size_t{1} << 18;
 };
 
 /// Builds, runs, and reduces one scenario. Throws on invalid specs or

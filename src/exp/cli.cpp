@@ -294,8 +294,10 @@ int run_cli(const CliOptions& options, std::ostream& out,
     cfg.policy_factory = [] { return resilient::make_triad_plus_policy(); };
   }
   // Metrics are cheap (callback series + pre-resolved handles), so the
-  // CLI always records them; the trace ring only exists when asked for.
+  // CLI always records them — and the detectors ride the same budget;
+  // the trace ring only exists when asked for.
   cfg.enable_metrics = true;
+  cfg.enable_detectors = true;
   if (options.trace_path) cfg.trace_capacity = std::size_t{1} << 18;
 
   Scenario scenario(std::move(cfg));
@@ -341,6 +343,15 @@ int run_cli(const CliOptions& options, std::ostream& out,
   if (scenario.trace() != nullptr) {
     summary << "trace events: " << scenario.trace()->total() << " (dropped "
             << scenario.trace()->dropped() << ")\n";
+  }
+  if (const obs::DetectorBank* bank = scenario.detectors();
+      bank != nullptr) {
+    summary << "detector alarms: " << bank->alarms().size();
+    if (!bank->alarms().empty()) {
+      summary << " (first at " << to_seconds(bank->first_alarm_at())
+              << "s)";
+    }
+    summary << "\n";
   }
 
   // Writes `what` to the flagged path: stdout when "-", a file otherwise.

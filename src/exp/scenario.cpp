@@ -14,6 +14,16 @@ Bytes demo_master_secret() {
   return Bytes(32, 0x42);
 }
 
+/// Detector thresholds with the TA address defaulted to the scenario's
+/// addressing scheme (node_count + 1) so TA adoptions are never flagged.
+obs::DetectorConfig detector_config_for(const ScenarioConfig& config) {
+  obs::DetectorConfig dc = config.detector_config;
+  if (dc.ta_address == 0) {
+    dc.ta_address = static_cast<NodeId>(config.node_count + 1);
+  }
+  return dc;
+}
+
 }  // namespace
 
 std::unique_ptr<enclave::AexDistribution> make_distribution(
@@ -51,8 +61,32 @@ Scenario::Scenario(ScenarioConfig config)
       trace_(config_.trace_capacity > 0
                  ? std::make_unique<obs::RingTraceSink>(config_.trace_capacity)
                  : nullptr),
+      detectors_(config_.enable_detectors
+                     ? std::make_unique<obs::DetectorBank>(
+                           detector_config_for(config_), metrics_.get(),
+                           trace_.get())
+                     : nullptr),
+      trace_tee_(trace_ && detectors_ ? std::make_unique<obs::TeeTraceSink>()
+                                      : nullptr),
       harness_(make_cluster_config(
-          config_, runtime::ObsBinding{metrics_.get(), trace_.get()})) {
+          config_,
+          runtime::ObsBinding{
+              metrics_.get(),
+              trace_tee_ ? static_cast<obs::TraceSink*>(trace_tee_.get())
+              : detectors_ ? static_cast<obs::TraceSink*>(detectors_.get())
+                           : static_cast<obs::TraceSink*>(trace_.get())})) {
+  if (trace_tee_) {
+    // Ring first so a detector alarm lands *after* its triggering event.
+    trace_tee_->add(trace_.get());
+    trace_tee_->add(detectors_.get());
+  }
+  if (metrics_ && trace_) {
+    metrics_->set_help("obs_trace_dropped_total",
+                       "Trace events overwritten after the ring filled");
+    metrics_->counter_fn(this, "obs_trace_dropped_total", {}, [this] {
+      return static_cast<double>(trace_->dropped());
+    });
+  }
   config_.environments.resize(config_.node_count,
                               AexEnvironment::kTriadLike);
   config_.machine_of.resize(config_.node_count, 0);
@@ -175,6 +209,7 @@ Scenario::~Scenario() {
   for (auto& attack : attacks_) {
     harness_.network().remove_middlebox(attack.get());
   }
+  if (metrics_) metrics_->unregister(this);
 }
 
 const crypto::Keyring& Scenario::keyring_for(NodeId address) const {

@@ -16,6 +16,7 @@
 #include "crypto/channel.h"
 #include "crypto/handshake.h"
 #include "enclave/aex_source.h"
+#include "obs/detect.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/cluster_harness.h"
@@ -86,6 +87,15 @@ struct ScenarioConfig {
   /// When > 0, the scenario owns a bounded RingTraceSink holding the
   /// last `trace_capacity` protocol trace events (Scenario::trace()).
   std::size_t trace_capacity = 0;
+  /// When true the scenario owns an obs::DetectorBank (the three
+  /// standard F+/F− detectors) fed live from the trace stream; read
+  /// verdicts via Scenario::detectors(). Alarm events land in the trace
+  /// ring (when one exists) and alarm counters in the registry (when
+  /// metrics are enabled).
+  bool enable_detectors = false;
+  /// Detector thresholds; ta_address is filled in automatically when
+  /// left 0 (TA adoptions are ground truth, not suspicious jumps).
+  obs::DetectorConfig detector_config;
 };
 
 class Scenario {
@@ -130,6 +140,8 @@ class Scenario {
   [[nodiscard]] obs::Registry* metrics() { return metrics_.get(); }
   /// The scenario-owned trace ring (null unless trace_capacity > 0).
   [[nodiscard]] obs::RingTraceSink* trace() { return trace_.get(); }
+  /// The scenario-owned detector bank (null unless enable_detectors).
+  [[nodiscard]] obs::DetectorBank* detectors() { return detectors_.get(); }
 
   /// Node addressing: node i (0-based) lives at address i+1; the TA at
   /// node_count()+1.
@@ -159,6 +171,8 @@ class Scenario {
   // construction and unregisters at destruction, so they must outlive it.
   std::unique_ptr<obs::Registry> metrics_;
   std::unique_ptr<obs::RingTraceSink> trace_;
+  std::unique_ptr<obs::DetectorBank> detectors_;
+  std::unique_ptr<obs::TeeTraceSink> trace_tee_;  // ring + detector bank
   runtime::ClusterHarness harness_;
   std::vector<crypto::SessionKeyring> session_keyrings_;  // attested mode
   std::vector<std::unique_ptr<enclave::AexDriver>> drivers_;

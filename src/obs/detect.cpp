@@ -1,0 +1,263 @@
+#include "obs/detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace triad::obs {
+namespace {
+
+/// Median of a small value set. Deterministic (callers pass values in
+/// NodeId order); even counts average the two middles.
+double median_of(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? values[n / 2]
+                    : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+/// Latest calibrated slope per node, shared shape between the slope and
+/// disagreement detectors. std::map: deterministic iteration.
+using SlopeMap = std::map<NodeId, double>;
+
+std::vector<double> slope_values(const SlopeMap& slopes) {
+  std::vector<double> values;
+  values.reserve(slopes.size());
+  for (const auto& [node, slope] : slopes) values.push_back(slope);
+  return values;
+}
+
+class SlopeDetector final : public Detector {
+ public:
+  explicit SlopeDetector(const DetectorConfig& config) : config_(config) {}
+
+  DetectorKind kind() const override { return DetectorKind::kSlope; }
+
+  void on_event(const TraceEvent& event, std::vector<Alarm>* out) override {
+    if (event.type != TraceEventType::kCalibration || event.x <= 0.0) return;
+    latest_[event.node] = event.x;
+
+    double reference = 0.0;
+    if (config_.nominal_frequency_hz > 0.0) {
+      reference = config_.nominal_frequency_hz;
+    } else if (latest_.size() >= config_.slope_quorum) {
+      // Median including the node itself: with a single attacked node
+      // the median sits on the honest consensus, so the victim's slope
+      // shows its full ±10% deviation while honest nodes stay within
+      // calibration noise.
+      reference = median_of(slope_values(latest_));
+    } else {
+      return;  // no baseline yet
+    }
+    if (reference <= 0.0) return;
+    const double deviation_ppm = (event.x - reference) / reference * 1e6;
+    if (std::abs(deviation_ppm) <= config_.slope_tolerance_ppm) return;
+    Alarm alarm;
+    alarm.at = event.at;
+    alarm.detector = DetectorKind::kSlope;
+    alarm.node = event.node;
+    alarm.span = event.span;
+    alarm.value = deviation_ppm;  // sign carries the F−/F+ direction
+    alarm.threshold = config_.slope_tolerance_ppm;
+    out->push_back(alarm);
+  }
+
+ private:
+  DetectorConfig config_;
+  SlopeMap latest_;
+};
+
+class DisagreementDetector final : public Detector {
+ public:
+  explicit DisagreementDetector(const DetectorConfig& config)
+      : config_(config) {}
+
+  DetectorKind kind() const override { return DetectorKind::kDisagreement; }
+
+  void on_event(const TraceEvent& event, std::vector<Alarm>* out) override {
+    if (event.type != TraceEventType::kCalibration || event.x <= 0.0) return;
+    latest_[event.node] = event.x;
+    if (latest_.size() < 2) return;
+
+    const std::vector<double> values = slope_values(latest_);
+    const auto [min_it, max_it] =
+        std::minmax_element(values.begin(), values.end());
+    const double median = median_of(values);
+    if (median <= 0.0) return;
+    const double width_ppm = (*max_it - *min_it) / median * 1e6;
+    if (width_ppm <= config_.disagreement_width_ppm) {
+      active_ = false;  // spread healed; re-arm
+      return;
+    }
+    if (active_) return;  // one alarm per excursion
+    active_ = true;
+    Alarm alarm;
+    alarm.at = event.at;
+    alarm.detector = DetectorKind::kDisagreement;
+    alarm.node = farthest_from(median);
+    alarm.span = event.span;
+    alarm.value = width_ppm;
+    alarm.threshold = config_.disagreement_width_ppm;
+    out->push_back(alarm);
+  }
+
+ private:
+  /// The node whose slope sits farthest from the consensus — the
+  /// chimer Marzullo's algorithm would exclude. An exact tie (two
+  /// slopes: both are equidistant from their midpoint) is
+  /// unattributable and returns 0 rather than accusing either side.
+  NodeId farthest_from(double median) const {
+    NodeId worst = 0;
+    double worst_distance = -1.0;
+    bool tied = false;
+    for (const auto& [node, slope] : latest_) {
+      const double distance = std::abs(slope - median);
+      if (distance > worst_distance) {
+        worst_distance = distance;
+        worst = node;
+        tied = false;
+      } else if (distance == worst_distance) {
+        tied = true;
+      }
+    }
+    return tied ? 0 : worst;
+  }
+
+  DetectorConfig config_;
+  SlopeMap latest_;
+  bool active_ = false;
+};
+
+class JumpDetector final : public Detector {
+ public:
+  explicit JumpDetector(const DetectorConfig& config) : config_(config) {}
+
+  DetectorKind kind() const override { return DetectorKind::kJump; }
+
+  void on_event(const TraceEvent& event, std::vector<Alarm>* out) override {
+    if (event.type != TraceEventType::kAdoption) return;
+    if (event.peer == 0 || event.peer == config_.ta_address) return;
+    const double step_ms =
+        static_cast<double>(event.b - event.a) / 1e6;
+    if (step_ms <= 0.0) return;  // only forward jumps propagate attacks
+
+    double threshold = config_.jump_floor_ms;
+    if (!window_.empty()) {
+      threshold = std::max(
+          threshold, config_.jump_median_factor *
+                         median_of({window_.begin(), window_.end()}));
+    }
+    if (step_ms > threshold) {
+      Alarm alarm;
+      alarm.at = event.at;
+      alarm.detector = DetectorKind::kJump;
+      alarm.node = event.node;
+      alarm.source = event.peer;
+      alarm.span = event.span;
+      alarm.value = step_ms;
+      alarm.threshold = threshold;
+      out->push_back(alarm);
+    }
+    window_.push_back(step_ms);
+    if (window_.size() > config_.jump_window) window_.pop_front();
+  }
+
+ private:
+  DetectorConfig config_;
+  std::deque<double> window_;
+};
+
+std::vector<std::unique_ptr<Detector>> standard_detectors(
+    const DetectorConfig& config) {
+  std::vector<std::unique_ptr<Detector>> detectors;
+  detectors.push_back(make_slope_detector(config));
+  detectors.push_back(make_disagreement_detector(config));
+  detectors.push_back(make_jump_detector(config));
+  return detectors;
+}
+
+}  // namespace
+
+const char* to_string(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kSlope: return "slope";
+    case DetectorKind::kDisagreement: return "disagreement";
+    case DetectorKind::kJump: return "jump";
+  }
+  return "?";
+}
+
+std::unique_ptr<Detector> make_slope_detector(const DetectorConfig& config) {
+  return std::make_unique<SlopeDetector>(config);
+}
+
+std::unique_ptr<Detector> make_disagreement_detector(
+    const DetectorConfig& config) {
+  return std::make_unique<DisagreementDetector>(config);
+}
+
+std::unique_ptr<Detector> make_jump_detector(const DetectorConfig& config) {
+  return std::make_unique<JumpDetector>(config);
+}
+
+DetectorBank::DetectorBank(const DetectorConfig& config, Registry* registry,
+                           TraceSink* alarm_sink)
+    : DetectorBank(standard_detectors(config), registry, alarm_sink) {}
+
+DetectorBank::DetectorBank(std::vector<std::unique_ptr<Detector>> detectors,
+                           Registry* registry, TraceSink* alarm_sink)
+    : detectors_(std::move(detectors)), alarm_sink_(alarm_sink) {
+  register_metrics(registry);
+}
+
+void DetectorBank::register_metrics(Registry* registry) {
+  if (registry == nullptr) return;
+  registry->set_help("triad_detector_alarms_total",
+                     "Attack-signature alarms raised, per detector");
+  for (const DetectorKind kind :
+       {DetectorKind::kSlope, DetectorKind::kDisagreement,
+        DetectorKind::kJump}) {
+    // All three families exist from the start so attack-free runs export
+    // explicit zeros (the campaign smoke asserts on them).
+    alarm_counters_[static_cast<std::size_t>(kind)] = registry->counter(
+        "triad_detector_alarms_total", {{"detector", to_string(kind)}});
+  }
+  registry->set_help("triad_detector_first_alarm_seconds",
+                     "Virtual time of the first alarm (-1 = none)");
+  first_alarm_gauge_ =
+      registry->gauge("triad_detector_first_alarm_seconds", {});
+  first_alarm_gauge_.set(-1.0);
+}
+
+void DetectorBank::emit(const TraceEvent& event) {
+  // Never consume our own output: the alarm sink may be the same ring
+  // this bank tees off, and offline replays feed alarms back in.
+  if (event.type == TraceEventType::kDetectorAlarm) return;
+  for (const std::unique_ptr<Detector>& detector : detectors_) {
+    scratch_.clear();
+    detector->on_event(event, &scratch_);
+    for (const Alarm& alarm : scratch_) {
+      alarms_.push_back(alarm);
+      if (first_alarm_at_ < 0) {
+        first_alarm_at_ = alarm.at;
+        first_alarm_gauge_.set(to_seconds(alarm.at));
+      }
+      alarm_counters_[static_cast<std::size_t>(alarm.detector)].inc();
+      if (alarm_sink_ != nullptr) {
+        TraceEvent out;
+        out.at = alarm.at;
+        out.type = TraceEventType::kDetectorAlarm;
+        out.node = alarm.node;
+        out.peer = alarm.source;
+        out.span = alarm.span;
+        out.a = static_cast<std::int64_t>(alarm.detector);
+        out.b = static_cast<std::int64_t>(alarms_.size());  // 1-based ordinal
+        out.x = alarm.value;
+        out.y = alarm.threshold;
+        alarm_sink_->emit(out);
+      }
+    }
+  }
+}
+
+}  // namespace triad::obs

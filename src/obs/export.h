@@ -9,6 +9,8 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -30,5 +32,20 @@ void write_json_line(const TraceEvent& event, std::ostream& out);
 
 /// Every retained event of the ring, oldest first, one line each.
 void write_jsonl(const RingTraceSink& sink, std::ostream& out);
+
+/// Inverse of write_json_line: parses one JSONL line back into an event.
+/// Returns nullopt on malformed input, an unknown event type, or an
+/// unknown key (strictness keeps writer and parser from drifting apart).
+/// Derived fields (step_ns) are ignored; for every event
+/// write(parse(write(e))) == write(e), which is what makes offline
+/// analysis of a dumped trace deterministic.
+std::optional<TraceEvent> parse_json_line(std::string_view line);
+
+/// Parses a whole JSONL document (one event per line; blank lines are
+/// skipped). Unparsable lines are counted into *rejected (when non-null)
+/// and dropped — a trace dump may legitimately carry trailing garbage
+/// from an interrupted run.
+std::vector<TraceEvent> parse_jsonl(std::string_view text,
+                                    std::size_t* rejected = nullptr);
 
 }  // namespace triad::obs

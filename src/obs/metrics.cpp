@@ -319,12 +319,25 @@ void Registry::write_csv(std::ostream& out) const {
     buf += ',';
     buf += to_string(snap.kind);
     buf += ',';
-    // Labels as k=v pairs joined with ';' (CSV-safe: no commas).
+    // Labels as k=v pairs joined with ';'. A label value carrying a
+    // comma, quote, or newline would break the row, so such cells get
+    // RFC 4180 quoting (wrap in quotes, double inner quotes).
+    std::string labels;
     bool first = true;
     for (const Label& label : snap.labels) {
-      if (!first) buf += ';';
+      if (!first) labels += ';';
       first = false;
-      buf += label.key + "=" + label.value;
+      labels += label.key + "=" + label.value;
+    }
+    if (labels.find_first_of(",\"\n\r") != std::string::npos) {
+      buf += '"';
+      for (const char c : labels) {
+        if (c == '"') buf += '"';
+        buf += c;
+      }
+      buf += '"';
+    } else {
+      buf += labels;
     }
     buf += ',';
     append_value(buf, snap.value);

@@ -1,0 +1,95 @@
+#include "obs/span.h"
+
+#include <unordered_map>
+
+namespace triad::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCalibration: return "calibration";
+    case SpanKind::kUntaint: return "untaint";
+  }
+  return "?";
+}
+
+SpanIndex::SpanIndex(std::vector<TraceEvent> events)
+    : events_(std::move(events)) {
+  build();
+}
+
+SpanIndex::SpanIndex(const RingTraceSink& sink) : events_(sink.events()) {
+  build();
+}
+
+void SpanIndex::build() {
+  std::unordered_map<SpanId, std::size_t> index;  // id -> spans_ position
+  // The span in which each node last completed a frequency calibration,
+  // as of the current trace position. An adoption *from* that node is
+  // causally downstream of it: the source's clock (rate and offset) is
+  // whatever that calibration plus later adoptions made it.
+  std::unordered_map<NodeId, SpanId> last_calibration;
+
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& event = events_[i];
+    if (event.span == 0) continue;
+    auto [it, fresh] = index.try_emplace(event.span, spans_.size());
+    if (fresh) {
+      Span span;
+      span.id = event.span;
+      span.node = span_node(event.span);
+      span.start = event.at;
+      spans_.push_back(std::move(span));
+    }
+    Span& span = spans_[it->second];
+    span.end = event.at;
+    span.events.push_back(i);
+
+    switch (event.type) {
+      case TraceEventType::kCalibration:
+        span.kind = SpanKind::kCalibration;
+        span.has_calibration = true;
+        span.calib_slope_hz = event.x;
+        span.calib_r2 = event.y;
+        span.calib_at = event.at;
+        last_calibration[event.node] = event.span;
+        break;
+      case TraceEventType::kAdoption: {
+        span.has_adoption = true;
+        span.adoption_source = event.peer;
+        span.adoption_at = event.at;
+        span.adoption_step_ns = event.b - event.a;
+        const auto calib = last_calibration.find(event.peer);
+        // Peer-sourced adoptions point at the source's calibration span
+        // (the TA never calibrates, so TA adoptions keep cause == 0).
+        span.cause = calib != last_calibration.end() ? calib->second : 0;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+const Span* SpanIndex::find(SpanId id) const {
+  for (const Span& span : spans_) {
+    if (span.id == id) return &span;
+  }
+  return nullptr;
+}
+
+std::vector<const Span*> SpanIndex::chain(SpanId id) const {
+  std::vector<const Span*> out;
+  SpanId next = id;
+  while (next != 0) {
+    const Span* span = find(next);
+    if (span == nullptr) break;
+    bool seen = false;
+    for (const Span* visited : out) seen |= visited == span;
+    if (seen) break;  // defensive: malformed traces must not loop us
+    out.push_back(span);
+    next = span->cause;
+  }
+  return out;
+}
+
+}  // namespace triad::obs

@@ -25,6 +25,7 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kHandshake: return "handshake";
     case TraceEventType::kBadFrame: return "bad_frame";
     case TraceEventType::kClockStep: return "clock_step";
+    case TraceEventType::kDetectorAlarm: return "detector_alarm";
   }
   return "?";
 }

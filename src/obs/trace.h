@@ -17,6 +17,14 @@
 
 namespace triad::obs {
 
+/// Causal-span identifier. One span covers one causal episode on one
+/// node — a taint episode (AEX → peer round → adoption/TA fallback) or a
+/// calibration (TA round-trips → regression → reference adoption). 0
+/// means "no span" (network-level and environment events). Ids compose
+/// the opening node with a per-node sequence number (see obs/span.h) so
+/// they are unique across the cluster without coordination.
+using SpanId = std::uint32_t;
+
 enum class TraceEventType : std::uint8_t {
   /// Node protocol-state transition. a=from, b=to (triad::NodeState).
   kStateChange = 0,
@@ -66,6 +74,10 @@ enum class TraceEventType : std::uint8_t {
   kBadFrame,
   /// Disciplined clock stepped (vs slewed). a=offset (ns).
   kClockStep,
+  /// Online detector raised an alarm (obs/detect.h). a=detector kind
+  /// (obs::DetectorKind), b=alarm ordinal, peer=implicated source
+  /// (0 = none), x=measured value, y=threshold it crossed.
+  kDetectorAlarm,
 };
 
 [[nodiscard]] const char* to_string(TraceEventType type);
@@ -75,6 +87,8 @@ struct TraceEvent {
   TraceEventType type = TraceEventType::kStateChange;
   NodeId node = 0;  // subject endpoint (0 = environment-level event)
   NodeId peer = 0;  // other endpoint, when the type defines one
+  SpanId span = 0;  // causal episode (0 = none); sits in what used to be
+                    // struct padding, so emission cost is unchanged
   std::int64_t a = 0;
   std::int64_t b = 0;
   double x = 0.0;
@@ -89,8 +103,9 @@ class TraceSink {
 };
 
 /// Bounded ring of events: keeps the most recent `capacity` events and
-/// counts what it had to drop. Emission is an index increment plus a
-/// 48-byte store — no allocation after construction.
+/// counts what it had to drop. Emission is an index increment plus one
+/// fixed-size (sizeof(TraceEvent)) store — no allocation after
+/// construction.
 class RingTraceSink final : public TraceSink {
  public:
   explicit RingTraceSink(std::size_t capacity);

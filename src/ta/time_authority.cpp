@@ -62,6 +62,7 @@ void TimeAuthority::on_packet(const runtime::Packet& packet) {
     event.type = obs::TraceEventType::kTaServe;
     event.node = address_;
     event.peer = client;
+    event.span = request.span;  // requester's causal episode
     event.a = static_cast<std::int64_t>(request_id);
     event.x = to_seconds(wait);
     env_.emit(event);

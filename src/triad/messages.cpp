@@ -21,6 +21,7 @@ Bytes encode(const Message& message) {
           w.put_u8(static_cast<std::uint8_t>(Tag::kTaRequest));
           w.put_u64(m.request_id);
           w.put_i64(m.wait);
+          w.put_u32(m.span);
         } else if constexpr (std::is_same_v<T, TaResponse>) {
           w.put_u8(static_cast<std::uint8_t>(Tag::kTaResponse));
           w.put_u64(m.request_id);
@@ -29,6 +30,7 @@ Bytes encode(const Message& message) {
         } else if constexpr (std::is_same_v<T, PeerTimeRequest>) {
           w.put_u8(static_cast<std::uint8_t>(Tag::kPeerTimeRequest));
           w.put_u64(m.request_id);
+          w.put_u32(m.span);
         } else if constexpr (std::is_same_v<T, PeerTimeResponse>) {
           w.put_u8(static_cast<std::uint8_t>(Tag::kPeerTimeResponse));
           w.put_u64(m.request_id);
@@ -50,6 +52,7 @@ std::optional<Message> decode(BytesView data) {
         TaRequest m;
         m.request_id = r.get_u64();
         m.wait = r.get_i64();
+        m.span = r.get_u32();
         r.expect_end();
         if (m.wait < 0) return std::nullopt;
         return m;
@@ -65,6 +68,7 @@ std::optional<Message> decode(BytesView data) {
       case Tag::kPeerTimeRequest: {
         PeerTimeRequest m;
         m.request_id = r.get_u64();
+        m.span = r.get_u32();
         r.expect_end();
         return m;
       }

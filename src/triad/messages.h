@@ -10,6 +10,7 @@
 #include <optional>
 #include <variant>
 
+#include "obs/trace.h"
 #include "util/bytes.h"
 #include "util/types.h"
 
@@ -21,6 +22,10 @@ namespace triad::proto {
 struct TaRequest {
   std::uint64_t request_id = 0;
   Duration wait = 0;
+  /// Requester's causal span (obs/span.h); rides inside the sealed
+  /// payload so the TA's kTaServe trace event lands in the same span as
+  /// the node-side kTaRequest/kTaResponse pair. 0 when untraced.
+  obs::SpanId span = 0;
 
   friend bool operator==(const TaRequest&, const TaRequest&) = default;
 };
@@ -42,6 +47,8 @@ struct TaResponse {
 /// timestamp.
 struct PeerTimeRequest {
   std::uint64_t request_id = 0;
+  /// Requester's causal span (see TaRequest::span).
+  obs::SpanId span = 0;
 
   friend bool operator==(const PeerTimeRequest&,
                          const PeerTimeRequest&) = default;

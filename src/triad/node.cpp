@@ -172,6 +172,7 @@ void TriadNode::sync_clock_to(SimTime new_time, Duration new_error,
     event.type = obs::TraceEventType::kAdoption;
     event.node = config_.id;
     event.peer = source;
+    event.span = current_span_;
     event.a = before;
     event.b = new_time;
     env_.emit(event);
@@ -214,6 +215,11 @@ std::optional<SimTime> TriadNode::serve_timestamp() {
 // ---------------------------------------------------------------------
 // State accounting
 
+obs::SpanId TriadNode::begin_span() {
+  current_span_ = obs::make_span_id(config_.id, ++span_seq_);
+  return current_span_;
+}
+
 void TriadNode::set_state(NodeState next) {
   if (next == state_) return;
   state_time_[static_cast<std::size_t>(state_)] += env_.now() - state_since_;
@@ -224,6 +230,7 @@ void TriadNode::set_state(NodeState next) {
     obs::TraceEvent event;
     event.type = obs::TraceEventType::kStateChange;
     event.node = config_.id;
+    event.span = current_span_;
     event.a = static_cast<std::int64_t>(prev);
     event.b = static_cast<std::int64_t>(next);
     env_.emit(event);
@@ -253,10 +260,15 @@ double TriadNode::availability() const {
 void TriadNode::on_aex() {
   if (!started_) return;
   ++stats_.aex_count;
+  // An AEX hitting an Ok node opens a fresh taint episode; everything it
+  // causes (INC checks, the peer round, the adoption or TA fallback)
+  // shares the span. AEXes during an ongoing episode join it.
+  if (state_ == NodeState::kOk) begin_span();
   if (env_.tracing()) {
     obs::TraceEvent event;
     event.type = obs::TraceEventType::kAex;
     event.node = config_.id;
+    event.span = current_span_;
     event.a = static_cast<std::int64_t>(stats_.aex_count);
     env_.emit(event);
   }
@@ -277,6 +289,7 @@ void TriadNode::on_aex() {
         obs::TraceEvent event;
         event.type = obs::TraceEventType::kIncAlarm;
         event.node = config_.id;
+        event.span = current_span_;
         event.a = window_ok ? 0 : 1;
         event.b = interval_ok ? 0 : 1;
         env_.emit(event);
@@ -310,6 +323,7 @@ void TriadNode::on_aex() {
 
 void TriadNode::begin_full_calibration() {
   ++stats_.full_calibrations;
+  begin_span();  // a calibration is its own causal episode
   have_ta_anchor_ = false;  // a fresh regression invalidates the anchor
   if (started_ && stats_.full_calibrations > 1) {
     // Recalibrate the INC monitor against the (possibly manipulated)
@@ -367,6 +381,7 @@ void TriadNode::send_ta_request(Duration wait) {
     obs::TraceEvent event;
     event.type = obs::TraceEventType::kTaRequest;
     event.node = config_.id;
+    event.span = current_span_;
     event.a = static_cast<std::int64_t>(ota.request_id);
     event.x = to_seconds(wait);
     env_.emit(event);
@@ -375,6 +390,7 @@ void TriadNode::send_ta_request(Duration wait) {
   proto::TaRequest request;
   request.request_id = ota.request_id;
   request.wait = wait;
+  request.span = current_span_;
   send_message(config_.ta_address, request);
 }
 
@@ -399,6 +415,7 @@ void TriadNode::on_ta_response(const proto::TaResponse& response) {
     obs::TraceEvent event;
     event.type = obs::TraceEventType::kTaResponse;
     event.node = config_.id;
+    event.span = current_span_;
     event.a = static_cast<std::int64_t>(response.request_id);
     event.b = response.ta_time;
     env_.emit(event);
@@ -429,6 +446,7 @@ void TriadNode::on_ta_response(const proto::TaResponse& response) {
         obs::TraceEvent event;
         event.type = obs::TraceEventType::kCalibration;
         event.node = config_.id;
+        event.span = current_span_;
         event.a = calib_samples_low_ + calib_samples_high_;
         event.x = fit.slope;
         event.y = fit.r_squared;
@@ -502,6 +520,9 @@ void TriadNode::begin_peer_round(bool proactive) {
     env_.cancel(peer_round_->timeout);
     peer_round_.reset();
   }
+  // Proactive rounds start their own episode; reactive rounds continue
+  // the taint episode the triggering AEX opened.
+  if (proactive) begin_span();
   if (config_.peers.empty()) {
     if (!proactive) {
       ++stats_.ta_fallbacks;
@@ -509,6 +530,7 @@ void TriadNode::begin_peer_round(bool proactive) {
         obs::TraceEvent event;
         event.type = obs::TraceEventType::kTaFallback;
         event.node = config_.id;
+        event.span = current_span_;
         event.a = static_cast<std::int64_t>(stats_.ta_fallbacks);
         env_.emit(event);
       }
@@ -527,6 +549,7 @@ void TriadNode::begin_peer_round(bool proactive) {
     obs::TraceEvent event;
     event.type = obs::TraceEventType::kPeerQuery;
     event.node = config_.id;
+    event.span = current_span_;
     event.a = static_cast<std::int64_t>(peer_round_->request_id);
     event.b = proactive ? 1 : 0;
     env_.emit(event);
@@ -534,6 +557,7 @@ void TriadNode::begin_peer_round(bool proactive) {
 
   proto::PeerTimeRequest request;
   request.request_id = peer_round_->request_id;
+  request.span = current_span_;
   for (NodeId peer : config_.peers) send_message(peer, request);
 }
 
@@ -546,6 +570,7 @@ void TriadNode::on_peer_response(NodeId peer,
     event.type = obs::TraceEventType::kPeerResponse;
     event.node = config_.id;
     event.peer = peer;
+    event.span = current_span_;
     event.a = static_cast<std::int64_t>(response.request_id);
     event.b = response.tainted ? 1 : 0;
     env_.emit(event);
@@ -580,6 +605,7 @@ void TriadNode::finish_peer_round() {
     event.type = obs::TraceEventType::kPeerOutcome;
     event.node = config_.id;
     event.peer = source;
+    event.span = current_span_;
     event.a = static_cast<std::int64_t>(round.request_id);
     event.b = outcome;  // 0 adopt, 1 keep_local, 2 ta_fallback, 3 no_answers
     env_.emit(event);
@@ -589,6 +615,7 @@ void TriadNode::finish_peer_round() {
     obs::TraceEvent event;
     event.type = obs::TraceEventType::kTaFallback;
     event.node = config_.id;
+    event.span = current_span_;
     event.a = static_cast<std::int64_t>(stats_.ta_fallbacks);
     env_.emit(event);
   };

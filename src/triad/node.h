@@ -23,6 +23,7 @@
 #include "crypto/channel.h"
 #include "enclave/enclave_thread.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "runtime/env.h"
 #include "stats/regression.h"
 #include "triad/messages.h"
@@ -192,6 +193,13 @@ class TriadNode {
   // --- state management ------------------------------------------------
   void set_state(NodeState next);
 
+  // --- causal spans ----------------------------------------------------
+  /// Opens a new causal span: every trace event and outgoing request
+  /// until the next call is tagged with it. Called at episode starts —
+  /// an AEX hitting an Ok node, a proactive peer round, and each full
+  /// calibration (see obs/span.h for the episode taxonomy).
+  obs::SpanId begin_span();
+
   // --- clock -----------------------------------------------------------
   void sync_clock_to(SimTime new_time, Duration new_error, NodeId source);
 
@@ -280,6 +288,8 @@ class TriadNode {
   std::unique_ptr<runtime::PeriodicTimer> deadline_timer_;
 
   std::uint64_t next_request_id_ = 1;
+  std::uint32_t span_seq_ = 0;       // per-node span sequence (obs/span.h)
+  obs::SpanId current_span_ = 0;     // tags events until the next episode
   NodeStats stats_;
   obs::Counter adoptions_counter_;       // triad_node_adoptions_total
   obs::Histogram adoption_step_ms_;      // triad_node_adoption_step_ms

@@ -23,6 +23,9 @@ T round_trip(const T& in) {
 TEST(Messages, TaRequestRoundTrip) {
   TaRequest m{.request_id = 42, .wait = seconds(1)};
   EXPECT_EQ(round_trip(m), m);
+  // The causal span id rides inside the sealed request.
+  m.span = 0x1403;  // node 3, seq 5
+  EXPECT_EQ(round_trip(m), m);
 }
 
 TEST(Messages, TaResponseRoundTrip) {
@@ -34,6 +37,8 @@ TEST(Messages, TaResponseRoundTrip) {
 
 TEST(Messages, PeerTimeRequestRoundTrip) {
   PeerTimeRequest m{.request_id = 99};
+  EXPECT_EQ(round_trip(m), m);
+  m.span = 0x2801;  // node 1, seq 10
   EXPECT_EQ(round_trip(m), m);
 }
 

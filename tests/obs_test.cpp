@@ -9,8 +9,11 @@
 #include <vector>
 
 #include "exp/scenario.h"
+#include "obs/detect.h"
 #include "obs/export.h"
+#include "obs/forensic.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace triad::obs {
@@ -161,6 +164,23 @@ TEST(Registry, CsvSnapshotFormat) {
             std::string::npos);
 }
 
+TEST(Registry, CsvQuotesLabelValuesThatWouldBreakTheRow) {
+  Registry reg;
+  reg.counter("c_total", {{"path", "a,b"}, {"q", "say \"hi\""}}).inc(1);
+  std::ostringstream out;
+  reg.write_csv(out);
+  // RFC 4180: the whole labels cell is quoted, inner quotes doubled.
+  EXPECT_NE(out.str().find("c_total,counter,\"path=a,b;q=say \"\"hi\"\"\",1,0\n"),
+            std::string::npos);
+}
+
+TEST(Registry, CsvEmptyRegistryIsHeaderOnly) {
+  Registry reg;
+  std::ostringstream out;
+  reg.write_csv(out);
+  EXPECT_EQ(out.str(), "metric,kind,labels,value,count\n");
+}
+
 // --- trace ring -----------------------------------------------------------
 
 TraceEvent make_event(std::int64_t at, TraceEventType type) {
@@ -228,12 +248,304 @@ TEST(TraceExport, JsonlWritesOneLinePerEvent) {
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
 }
 
+// --- causal spans ---------------------------------------------------------
+
+TEST(SpanId, PacksNodeAndSequence) {
+  const SpanId id = make_span_id(3, 17);
+  EXPECT_EQ(span_node(id), 3u);
+  EXPECT_EQ(span_seq(id), 17u);
+  EXPECT_NE(make_span_id(1, 1), make_span_id(2, 1));
+  EXPECT_NE(make_span_id(1, 1), make_span_id(1, 2));
+  // seq >= 1 keeps every real span id nonzero (0 = "no span").
+  EXPECT_NE(make_span_id(0, 1), 0u);
+}
+
+TraceEvent calibration_event(SimTime at, NodeId node, SpanId span,
+                             double f_hz) {
+  TraceEvent event;
+  event.at = at;
+  event.type = TraceEventType::kCalibration;
+  event.node = node;
+  event.span = span;
+  event.x = f_hz;
+  event.y = 0.999;
+  event.a = 16;
+  return event;
+}
+
+TraceEvent adoption_event(SimTime at, NodeId node, NodeId source,
+                          SpanId span, std::int64_t before,
+                          std::int64_t adopted) {
+  TraceEvent event;
+  event.at = at;
+  event.type = TraceEventType::kAdoption;
+  event.node = node;
+  event.peer = source;
+  event.span = span;
+  event.a = before;
+  event.b = adopted;
+  return event;
+}
+
+TEST(SpanIndex, ReconstructsEpisodesAndCauseEdges) {
+  // Node 3 calibrates (poisoned slope); node 1 then recovers from an
+  // AEX by adopting node 3's clock — the F- infection step.
+  const SpanId victim_span = make_span_id(3, 1);
+  const SpanId honest_span = make_span_id(1, 1);
+  std::vector<TraceEvent> events;
+  events.push_back(calibration_event(1000, 3, victim_span, 2.61e9));
+  TraceEvent aex;
+  aex.at = 2000;
+  aex.type = TraceEventType::kAex;
+  aex.node = 1;
+  aex.span = honest_span;
+  aex.a = 1;
+  events.push_back(aex);
+  events.push_back(adoption_event(2500, 1, 3, honest_span, 100, 8200100));
+
+  const SpanIndex index(events);
+  ASSERT_EQ(index.spans().size(), 2u);
+  const Span& calib = index.spans()[0];
+  EXPECT_EQ(calib.id, victim_span);
+  EXPECT_EQ(calib.node, 3u);
+  EXPECT_EQ(calib.kind, SpanKind::kCalibration);
+  EXPECT_TRUE(calib.has_calibration);
+  EXPECT_DOUBLE_EQ(calib.calib_slope_hz, 2.61e9);
+  EXPECT_EQ(calib.cause, 0u);
+
+  const Span& untaint = index.spans()[1];
+  EXPECT_EQ(untaint.id, honest_span);
+  EXPECT_EQ(untaint.kind, SpanKind::kUntaint);
+  EXPECT_EQ(untaint.start, 2000);
+  EXPECT_EQ(untaint.end, 2500);
+  EXPECT_EQ(untaint.events, (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE(untaint.has_adoption);
+  EXPECT_EQ(untaint.adoption_source, 3u);
+  EXPECT_EQ(untaint.adoption_step_ns, 8200000);
+  // The cross-node cause edge: the adoption points at the span in
+  // which its source last calibrated.
+  EXPECT_EQ(untaint.cause, victim_span);
+
+  const auto chain = index.chain(honest_span);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0]->id, honest_span);
+  EXPECT_EQ(chain[1]->id, victim_span);
+  EXPECT_EQ(index.find(make_span_id(9, 9)), nullptr);
+  EXPECT_TRUE(index.chain(make_span_id(9, 9)).empty());
+}
+
+TEST(SpanIndex, ChainIsCycleSafe) {
+  // Two calibration spans adopting each other's clocks: the cause edges
+  // form a loop; chain() must terminate.
+  const SpanId a = make_span_id(1, 1);
+  const SpanId b = make_span_id(2, 1);
+  std::vector<TraceEvent> events;
+  events.push_back(calibration_event(100, 1, a, 2.9e9));
+  events.push_back(calibration_event(200, 2, b, 2.9e9));
+  events.push_back(adoption_event(300, 1, 2, a, 0, 10));
+  events.push_back(adoption_event(400, 2, 1, b, 0, 10));
+  const SpanIndex index(events);
+  EXPECT_EQ(index.chain(a).size(), 2u);
+  EXPECT_EQ(index.chain(b).size(), 2u);
+}
+
+// --- online detectors -----------------------------------------------------
+
+TEST(Detectors, SlopeNeedsQuorumThenFlagsTheOutlier) {
+  const DetectorConfig config;
+  const auto detector = make_slope_detector(config);
+  std::vector<Alarm> alarms;
+  detector->on_event(calibration_event(1, 1, make_span_id(1, 1), 2.900e9),
+                     &alarms);
+  detector->on_event(calibration_event(2, 2, make_span_id(2, 1), 2.9001e9),
+                     &alarms);
+  EXPECT_TRUE(alarms.empty());  // below quorum: no baseline yet
+  detector->on_event(calibration_event(3, 3, make_span_id(3, 1), 2.61e9),
+                     &alarms);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].detector, DetectorKind::kSlope);
+  EXPECT_EQ(alarms[0].node, 3u);
+  EXPECT_EQ(alarms[0].span, make_span_id(3, 1));
+  EXPECT_LT(alarms[0].value, -config.slope_tolerance_ppm);  // F-: slow slope
+}
+
+TEST(Detectors, SlopeUsesNominalPriorWithoutQuorum) {
+  DetectorConfig config;
+  config.nominal_frequency_hz = 2.9e9;
+  const auto detector = make_slope_detector(config);
+  std::vector<Alarm> alarms;
+  detector->on_event(calibration_event(1, 3, make_span_id(3, 1), 2.61e9),
+                     &alarms);
+  ASSERT_EQ(alarms.size(), 1u);  // first calibration, no quorum needed
+  EXPECT_EQ(alarms[0].node, 3u);
+}
+
+TEST(Detectors, DisagreementEdgeTriggersAndAttributesTheOutlier) {
+  const DetectorConfig config;
+  const auto detector = make_disagreement_detector(config);
+  std::vector<Alarm> alarms;
+  detector->on_event(calibration_event(1, 1, make_span_id(1, 1), 2.9e9),
+                     &alarms);
+  EXPECT_TRUE(alarms.empty());  // one slope: no spread to measure
+  detector->on_event(calibration_event(2, 2, make_span_id(2, 1), 2.61e9),
+                     &alarms);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].detector, DetectorKind::kDisagreement);
+  // Two slopes are equidistant from their midpoint: unattributable.
+  EXPECT_EQ(alarms[0].node, 0u);
+  detector->on_event(calibration_event(3, 3, make_span_id(3, 1), 2.9e9),
+                     &alarms);
+  EXPECT_EQ(alarms.size(), 1u);  // still in excursion: edge-triggered
+  // Node 2 re-calibrates cleanly; the spread heals and re-arms.
+  detector->on_event(calibration_event(4, 2, make_span_id(2, 2), 2.9e9),
+                     &alarms);
+  EXPECT_EQ(alarms.size(), 1u);
+  detector->on_event(calibration_event(5, 2, make_span_id(2, 3), 2.61e9),
+                     &alarms);
+  ASSERT_EQ(alarms.size(), 2u);
+  // Three slopes now: the outlier is attributable.
+  EXPECT_EQ(alarms[1].node, 2u);
+}
+
+TEST(Detectors, JumpUsesFloorAndRecentMedianAndIgnoresTheTa) {
+  DetectorConfig config;
+  config.ta_address = 4;
+  const auto detector = make_jump_detector(config);
+  std::vector<Alarm> alarms;
+  // TA adoptions are ground truth: never suspicious.
+  detector->on_event(adoption_event(1, 1, 4, 0, 0, 900000000), &alarms);
+  // Backward steps cannot propagate a fast clock.
+  detector->on_event(adoption_event(2, 1, 2, 0, 1000, 500), &alarms);
+  // Sub-floor drift repair (2 ms) seeds the running median quietly.
+  detector->on_event(adoption_event(3, 1, 2, 0, 0, 2000000), &alarms);
+  EXPECT_TRUE(alarms.empty());
+  // An infection-sized jump clears max(floor, 8 x median(2ms)) = 16 ms.
+  detector->on_event(
+      adoption_event(4, 1, 3, make_span_id(1, 2), 0, 8200000000), &alarms);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].detector, DetectorKind::kJump);
+  EXPECT_EQ(alarms[0].node, 1u);
+  EXPECT_EQ(alarms[0].source, 3u);
+  EXPECT_DOUBLE_EQ(alarms[0].value, 8200.0);
+  EXPECT_DOUBLE_EQ(alarms[0].threshold, 16.0);
+}
+
+TEST(DetectorBank, RegistersZeroedFamiliesAndRecordsAlarms) {
+  Registry registry;
+  RingTraceSink ring(16);
+  DetectorConfig config;
+  config.nominal_frequency_hz = 2.9e9;
+  DetectorBank bank(config, &registry, &ring);
+  // All three families exist (at zero) before any alarm, so attack-free
+  // exports carry explicit zeros.
+  for (const char* kind : {"slope", "disagreement", "jump"}) {
+    EXPECT_EQ(registry.value("triad_detector_alarms_total",
+                             {{"detector", kind}}),
+              0.0);
+  }
+  EXPECT_EQ(registry.value("triad_detector_first_alarm_seconds", {}), -1.0);
+  EXPECT_EQ(bank.first_alarm_at(), -1);
+
+  bank.emit(calibration_event(seconds(5), 3, make_span_id(3, 1), 2.61e9));
+  ASSERT_EQ(bank.alarms().size(), 1u);
+  EXPECT_EQ(bank.first_alarm_at(), seconds(5));
+  EXPECT_EQ(registry.value("triad_detector_alarms_total",
+                           {{"detector", "slope"}}),
+            1.0);
+  EXPECT_EQ(registry.value("triad_detector_first_alarm_seconds", {}), 5.0);
+  // The alarm landed in the trace as a kDetectorAlarm event carrying the
+  // triggering event's time and span.
+  const std::vector<TraceEvent> events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceEventType::kDetectorAlarm);
+  EXPECT_EQ(events[0].at, seconds(5));
+  EXPECT_EQ(events[0].span, make_span_id(3, 1));
+  EXPECT_EQ(events[0].a,
+            static_cast<std::int64_t>(DetectorKind::kSlope));
+}
+
+TEST(DetectorBank, IgnoresItsOwnAlarmEvents) {
+  Registry registry;
+  RingTraceSink ring(16);
+  DetectorConfig config;
+  config.nominal_frequency_hz = 2.9e9;
+  DetectorBank bank(config, &registry, &ring);
+  bank.emit(calibration_event(1, 3, make_span_id(3, 1), 2.61e9));
+  ASSERT_EQ(bank.alarms().size(), 1u);
+  // Replaying the recorded alarm (offline analysis feeds whole dumps
+  // back in) must not double-count or recurse.
+  bank.emit(ring.events()[0]);
+  EXPECT_EQ(bank.alarms().size(), 1u);
+  EXPECT_EQ(ring.total(), 1u);
+}
+
+// --- JSONL parsing --------------------------------------------------------
+
+TEST(TraceExport, WriteParseWriteIsIdentityForEveryType) {
+  for (int i = 0;
+       i <= static_cast<int>(TraceEventType::kDetectorAlarm); ++i) {
+    TraceEvent event;
+    event.at = 1500000000;
+    event.type = static_cast<TraceEventType>(i);
+    event.node = 3;
+    event.peer = 2;
+    event.span = make_span_id(3, 7);
+    event.a = 1;  // valid as bool, state, count, and detector kind
+    event.b = 2;  // valid as bool rendering input and outcome/reason
+    event.x = 1.5;
+    event.y = 0.25;
+    std::ostringstream first;
+    write_json_line(event, first);
+    const auto parsed = parse_json_line(first.str());
+    ASSERT_TRUE(parsed.has_value()) << first.str();
+    std::ostringstream second;
+    write_json_line(*parsed, second);
+    EXPECT_EQ(first.str(), second.str()) << "type " << i;
+  }
+}
+
+TEST(TraceExport, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(parse_json_line("").has_value());
+  EXPECT_FALSE(parse_json_line("not json").has_value());
+  EXPECT_FALSE(parse_json_line("{}").has_value());  // type is mandatory
+  EXPECT_FALSE(parse_json_line("{\"t\":1}").has_value());
+  EXPECT_FALSE(
+      parse_json_line("{\"t\":1,\"type\":\"warp_drive\"}").has_value());
+  EXPECT_FALSE(
+      parse_json_line("{\"t\":1,\"type\":\"aex\",\"bogus\":1}").has_value());
+  EXPECT_FALSE(
+      parse_json_line("{\"t\":1,\"type\":\"aex\"} trailing").has_value());
+  EXPECT_FALSE(
+      parse_json_line("{\"t\":x,\"type\":\"aex\"}").has_value());
+  // type must be a quoted enum name, not a number.
+  EXPECT_FALSE(parse_json_line("{\"t\":1,\"type\":2}").has_value());
+  EXPECT_TRUE(parse_json_line("{\"t\":1,\"type\":\"aex\",\"count\":3}")
+                  .has_value());
+}
+
+TEST(TraceExport, ParseJsonlCountsRejectedLines) {
+  const std::string text =
+      "{\"t\":1,\"type\":\"aex\",\"node\":2,\"count\":1}\n"
+      "garbage\n"
+      "\n"
+      "{\"t\":2,\"type\":\"clock_step\",\"offset_ns\":-500}\n";
+  std::size_t rejected = 0;
+  const std::vector<TraceEvent> events = parse_jsonl(text, &rejected);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(rejected, 1u);
+  EXPECT_EQ(events[0].type, TraceEventType::kAex);
+  EXPECT_EQ(events[0].node, 2u);
+  EXPECT_EQ(events[1].type, TraceEventType::kClockStep);
+  EXPECT_EQ(events[1].a, -500);
+}
+
 // --- end-to-end determinism and attack reconstruction ---------------------
 
 exp::ScenarioConfig observed_config(std::uint64_t seed) {
   exp::ScenarioConfig cfg;
   cfg.seed = seed;
   cfg.enable_metrics = true;
+  cfg.enable_detectors = true;
   cfg.trace_capacity = 1 << 16;
   return cfg;
 }
@@ -290,6 +602,101 @@ TEST(ObsDeterminism, FMinusTraceReconstructsTheAttackChain) {
   // And the metrics agree that the victim's adoption counter exists.
   EXPECT_NE(run.prometheus.find("triad_node_adoptions_total{node=\"3\"}"),
             std::string::npos);
+}
+
+TEST(ObsDetectors, HonestRunRaisesNoAlarmsAndDropsNoEvents) {
+  exp::Scenario sc(observed_config(42));
+  sc.start();
+  sc.run_until(minutes(3));
+  ASSERT_NE(sc.detectors(), nullptr);
+  EXPECT_TRUE(sc.detectors()->alarms().empty());
+  EXPECT_EQ(sc.detectors()->first_alarm_at(), -1);
+  ASSERT_NE(sc.trace(), nullptr);
+  EXPECT_EQ(sc.trace()->dropped(), 0u);
+  // The export carries explicit zeros for every detector family plus the
+  // drop counter, so dashboards can tell "quiet" from "not wired up".
+  std::ostringstream prom;
+  sc.metrics()->write_prometheus(prom);
+  for (const char* kind : {"slope", "disagreement", "jump"}) {
+    EXPECT_NE(prom.str().find("triad_detector_alarms_total{detector=\"" +
+                              std::string(kind) + "\"} 0"),
+              std::string::npos);
+  }
+  EXPECT_NE(prom.str().find("triad_detector_first_alarm_seconds -1"),
+            std::string::npos);
+  EXPECT_NE(prom.str().find("obs_trace_dropped_total 0"), std::string::npos);
+}
+
+TEST(ObsDetectors, FMinusAlarmsPrecedeTheFirstHonestJump) {
+  exp::Scenario sc(observed_config(9));
+  attacks::DelayAttackConfig attack;
+  attack.kind = attacks::AttackKind::kFMinus;
+  attack.victim = sc.node_address(2);
+  attack.ta_address = sc.ta_address();
+  attack.added_delay = milliseconds(100);
+  sc.add_delay_attack(attack);
+  sc.start();
+  sc.run_until(minutes(3));
+  ASSERT_NE(sc.detectors(), nullptr);
+  ASSERT_FALSE(sc.detectors()->alarms().empty());
+  // The paper's detection story: the slope/disagreement alarms fire at
+  // the victim's poisoned calibration, before any honest node adopts
+  // the fast clock (the first infection jump).
+  SimTime first_honest_jump = 0;
+  for (const TraceEvent& event : sc.trace()->events()) {
+    if (event.type != TraceEventType::kAdoption) continue;
+    if (event.node == attack.victim || event.peer != attack.victim) continue;
+    first_honest_jump = event.at;
+    break;
+  }
+  ASSERT_GT(first_honest_jump, 0);
+  EXPECT_LT(sc.detectors()->first_alarm_at(), first_honest_jump);
+}
+
+TEST(ObsForensics, FMinusReportIsDeterministicAndBlamesTheVictim) {
+  const ObservedRun first = run_observed(9, /*attack=*/true);
+  const ObservedRun second = run_observed(9, /*attack=*/true);
+  std::size_t rejected = 0;
+  std::vector<TraceEvent> events = parse_jsonl(first.jsonl, &rejected);
+  EXPECT_EQ(rejected, 0u);
+  ASSERT_FALSE(events.empty());
+  const std::string report = forensic_report(events);
+  EXPECT_EQ(report, forensic_report(parse_jsonl(second.jsonl, nullptr)));
+  // The victim (address 3) runs ~10% slow after the poisoned
+  // calibration; the report names it and measures the detection lead.
+  EXPECT_NE(report.find("suspect: node 3"), std::string::npos);
+  EXPECT_NE(report.find("detection latency:"), std::string::npos);
+  // JSON rendering stays deterministic too.
+  ForensicOptions options;
+  options.json = true;
+  const std::string json = forensic_report(events, options);
+  EXPECT_EQ(json, forensic_report(std::move(events), options));
+  EXPECT_NE(json.find("\"jumps\":["), std::string::npos);
+}
+
+TEST(ObsForensics, FMinusSpansChainBackToTheVictimCalibration) {
+  const ObservedRun run = run_observed(9, /*attack=*/true);
+  const SpanIndex index(parse_jsonl(run.jsonl, nullptr));
+  ASSERT_FALSE(index.spans().size() < 2);
+  // Find an honest node's infection: a forward adoption sourced from the
+  // victim (address 3), then walk its cause edge back to the poisoned
+  // calibration.
+  const Span* infection = nullptr;
+  for (const Span& span : index.spans()) {
+    if (span.has_adoption && span.node != 3 && span.adoption_source == 3 &&
+        span.adoption_step_ns > milliseconds(5)) {
+      infection = &span;
+      break;
+    }
+  }
+  ASSERT_NE(infection, nullptr) << "no honest node adopted the fast clock";
+  const auto chain = index.chain(infection->id);
+  ASSERT_GE(chain.size(), 2u);
+  EXPECT_EQ(chain[1]->node, 3u);
+  EXPECT_TRUE(chain[1]->has_calibration);
+  // The poisoned slope is ~10% below nominal 2.9 GHz.
+  EXPECT_LT(chain[1]->calib_slope_hz, 2.7e9);
+  EXPECT_GT(chain[1]->calib_slope_hz, 2.5e9);
 }
 
 }  // namespace
