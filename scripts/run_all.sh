@@ -1,37 +1,98 @@
 #!/usr/bin/env bash
-# Builds everything, runs the full test suite and every figure/table
-# bench, and records the outputs EXPERIMENTS.md is based on.
+# Builds everything, runs the static-analysis tier, the full test suite,
+# every figure/table bench, and records the outputs EXPERIMENTS.md is
+# based on. All generated artifacts land under $BUILD_DIR/artifacts/ —
+# never at the repo root.
 #
-#   scripts/run_all.sh              # regular build + tests + benches
-#   TRIAD_SANITIZE=1 scripts/run_all.sh
-#                                   # additionally builds with ASan+UBSan
-#                                   # and runs the test suite under them
+#   scripts/run_all.sh                  # static tier + build + tests + benches
+#   TRIAD_SANITIZE=address scripts/run_all.sh
+#                                       # additionally builds with ASan+UBSan
+#                                       # and runs the test suite under them
+#                                       # (TRIAD_SANITIZE=1 still works)
+#   TRIAD_SANITIZE=thread scripts/run_all.sh
+#                                       # additionally builds with TSan and
+#                                       # runs the Logger concurrency test
+#                                       # plus the jobs-4 campaign race test
 set -u
 
 cd "$(dirname "$0")/.."
 
-if [ "${TRIAD_SANITIZE:-0}" != "0" ]; then
-  cmake -B build-asan -G Ninja -DTRIAD_SANITIZE=ON
-  cmake --build build-asan
-  ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output_asan.txt
+BUILD_DIR=${BUILD_DIR:-build}
+ART="$BUILD_DIR/artifacts"
+
+# ---- static tier: lint + warning-clean configure, before any test runs.
+# TRIAD_WERROR defaults ON, so the build below is the warning gate; the
+# lint gate runs first because it is much cheaper than a full compile.
+cmake -B "$BUILD_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build "$BUILD_DIR" --target triad_lint
+"$BUILD_DIR"/tools/lint/triad_lint --root . \
+    --config tools/lint/lint_rules.toml \
+  || { echo "static tier: triad_lint found violations" >&2; exit 1; }
+
+# Optional deeper analyzers: run when installed, announce the skip
+# loudly when not (so CI logs show the tier was considered, not missed).
+if command -v cppcheck > /dev/null 2>&1; then
+  cppcheck --quiet --error-exitcode=1 --inline-suppr \
+      --enable=warning,performance,portability \
+      --suppress=missingIncludeSystem -I src src \
+    || { echo "static tier: cppcheck found issues" >&2; exit 1; }
+  echo "static tier: cppcheck clean"
+else
+  echo "static tier: cppcheck SKIPPED (not installed)"
+fi
+if command -v clang-tidy > /dev/null 2>&1; then
+  # .clang-tidy at the repo root mirrors the -Wall -Wextra -Wshadow
+  # -Wnon-virtual-dtor -Werror warning set.
+  find src -name '*.cpp' -print0 \
+    | xargs -0 clang-tidy -p "$BUILD_DIR" --quiet \
+    || { echo "static tier: clang-tidy found issues" >&2; exit 1; }
+  echo "static tier: clang-tidy clean"
+else
+  echo "static tier: clang-tidy SKIPPED (not installed)"
 fi
 
-cmake -B build -G Ninja
-cmake --build build
+cmake --build "$BUILD_DIR"
+mkdir -p "$ART"
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+case "${TRIAD_SANITIZE:-0}" in
+  0) ;;
+  thread)
+    cmake -B build-tsan -G Ninja -DTRIAD_SANITIZE=thread
+    cmake --build build-tsan
+    # The two thread-heavy paths: the Logger's concurrent level/gating
+    # test and the campaign worker pool (jobs 1 vs 4 byte-compare runs
+    # inside the tsan-campaign ctest entry). TSan exits nonzero on any
+    # report, so a clean pass means zero races.
+    ctest --test-dir build-tsan --output-on-failure \
+        -R 'LogTest|tsan-campaign' 2>&1 | tee "$ART"/test_output_tsan.txt
+    test "${PIPESTATUS[0]}" -eq 0 \
+      || { echo "TSan tier failed" >&2; exit 1; }
+    ;;
+  *)
+    cmake -B build-asan -G Ninja -DTRIAD_SANITIZE=address
+    cmake --build build-asan
+    ctest --test-dir build-asan --output-on-failure 2>&1 \
+      | tee "$ART"/test_output_asan.txt
+    test "${PIPESTATUS[0]}" -eq 0 \
+      || { echo "ASan tier failed" >&2; exit 1; }
+    ;;
+esac
+
+ctest --test-dir "$BUILD_DIR" 2>&1 | tee "$ART"/test_output.txt
 
 # Observability smoke: a short F- run must export Prometheus text that
 # parses, and the adoption-step counter must match the Recorder's
 # adoption event count printed in the summary.
-./build/examples/triad_sim --duration 2m --seed 9 --attack fminus \
-    --metrics obs_metrics.prom --trace obs_trace.jsonl > obs_summary.txt \
+./"$BUILD_DIR"/examples/triad_sim --duration 2m --seed 9 --attack fminus \
+    --metrics "$ART"/obs_metrics.prom --trace "$ART"/obs_trace.jsonl \
+    > "$ART"/obs_summary.txt \
   || { echo "obs smoke: triad_sim failed" >&2; exit 1; }
-awk -f scripts/check_prom.awk -v require_detectors=1 obs_metrics.prom \
+awk -f scripts/check_prom.awk -v require_detectors=1 "$ART"/obs_metrics.prom \
   || { echo "obs smoke: metrics failed to parse" >&2; exit 1; }
 adoptions_metric=$(awk '/^triad_node_adoptions_total/ { sum += $NF } \
-                        END { printf "%d", sum }' obs_metrics.prom)
-adoptions_summary=$(awk '/^adoption events:/ { print $3 }' obs_summary.txt)
+                        END { printf "%d", sum }' "$ART"/obs_metrics.prom)
+adoptions_summary=$(awk '/^adoption events:/ { print $3 }' \
+                        "$ART"/obs_summary.txt)
 if [ "$adoptions_metric" != "$adoptions_summary" ]; then
   echo "obs smoke: adoption counter ($adoptions_metric) !=" \
        "summary count ($adoptions_summary)" >&2
@@ -40,40 +101,43 @@ fi
 # The trace ring must have kept every event — a dropped event would make
 # the forensic reconstruction below unsound.
 dropped=$(awk '/^trace events:/ { gsub(/\)/, "", $NF); print $NF }' \
-              obs_summary.txt)
+              "$ART"/obs_summary.txt)
 if [ "$dropped" != "0" ]; then
   echo "obs smoke: trace ring dropped $dropped events" >&2
   exit 1
 fi
 echo "obs smoke ok: $adoptions_metric adoptions," \
-     "$(wc -l < obs_trace.jsonl) trace events"
+     "$(wc -l < "$ART"/obs_trace.jsonl) trace events"
 
 # Detector smoke: on the paper seed the F- detectors must raise at least
 # one alarm, and raise it before the first significant clock jump — the
 # forensic report's "detection latency" is positive exactly then. The
 # report itself must be byte-deterministic across repeated reads.
-./build/examples/triad_trace obs_trace.jsonl > obs_forensic.txt \
+./"$BUILD_DIR"/examples/triad_trace "$ART"/obs_trace.jsonl \
+    > "$ART"/obs_forensic.txt \
   || { echo "detector smoke: triad_trace failed" >&2; exit 1; }
-grep -q '^suspect: node 3' obs_forensic.txt \
+grep -q '^suspect: node 3' "$ART"/obs_forensic.txt \
   || { echo "detector smoke: forensic report misses the victim" >&2
        exit 1; }
-grep -q '^detection latency: +' obs_forensic.txt \
+grep -q '^detection latency: +' "$ART"/obs_forensic.txt \
   || { echo "detector smoke: no alarm before the first jump" >&2; exit 1; }
-./build/examples/triad_trace obs_trace.jsonl | cmp -s - obs_forensic.txt \
+./"$BUILD_DIR"/examples/triad_trace "$ART"/obs_trace.jsonl \
+    | cmp -s - "$ART"/obs_forensic.txt \
   || { echo "detector smoke: forensic report not deterministic" >&2
        exit 1; }
-echo "detector smoke ok: $(awk '/^alarms:/ { print $2 }' obs_forensic.txt)" \
-     "alarms, $(awk '/^detection latency:/ { print $3 }' obs_forensic.txt)" \
+echo "detector smoke ok:" \
+     "$(awk '/^alarms:/ { print $2 }' "$ART"/obs_forensic.txt) alarms," \
+     "$(awk '/^detection latency:/ { print $3 }' "$ART"/obs_forensic.txt)" \
      "s lead"
 
 # Attack-free sweep: eight honest seeds must raise zero alarms — the
 # detectors' false-positive floor on clean runs.
-./build/examples/triad_campaign --seeds 1..8 --attack none --duration 2m \
-    --json campaign_honest.json \
+./"$BUILD_DIR"/examples/triad_campaign --seeds 1..8 --attack none \
+    --duration 2m --json "$ART"/campaign_honest.json \
   || { echo "detector smoke: honest sweep failed" >&2; exit 1; }
-python3 - <<'EOF' || exit 1
-import json
-report = json.load(open("campaign_honest.json"))
+python3 - "$ART"/campaign_honest.json <<'EOF' || exit 1
+import json, sys
+report = json.load(open(sys.argv[1]))
 for cell in report["cells"]:
     alarms = cell["metrics"]["detector_alarms"]
     if alarms["max"] != 0:
@@ -85,28 +149,30 @@ EOF
 # Campaign smoke: a small F- seed sweep must carry the honest-node
 # max-jump statistic and aggregate deterministically — the report from
 # --jobs 4 must be byte-identical to the one from --jobs 1.
-./build/examples/triad_campaign --seeds 1..4 --attack fminus \
-    --duration 2m --jobs 1 --json campaign_j1.json \
+./"$BUILD_DIR"/examples/triad_campaign --seeds 1..4 --attack fminus \
+    --duration 2m --jobs 1 --json "$ART"/campaign_j1.json \
   || { echo "campaign smoke: jobs=1 sweep failed" >&2; exit 1; }
-./build/examples/triad_campaign --seeds 1..4 --attack fminus \
-    --duration 2m --jobs 4 --json campaign_j4.json \
+./"$BUILD_DIR"/examples/triad_campaign --seeds 1..4 --attack fminus \
+    --duration 2m --jobs 4 --json "$ART"/campaign_j4.json \
   || { echo "campaign smoke: jobs=4 sweep failed" >&2; exit 1; }
-grep -q '"honest_max_jump_ms"' campaign_j1.json \
+grep -q '"honest_max_jump_ms"' "$ART"/campaign_j1.json \
   || { echo "campaign smoke: honest_max_jump_ms missing from report" >&2
        exit 1; }
-cmp -s campaign_j1.json campaign_j4.json \
+cmp -s "$ART"/campaign_j1.json "$ART"/campaign_j4.json \
   || { echo "campaign smoke: reports differ between jobs 1 and 4" >&2
        exit 1; }
 echo "campaign smoke ok: jobs 1 vs 4 reports byte-identical"
 
-: > bench_output.txt
-for b in build/bench/bench_*; do
+: > "$ART"/bench_output.txt
+for b in "$BUILD_DIR"/bench/bench_*; do
   [ -x "$b" ] || continue
-  echo "===== $b =====" | tee -a bench_output.txt
-  "$b" 2>&1 | tee -a bench_output.txt
+  echo "===== $b =====" | tee -a "$ART"/bench_output.txt
+  "$b" 2>&1 | tee -a "$ART"/bench_output.txt
 done
 
-echo "wrote test_output.txt and bench_output.txt"
-if [ "${TRIAD_SANITIZE:-0}" != "0" ]; then
-  echo "wrote test_output_asan.txt (ASan+UBSan run)"
-fi
+echo "artifacts under $ART/ (test_output.txt, bench_output.txt, ...)"
+case "${TRIAD_SANITIZE:-0}" in
+  0) ;;
+  thread) echo "wrote $ART/test_output_tsan.txt (TSan run)" ;;
+  *) echo "wrote $ART/test_output_asan.txt (ASan+UBSan run)" ;;
+esac

@@ -189,7 +189,9 @@ TEST_P(GcmRoundTrip, SealOpenIdentity) {
 
   const auto sealed = gcm.seal(iv, pt, aad);
   EXPECT_EQ(sealed.ciphertext.size(), pt.size());
-  if (!pt.empty()) EXPECT_NE(sealed.ciphertext, pt);
+  if (!pt.empty()) {
+    EXPECT_NE(sealed.ciphertext, pt);
+  }
   const auto opened = gcm.open(iv, sealed.ciphertext, aad, sealed.tag);
   ASSERT_TRUE(opened.has_value());
   EXPECT_EQ(*opened, pt);

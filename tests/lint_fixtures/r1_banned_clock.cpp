@@ -1,0 +1,32 @@
+// Known-bad fixture for triad_lint rule R1: wall-clock / ambient
+// randomness access outside src/runtime/ and src/util/. Never compiled;
+// linted by tests/lint_test.cpp, which reads the LINT rule markers as
+// the expected diagnostic lines.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long long bad_now_ms() {
+  using clock = std::chrono::steady_clock;  // LINT:R1
+  return clock::now().time_since_epoch().count();
+}
+
+long long bad_epoch() {
+  return static_cast<long long>(std::time(nullptr));  // LINT:R1
+}
+
+int bad_random() {
+  return std::rand();  // LINT:R1
+}
+
+const char* bad_env() {
+  return std::getenv("TRIAD_UNDOCUMENTED");  // LINT:R1
+}
+
+// Call-only identifiers must NOT fire outside call form: a member or
+// variable named `time` / `rand` is legal.
+struct Sample {
+  long long time = 0;
+  int rand = 0;
+};
+long long ok_member(const Sample& s) { return s.time + s.rand; }

@@ -1,0 +1,31 @@
+// Known-bad fixture for triad_lint rule R2: iteration over unordered
+// containers in a byte-stable export path. Never compiled; linted by
+// tests/lint_test.cpp.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+int sum_exported(const std::unordered_map<int, int>& cells) {
+  int total = 0;
+  for (const auto& [key, value] : cells) {  // LINT:R2
+    total += key + value;
+  }
+  return total;
+}
+
+int count_iter(const std::unordered_set<int>& seen) {
+  int total = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // LINT:R2
+    total += *it;
+  }
+  return total;
+}
+
+// Ordered containers are the sanctioned path: must NOT fire. (Named
+// differently from the unordered params above — the declared-name pass
+// is file-wide by design.)
+int sum_ordered(const std::map<int, int>& rows) {
+  int total = 0;
+  for (const auto& [key, value] : rows) total += key + value;
+  return total;
+}

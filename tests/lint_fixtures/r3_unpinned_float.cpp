@@ -1,0 +1,17 @@
+// Known-bad fixture for triad_lint rule R3: float printf conversions
+// without an explicit precision in an exporter file. Never compiled;
+// linted by tests/lint_test.cpp.
+#include <cstdio>
+
+void export_row(double value) {
+  std::printf("value=%f\n", value);       // LINT:R3
+  std::printf("slope=%+g ppm\n", value);  // LINT:R3
+  std::printf("wide=%12e\n", value);      // LINT:R3
+}
+
+void export_row_pinned(double value) {
+  // The sanctioned forms: explicit precision everywhere. Must NOT fire.
+  std::printf("value=%.9g\n", value);
+  std::printf("pct=%5.1f%%\n", value);
+  std::printf("count=%d scale=%u\n", 1, 2u);
+}

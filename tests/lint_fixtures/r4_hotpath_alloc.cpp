@@ -1,0 +1,17 @@
+// Known-bad fixture for triad_lint rule R4: raw allocation and
+// std::function construction in a designated hot-path file. Never
+// compiled; linted by tests/lint_test.cpp.
+#include <cstdlib>
+#include <functional>
+
+int* hot_new() {
+  return new int(42);  // LINT:R4
+}
+
+void* hot_malloc(unsigned n) {
+  return std::malloc(n);  // LINT:R4
+}
+
+std::function<int()> hot_erasure() {  // LINT:R4
+  return [] { return 7; };
+}

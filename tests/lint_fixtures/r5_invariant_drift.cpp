@@ -1,0 +1,12 @@
+// Known-bad fixture for triad_lint rule R5: asserts the folklore
+// TraceEvent size (48 bytes, from pre-span PR notes) instead of the real
+// 56-byte layout. tests/lint_test.cpp compiles this with -fsyntax-only
+// and requires the compile to FAIL — proving layout drift is caught at
+// build time, not review time.
+#include "obs/trace.h"
+
+static_assert(sizeof(triad::obs::TraceEvent) == 48,  // LINT:R5
+              "folklore layout: the span field moved node/peer and the "
+              "record is 56 bytes");
+
+int main() { return 0; }

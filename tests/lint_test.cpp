@@ -1,0 +1,259 @@
+// Coverage for tools/lint/triad_lint itself: every rule R1-R5 must fire
+// on its known-bad fixture at the marked lines, the repo's own tree must
+// lint clean, and the checked-in lint_rules.toml must stay in sync with
+// the built-in defaults.
+//
+// Fixtures live in tests/lint_fixtures/ (excluded from tree scans) and
+// mark each expected diagnostic with a `// LINT` rule comment, so the
+// expectations survive edits without hardcoded line numbers.
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using triad::lint::AllowEntry;
+using triad::lint::Config;
+using triad::lint::Diagnostic;
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+std::filesystem::path fixture_path(const std::string& name) {
+  return std::filesystem::path(TRIAD_LINT_FIXTURE_DIR) / name;
+}
+
+/// (rule, line) pairs marked `// LINT:<rule>` in fixture text.
+std::set<std::pair<std::string, int>> markers(const std::string& text) {
+  std::set<std::pair<std::string, int>> expected;
+  std::istringstream lines(text);
+  std::string line;
+  int number = 0;
+  while (std::getline(lines, line)) {
+    ++number;
+    for (std::size_t at = line.find("LINT:"); at != std::string::npos;
+         at = line.find("LINT:", at + 1)) {
+      std::size_t end = at + 5;
+      while (end < line.size() && std::isalnum(static_cast<unsigned char>(
+                                      line[end])) != 0) {
+        ++end;
+      }
+      expected.emplace(line.substr(at + 5, end - at - 5), number);
+    }
+  }
+  return expected;
+}
+
+std::set<std::pair<std::string, int>> fired(
+    const std::vector<Diagnostic>& diagnostics) {
+  std::set<std::pair<std::string, int>> result;
+  for (const Diagnostic& diag : diagnostics) {
+    result.emplace(diag.rule, diag.line);
+  }
+  return result;
+}
+
+/// Lints one fixture under a rel-path that opts it into the given rule's
+/// file list, then checks fired (rule, line) pairs against the markers.
+void expect_fixture_fires(const std::string& name, const std::string& rule) {
+  const std::string text = read_file(fixture_path(name));
+  const std::string rel = "tests/lint_fixtures/" + name;
+  Config config = triad::lint::default_config();
+  if (rule == "R2") config.r2_files.push_back(rel);
+  if (rule == "R3") config.r3_files.push_back(rel);
+  if (rule == "R4") config.r4_files.push_back(rel);
+  const std::vector<Diagnostic> diagnostics =
+      triad::lint::lint_source(rel, text, config);
+  EXPECT_EQ(fired(diagnostics), markers(text)) << "fixture " << name;
+  for (const Diagnostic& diag : diagnostics) {
+    EXPECT_EQ(diag.rule, rule) << diag.format();
+    EXPECT_EQ(diag.file, rel);
+  }
+}
+
+TEST(LintFixtures, R1BannedIdentifiersFireAtMarkedLines) {
+  expect_fixture_fires("r1_banned_clock.cpp", "R1");
+}
+
+TEST(LintFixtures, R2UnorderedIterationFiresAtMarkedLines) {
+  expect_fixture_fires("r2_unordered_iter.cpp", "R2");
+}
+
+TEST(LintFixtures, R3UnpinnedFloatFiresAtMarkedLines) {
+  expect_fixture_fires("r3_unpinned_float.cpp", "R3");
+}
+
+TEST(LintFixtures, R4HotPathAllocationFiresAtMarkedLines) {
+  expect_fixture_fires("r4_hotpath_alloc.cpp", "R4");
+}
+
+TEST(LintFixtures, R1SilentInExemptLayers) {
+  // The same banned tokens are legal inside the clock/util layers — that
+  // is where the real time/randomness sources are supposed to live.
+  const std::string text = read_file(fixture_path("r1_banned_clock.cpp"));
+  const Config config = triad::lint::default_config();
+  EXPECT_TRUE(
+      triad::lint::lint_source("src/runtime/impl.cpp", text, config).empty());
+  EXPECT_TRUE(
+      triad::lint::lint_source("src/util/impl.cpp", text, config).empty());
+}
+
+TEST(LintFixtures, DiagnosticFormatIsFileLineRuleMessage) {
+  const Diagnostic diag{"R1", "src/x.cpp", 12, "steady_clock", "msg"};
+  EXPECT_EQ(diag.format(), "src/x.cpp:12: R1: msg");
+}
+
+// --- R5: the generated compile-time audit --------------------------------
+
+bool gxx_available() {
+  return std::system("g++ --version > /dev/null 2>&1") == 0;
+}
+
+int syntax_check(const std::filesystem::path& file) {
+  const std::string cmd = "g++ -std=c++20 -fsyntax-only -I " +
+                          std::string(TRIAD_LINT_SOURCE_ROOT) + "/src " +
+                          file.string() + " > /dev/null 2>&1";
+  return std::system(cmd.c_str());
+}
+
+TEST(LintInvariants, GeneratedAuditCompilesAgainstRealHeaders) {
+  if (!gxx_available()) GTEST_SKIP() << "g++ not on PATH";
+  const std::filesystem::path out =
+      std::filesystem::temp_directory_path() / "triad_lint_invariants.cpp";
+  std::ofstream(out, std::ios::binary) << triad::lint::invariants_source();
+  EXPECT_EQ(syntax_check(out), 0)
+      << "generated static_assert audit no longer matches the real "
+         "TraceEvent/SpanId layout";
+  std::filesystem::remove(out);
+}
+
+TEST(LintInvariants, R5DriftedInvariantFailsTheCompile) {
+  if (!gxx_available()) GTEST_SKIP() << "g++ not on PATH";
+  // The fixture asserts the folklore 48-byte TraceEvent; the compile
+  // must fail — that failure IS rule R5 firing.
+  EXPECT_NE(syntax_check(fixture_path("r5_invariant_drift.cpp")), 0);
+}
+
+TEST(LintInvariants, AuditCoversTheLoadBearingClaims) {
+  const std::string source = triad::lint::invariants_source();
+  EXPECT_NE(source.find("sizeof(TraceEvent) == 56"), std::string::npos);
+  EXPECT_NE(source.find("is_trivially_copyable_v<TraceEvent>"),
+            std::string::npos);
+  EXPECT_NE(source.find("kSpanNodeBits == 10"), std::string::npos);
+  EXPECT_NE(source.find("offsetof(TraceEvent, span) == 20"),
+            std::string::npos);
+}
+
+// --- config / allowlist ---------------------------------------------------
+
+TEST(LintConfig, CheckedInTomlMirrorsBuiltinDefaults) {
+  Config parsed;  // start empty: every field must come from the file
+  std::string error;
+  ASSERT_TRUE(triad::lint::parse_config(read_file(TRIAD_LINT_CONFIG), &parsed,
+                                        &error))
+      << error;
+  const Config builtin = triad::lint::default_config();
+  EXPECT_EQ(parsed.scan_dirs, builtin.scan_dirs);
+  EXPECT_EQ(parsed.exclude_prefixes, builtin.exclude_prefixes);
+  EXPECT_EQ(parsed.r1_banned, builtin.r1_banned);
+  EXPECT_EQ(parsed.r1_call_only, builtin.r1_call_only);
+  EXPECT_EQ(parsed.r1_exempt_prefixes, builtin.r1_exempt_prefixes);
+  EXPECT_EQ(parsed.r2_files, builtin.r2_files);
+  EXPECT_EQ(parsed.r3_files, builtin.r3_files);
+  EXPECT_EQ(parsed.r4_files, builtin.r4_files);
+  EXPECT_EQ(parsed.r4_banned, builtin.r4_banned);
+  ASSERT_EQ(parsed.allow.size(), builtin.allow.size());
+  for (std::size_t i = 0; i < parsed.allow.size(); ++i) {
+    EXPECT_EQ(parsed.allow[i].rule, builtin.allow[i].rule);
+    EXPECT_EQ(parsed.allow[i].file, builtin.allow[i].file);
+    EXPECT_EQ(parsed.allow[i].token, builtin.allow[i].token);
+  }
+}
+
+TEST(LintConfig, RejectsMalformedInput) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(triad::lint::parse_config("[R1\nbanned = []", &config, &error));
+  EXPECT_FALSE(
+      triad::lint::parse_config("[R9]\nfiles = [\"x\"]", &config, &error));
+  EXPECT_FALSE(triad::lint::parse_config(
+      "[allow]\nentries = [\"R1 only-two\"]", &config, &error));
+}
+
+TEST(LintAllow, EntriesSuppressMatchingDiagnostics) {
+  Config config = triad::lint::default_config();
+  config.allow = {{"R1", "src/a.cpp", "steady_clock"},
+                  {"R3", "src/b.cpp", "*"},
+                  {"R4", "src/never.cpp", "new"}};
+  std::vector<Diagnostic> diagnostics = {
+      {"R1", "src/a.cpp", 3, "steady_clock", "m"},
+      {"R1", "src/a.cpp", 9, "system_clock", "m"},  // token mismatch
+      {"R3", "src/b.cpp", 4, "%f", "m"},            // wildcard token
+  };
+  const triad::lint::TreeReport report =
+      triad::lint::apply_allowlist(std::move(diagnostics), config);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].token, "system_clock");
+  EXPECT_EQ(report.suppressed.size(), 2u);
+  ASSERT_EQ(report.unused_allows.size(), 1u);
+  EXPECT_EQ(report.unused_allows[0].file, "src/never.cpp");
+}
+
+TEST(LintAllow, FixAllowlistAppendsAndIsIdempotent) {
+  const std::string base = "[allow]\nentries = [\n  \"R1 src/a.cpp x\",\n]\n";
+  const std::vector<Diagnostic> diagnostics = {
+      {"R2", "src/obs/export.cpp", 7, "cells", "m"}};
+  const std::string once = triad::lint::add_to_allowlist(base, diagnostics);
+  Config parsed;
+  std::string error;
+  ASSERT_TRUE(triad::lint::parse_config(once, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.allow.size(), 2u);
+  EXPECT_EQ(parsed.allow[1].rule, "R2");
+  EXPECT_EQ(parsed.allow[1].file, "src/obs/export.cpp");
+  EXPECT_EQ(parsed.allow[1].token, "cells");
+  // Baselining the same diagnostic again must not duplicate the entry.
+  EXPECT_EQ(triad::lint::add_to_allowlist(once, diagnostics), once);
+  // A config without an [allow] section gains one.
+  const std::string grown = triad::lint::add_to_allowlist("", diagnostics);
+  Config from_empty;
+  ASSERT_TRUE(triad::lint::parse_config(grown, &from_empty, &error)) << error;
+  ASSERT_EQ(from_empty.allow.size(), 1u);
+}
+
+// --- the repo itself ------------------------------------------------------
+
+TEST(LintTree, RepoSourcesLintClean) {
+  Config config = triad::lint::default_config();
+  std::string error;
+  ASSERT_TRUE(triad::lint::parse_config(read_file(TRIAD_LINT_CONFIG), &config,
+                                        &error))
+      << error;
+  const triad::lint::TreeReport report =
+      triad::lint::lint_tree(TRIAD_LINT_SOURCE_ROOT, config);
+  EXPECT_GT(report.files_scanned.size(), 100u)
+      << "tree scan found suspiciously few files — wrong root?";
+  for (const Diagnostic& diag : report.diagnostics) {
+    ADD_FAILURE() << diag.format();
+  }
+  for (const AllowEntry& entry : report.unused_allows) {
+    ADD_FAILURE() << "stale allowlist entry: " << entry.rule << " "
+                  << entry.file << " " << entry.token;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// triad_lint — repo-aware determinism/invariant linter.
+//
+// Every reproducibility claim this repo makes (byte-identical traces,
+// jobs-1/4/8-identical campaign aggregates, offline==online detector
+// verdicts) rests on source-level conventions: all time via
+// runtime::Clock, all randomness via the per-run Rng, no
+// unordered-container iteration in exported paths, fixed-precision float
+// formatting, allocation-free hot paths. This tool checks those
+// conventions statically — a tokenizer-level scanner, not a compiler
+// plugin, because the container only ships g++ (no libclang).
+//
+// Rules (see tools/lint/lint_rules.toml for the repo-specific targets):
+//   R1  banned nondeterminism identifiers (system_clock, rand(), ...)
+//       outside the designated clock/util layers;
+//   R2  no range-for / .begin() iteration over unordered_map/set in
+//       byte-stable export/aggregate/forensic files;
+//   R3  no %f/%g/%e printf conversions without an explicit precision in
+//       exporter/report files (the %.9g byte-stability rule);
+//   R4  no raw new/malloc/std::function construction in designated
+//       hot-path files;
+//   R5  compile-time invariant audit — invariants_source() emits a
+//       static_assert file (TraceEvent layout, SpanId packing) that is
+//       compiled as a test, so drift fails the build, not just the lint.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace triad::lint {
+
+struct Diagnostic {
+  std::string rule;     // "R1".."R4"
+  std::string file;     // repo-relative, forward slashes
+  int line = 0;         // 1-based
+  std::string token;    // offending token (allowlist key)
+  std::string message;  // human-readable explanation
+
+  /// "file:line: rule: message" — the format the ctest entry greps.
+  [[nodiscard]] std::string format() const;
+};
+
+/// One allowlist entry: "<rule> <file> <token>", token "*" matches any.
+struct AllowEntry {
+  std::string rule;
+  std::string file;
+  std::string token;
+};
+
+struct Config {
+  // Directories scanned (repo-relative) and path prefixes excluded.
+  std::vector<std::string> scan_dirs;
+  std::vector<std::string> exclude_prefixes;
+
+  // R1: banned identifiers; call_only ones additionally require a
+  // following "(" ("time" also requires a preceding "::").
+  std::vector<std::string> r1_banned;
+  std::vector<std::string> r1_call_only;
+  std::vector<std::string> r1_exempt_prefixes;
+
+  // R2/R3/R4 apply only to these files (repo-relative paths).
+  std::vector<std::string> r2_files;
+  std::vector<std::string> r3_files;
+  std::vector<std::string> r4_files;
+  std::vector<std::string> r4_banned;
+
+  std::vector<AllowEntry> allow;
+};
+
+/// Built-in defaults mirroring lint_rules.toml (used when no config file
+/// is given, and by the fixture tests).
+[[nodiscard]] Config default_config();
+
+/// Parses the lint_rules.toml subset (sections, string/array values,
+/// # comments). Returns false and sets *error on malformed input.
+/// Parsed values *replace* the corresponding defaults in *config.
+bool parse_config(std::string_view text, Config* config, std::string* error);
+
+/// Lints one translation unit. `rel_path` selects which rules apply.
+/// Diagnostics are sorted by (line, rule); allowlist is NOT applied here.
+[[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& rel_path,
+                                                  std::string_view source,
+                                                  const Config& config);
+
+struct TreeReport {
+  std::vector<Diagnostic> diagnostics;     // after allowlist filtering
+  std::vector<Diagnostic> suppressed;      // matched an allow entry
+  std::vector<AllowEntry> unused_allows;   // stale baseline entries
+  std::vector<std::string> files_scanned;  // sorted repo-relative paths
+};
+
+/// Walks config.scan_dirs under `root`, lints every C++ source, applies
+/// the allowlist. Deterministic: files are visited in sorted path order.
+[[nodiscard]] TreeReport lint_tree(const std::string& root,
+                                   const Config& config);
+
+/// Applies the allowlist to raw diagnostics (exposed for tests).
+[[nodiscard]] TreeReport apply_allowlist(std::vector<Diagnostic> diagnostics,
+                                         const Config& config);
+
+/// R5: the generated static_assert translation unit (compiled as
+/// tests/lint_invariants_test by the build).
+[[nodiscard]] std::string invariants_source();
+
+/// Inserts allowlist entries for `diagnostics` into config file text
+/// (creating the [allow] section if absent) and returns the new text.
+[[nodiscard]] std::string add_to_allowlist(
+    std::string_view config_text, const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace triad::lint
