@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "campaign/aggregate.h"
 #include "campaign/runner.h"
+#include "harness.h"
 
 int main() {
   using namespace triad;
@@ -40,20 +41,25 @@ int main() {
     campaign::RunnerOptions options;
     options.jobs = jobs;
     campaign::CampaignRunner runner(options);
+    // Wall time measured here with the sanctioned bench stopwatch, not
+    // taken from the runner, so this bench times exactly what it frames:
+    // the full run() call including worker spawn/join.
+    bench::Stopwatch stopwatch;
     const campaign::CampaignResult result = runner.run(spec);
+    const double wall_ms = stopwatch.elapsed_ms();
     const campaign::CampaignReport report =
         campaign::CampaignReport::aggregate(spec, result);
     std::ostringstream json;
     report.write_json(json);
     if (jobs == 1) {
       baseline_json = json.str();
-      baseline_wall_ms = result.wall_ms;
+      baseline_wall_ms = wall_ms;
     }
     const bool identical = json.str() == baseline_json;
     all_identical = all_identical && identical;
-    const double speedup = baseline_wall_ms / result.wall_ms;
+    const double speedup = baseline_wall_ms / wall_ms;
     if (jobs > 1) best_speedup = std::max(best_speedup, speedup);
-    std::printf("%8zu %12.2f %9.2fx %18s\n", jobs, result.wall_ms / 1e3,
+    std::printf("%8zu %12.2f %9.2fx %18s\n", jobs, wall_ms / 1e3,
                 speedup, jobs == 1 ? "(baseline)"
                                    : (identical ? "yes" : "NO"));
   }

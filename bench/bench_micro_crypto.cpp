@@ -1,7 +1,6 @@
-// Micro-benchmarks (google-benchmark): the crypto substrate that seals
-// every Triad protocol message.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks (bench::Harness): the crypto substrate that seals
+// every Triad protocol message. Emits BENCH JSON via --json for the
+// bench_diff perf gate (ROADMAP "Crypto off the critical path").
 #include "crypto/aes.h"
 #include "crypto/channel.h"
 #include "crypto/gcm.h"
@@ -9,6 +8,7 @@
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "crypto/x25519.h"
+#include "harness.h"
 #include "util/rng.h"
 
 namespace {
@@ -23,49 +23,44 @@ Bytes random_bytes(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
-void BM_Aes256Block(benchmark::State& state) {
+void bm_aes256_block(bench::State& state) {
   Aes256 aes(random_bytes(32, 1));
   AesBlock block{};
   for (auto _ : state) {
     aes.encrypt_block(block.data(), block.data());
-    benchmark::DoNotOptimize(block);
+    bench::do_not_optimize(block);
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+  state.set_bytes_processed(state.iterations() * 16);
 }
-BENCHMARK(BM_Aes256Block);
 
-void BM_Sha256(benchmark::State& state) {
+void bm_sha256(bench::State& state) {
   const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
   for (auto _ : state) {
     auto digest = sha256(data);
-    benchmark::DoNotOptimize(digest);
+    bench::do_not_optimize(digest);
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
+  state.set_bytes_processed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
 
-void BM_HmacSha256(benchmark::State& state) {
+void bm_hmac_sha256(bench::State& state) {
   const Bytes key = random_bytes(32, 3);
   const Bytes data = random_bytes(256, 4);
   for (auto _ : state) {
     auto mac = hmac_sha256(key, data);
-    benchmark::DoNotOptimize(mac);
+    bench::do_not_optimize(mac);
   }
 }
-BENCHMARK(BM_HmacSha256);
 
-void BM_HkdfDeriveChannelKey(benchmark::State& state) {
+void bm_hkdf_derive_channel_key(bench::State& state) {
   const ClusterKeyring keyring(random_bytes(32, 5));
   NodeId peer = 1;
   for (auto _ : state) {
     auto key = keyring.direction_key(1, ++peer);
-    benchmark::DoNotOptimize(key);
+    bench::do_not_optimize(key);
   }
 }
-BENCHMARK(BM_HkdfDeriveChannelKey);
 
-void BM_GcmSeal(benchmark::State& state) {
+void bm_gcm_seal(bench::State& state) {
   Aes256Gcm gcm(random_bytes(32, 6));
   const Bytes plaintext =
       random_bytes(static_cast<std::size_t>(state.range(0)), 7);
@@ -75,14 +70,12 @@ void BM_GcmSeal(benchmark::State& state) {
   for (auto _ : state) {
     iv[0] = static_cast<std::uint8_t>(++counter);
     auto sealed = gcm.seal(iv, plaintext, aad);
-    benchmark::DoNotOptimize(sealed);
+    bench::do_not_optimize(sealed);
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
+  state.set_bytes_processed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_GcmSeal)->Arg(32)->Arg(256)->Arg(1024)->Arg(8192);
 
-void BM_GcmOpen(benchmark::State& state) {
+void bm_gcm_open(bench::State& state) {
   Aes256Gcm gcm(random_bytes(32, 9));
   const Bytes plaintext =
       random_bytes(static_cast<std::size_t>(state.range(0)), 10);
@@ -90,14 +83,12 @@ void BM_GcmOpen(benchmark::State& state) {
   const auto sealed = gcm.seal(iv, plaintext, {});
   for (auto _ : state) {
     auto opened = gcm.open(iv, sealed.ciphertext, {}, sealed.tag);
-    benchmark::DoNotOptimize(opened);
+    bench::do_not_optimize(opened);
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
+  state.set_bytes_processed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_GcmOpen)->Arg(32)->Arg(1024);
 
-void BM_X25519SharedSecret(benchmark::State& state) {
+void bm_x25519_shared_secret(bench::State& state) {
   Rng rng(13);
   X25519Key a{}, pub_b{};
   for (auto& byte : a) byte = static_cast<std::uint8_t>(rng.next_u64());
@@ -106,13 +97,12 @@ void BM_X25519SharedSecret(benchmark::State& state) {
   pub_b = x25519_public_key(b);
   for (auto _ : state) {
     X25519Key shared{};
-    benchmark::DoNotOptimize(x25519_shared_secret(a, pub_b, &shared));
-    benchmark::DoNotOptimize(shared);
+    bench::do_not_optimize(x25519_shared_secret(a, pub_b, &shared));
+    bench::do_not_optimize(shared);
   }
 }
-BENCHMARK(BM_X25519SharedSecret);
 
-void BM_AttestedHandshake(benchmark::State& state) {
+void bm_attested_handshake(bench::State& state) {
   const AttestationAuthority authority(random_bytes(32, 14));
   const Measurement measurement = sha256(random_bytes(64, 15));
   const HandshakeParty alice(authority, 1, measurement, 16);
@@ -120,23 +110,33 @@ void BM_AttestedHandshake(benchmark::State& state) {
   for (auto _ : state) {
     const HandshakeParty bob(authority, 2, measurement, ++seed);
     auto result = alice.accept(bob.offer(), measurement);
-    benchmark::DoNotOptimize(result);
+    bench::do_not_optimize(result);
   }
 }
-BENCHMARK(BM_AttestedHandshake);
 
-void BM_SecureChannelRoundTrip(benchmark::State& state) {
+void bm_secure_channel_round_trip(bench::State& state) {
   const ClusterKeyring keyring(random_bytes(32, 11));
   SecureChannel alice(1, keyring);
   SecureChannel bob(2, keyring);
   const Bytes message = random_bytes(64, 12);  // typical protocol message
   for (auto _ : state) {
     auto opened = bob.open(alice.seal(2, message));
-    benchmark::DoNotOptimize(opened);
+    bench::do_not_optimize(opened);
   }
 }
-BENCHMARK(BM_SecureChannelRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  triad::bench::Harness h("micro_crypto");
+  h.add("BM_Aes256Block", bm_aes256_block);
+  h.add("BM_Sha256", bm_sha256, {64, 1024, 16384});
+  h.add("BM_HmacSha256", bm_hmac_sha256);
+  h.add("BM_HkdfDeriveChannelKey", bm_hkdf_derive_channel_key);
+  h.add("BM_GcmSeal", bm_gcm_seal, {32, 256, 1024, 8192});
+  h.add("BM_GcmOpen", bm_gcm_open, {32, 1024});
+  h.add("BM_X25519SharedSecret", bm_x25519_shared_secret);
+  h.add("BM_AttestedHandshake", bm_attested_handshake);
+  h.add("BM_SecureChannelRoundTrip", bm_secure_channel_round_trip);
+  return h.run(argc, argv);
+}

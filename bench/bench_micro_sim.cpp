@@ -1,30 +1,30 @@
-// Micro-benchmarks (google-benchmark): simulation engine and end-to-end
+// Micro-benchmarks (bench::Harness): simulation engine and end-to-end
 // scenario throughput — how many virtual protocol-hours per wall second.
-#include <benchmark/benchmark.h>
-
+// Emits BENCH JSON via --json for the bench_diff perf gate.
 #include "exp/scenario.h"
+#include "harness.h"
 #include "net/network.h"
+#include "obs/prof.h"
 #include "sim/simulation.h"
 
 namespace {
 
 using namespace triad;
 
-void BM_ScheduleAndRun(benchmark::State& state) {
+void bm_schedule_and_run(bench::State& state) {
+  const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     sim::Simulation sim;
-    const int n = static_cast<int>(state.range(0));
     for (int i = 0; i < n; ++i) {
       sim.schedule_at(i, [] {});
     }
     sim.run();
-    benchmark::DoNotOptimize(sim.events_executed());
+    bench::do_not_optimize(sim.events_executed());
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.set_items_processed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(100000);
 
-void BM_TimerCascade(benchmark::State& state) {
+void bm_timer_cascade(bench::State& state) {
   // Self-rescheduling events: the protocol's dominant pattern.
   for (auto _ : state) {
     sim::Simulation sim;
@@ -33,12 +33,11 @@ void BM_TimerCascade(benchmark::State& state) {
     };
     sim.schedule_after(milliseconds(1), tick);
     sim.run();
-    benchmark::DoNotOptimize(sim.events_executed());
+    bench::do_not_optimize(sim.events_executed());
   }
 }
-BENCHMARK(BM_TimerCascade);
 
-void BM_NetworkSendDeliver(benchmark::State& state) {
+void bm_network_send_deliver(bench::State& state) {
   sim::Simulation sim;
   net::Network net(sim, std::make_unique<net::FixedDelay>(microseconds(100)));
   std::uint64_t received = 0;
@@ -48,25 +47,50 @@ void BM_NetworkSendDeliver(benchmark::State& state) {
     net.send(1, 2, payload);
     sim.run();
   }
-  benchmark::DoNotOptimize(received);
-  state.SetItemsProcessed(state.iterations());
+  bench::do_not_optimize(received);
+  state.set_items_processed(state.iterations());
 }
-BENCHMARK(BM_NetworkSendDeliver);
 
-void BM_FullScenarioVirtualMinute(benchmark::State& state) {
+void bm_full_scenario_virtual_minute(bench::State& state) {
   // One virtual minute of a 3-node Triad cluster with Triad-like AEXs,
-  // full crypto on every message.
+  // full crypto on every message. The profiler-overhead acceptance
+  // criterion (<5% compiled-in-but-disabled) is measured on this bench.
   for (auto _ : state) {
     exp::ScenarioConfig cfg;
     cfg.seed = 77;
     exp::Scenario sc(std::move(cfg));
     sc.start();
     sc.run_until(minutes(1));
-    benchmark::DoNotOptimize(sc.simulation().events_executed());
+    bench::do_not_optimize(sc.simulation().events_executed());
   }
 }
-BENCHMARK(BM_FullScenarioVirtualMinute)->Unit(benchmark::kMillisecond);
+
+// Same scenario with the profiler recording: the delta against the
+// disabled run above is the enabled-overhead story, tracked in the same
+// BENCH trajectory.
+void bm_full_scenario_profiled(bench::State& state) {
+  auto& profiler = obs::Profiler::instance();
+  profiler.set_enabled(true);
+  for (auto _ : state) {
+    exp::ScenarioConfig cfg;
+    cfg.seed = 77;
+    exp::Scenario sc(std::move(cfg));
+    sc.start();
+    sc.run_until(minutes(1));
+    bench::do_not_optimize(sc.simulation().events_executed());
+  }
+  profiler.set_enabled(false);
+  profiler.reset();
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  triad::bench::Harness h("micro_sim");
+  h.add("BM_ScheduleAndRun", bm_schedule_and_run, {1000, 100000});
+  h.add("BM_TimerCascade", bm_timer_cascade);
+  h.add("BM_NetworkSendDeliver", bm_network_send_deliver);
+  h.add("BM_FullScenarioVirtualMinute", bm_full_scenario_virtual_minute);
+  h.add("BM_FullScenarioProfiled", bm_full_scenario_profiled);
+  return h.run(argc, argv);
+}

@@ -1,0 +1,284 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace triad::bench {
+
+namespace {
+
+// %.9g, matching the repo-wide pinned float precision (lint R3).
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+double percentile_nearest_rank(std::vector<double> sorted, double p) {
+  // Nearest-rank on an already sorted sample, matching campaign
+  // aggregate's Stat convention.
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
+MachineFingerprint MachineFingerprint::detect() {
+  MachineFingerprint fp;
+  fp.cpu = "unknown";
+#if defined(__linux__)
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') ++start;
+        fp.cpu = line.substr(start);
+      }
+      break;
+    }
+  }
+#endif
+  fp.cores = std::thread::hardware_concurrency();
+#if defined(__clang__)
+  fp.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  fp.compiler = std::string("gcc ") + __VERSION__;
+#else
+  fp.compiler = "unknown";
+#endif
+#if defined(TRIAD_BENCH_BUILD_FLAGS)
+  fp.flags = TRIAD_BENCH_BUILD_FLAGS;
+#else
+  fp.flags = "";
+#endif
+  return fp;
+}
+
+void Harness::add(std::string name, BenchFn fn,
+                  std::vector<std::int64_t> args) {
+  if (args.empty()) {
+    benches_.push_back({std::move(name), std::move(fn), 0});
+    return;
+  }
+  for (std::int64_t arg : args) {
+    benches_.push_back({name + "/" + std::to_string(arg), fn, arg});
+  }
+}
+
+BenchResult Harness::measure(const std::string& name, const BenchFn& fn,
+                             std::int64_t arg,
+                             const HarnessOptions& options) const {
+  const double min_time_ns = options.min_time_ms * 1e6;
+
+  // Calibrate: double the iteration count until one repetition spends
+  // at least min_time, so per-iteration numbers aren't timer noise.
+  std::uint64_t iterations = 1;
+  std::int64_t bytes_processed = 0;
+  std::int64_t items_processed = 0;
+  for (;;) {
+    State state(iterations, arg);
+    fn(state);
+    bytes_processed = state.bytes_processed_;
+    items_processed = state.items_processed_;
+    if (static_cast<double>(state.elapsed_ns_) >= min_time_ns ||
+        iterations >= (std::uint64_t{1} << 40)) {
+      break;
+    }
+    // Jump proportionally when far below the floor, capped at 8x.
+    const double elapsed = std::max(1.0, static_cast<double>(state.elapsed_ns_));
+    const double factor =
+        std::clamp(min_time_ns * 1.2 / elapsed, 2.0, 8.0);
+    iterations = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(iterations) * factor));
+  }
+
+  for (std::uint32_t i = 0; i < options.warmup; ++i) {
+    State state(iterations, arg);
+    fn(state);
+  }
+
+  std::vector<double> per_iter_ns;
+  per_iter_ns.reserve(options.repetitions);
+  for (std::uint32_t i = 0; i < options.repetitions; ++i) {
+    State state(iterations, arg);
+    fn(state);
+    per_iter_ns.push_back(static_cast<double>(state.elapsed_ns_) /
+                          static_cast<double>(iterations));
+    bytes_processed = state.bytes_processed_;
+    items_processed = state.items_processed_;
+  }
+  std::sort(per_iter_ns.begin(), per_iter_ns.end());
+
+  BenchResult result;
+  result.name = name;
+  result.iterations = iterations;
+  result.repetitions = options.repetitions;
+  result.min_ns = per_iter_ns.front();
+  result.median_ns = percentile_nearest_rank(per_iter_ns, 0.50);
+  result.p95_ns = percentile_nearest_rank(per_iter_ns, 0.95);
+  double sum = 0.0;
+  for (double v : per_iter_ns) sum += v;
+  result.mean_ns = sum / static_cast<double>(per_iter_ns.size());
+  double var = 0.0;
+  for (double v : per_iter_ns) {
+    var += (v - result.mean_ns) * (v - result.mean_ns);
+  }
+  result.stddev_ns =
+      per_iter_ns.size() > 1
+          ? std::sqrt(var / static_cast<double>(per_iter_ns.size() - 1))
+          : 0.0;
+  if (bytes_processed > 0 && result.median_ns > 0.0) {
+    // bytes_processed covers iterations() iterations of one repetition.
+    const double bytes_per_iter = static_cast<double>(bytes_processed) /
+                                  static_cast<double>(iterations);
+    result.bytes_per_second = bytes_per_iter / (result.median_ns / 1e9);
+  }
+  if (items_processed > 0 && result.median_ns > 0.0) {
+    const double items_per_iter = static_cast<double>(items_processed) /
+                                  static_cast<double>(iterations);
+    result.items_per_second = items_per_iter / (result.median_ns / 1e9);
+  }
+  return result;
+}
+
+int Harness::run(int argc, char** argv) {
+  HarnessOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--json") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      options.json_path = v;
+    } else if (flag == "--filter") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      options.filter = v;
+    } else if (flag == "--repetitions") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      options.repetitions = static_cast<std::uint32_t>(
+          std::max(1L, std::strtol(v, nullptr, 10)));
+    } else if (flag == "--min-time-ms") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      options.min_time_ms = std::strtod(v, nullptr);
+    } else if (flag == "--list") {
+      options.list = true;
+    } else if (flag == "--help") {
+      std::cout << "usage: bench_" << suite_
+                << " [--json PATH] [--filter SUBSTR] [--repetitions N]"
+                   " [--min-time-ms N] [--list]\n";
+      return 0;
+    } else {
+      std::cerr << "bench: unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
+  if (options.list) {
+    for (const Registered& bench : benches_) std::cout << bench.name << "\n";
+    return 0;
+  }
+
+  std::vector<BenchResult> results;
+  std::printf("%-34s %14s %12s %12s %12s\n", "benchmark", "iterations",
+              "median_ns", "p95_ns", "stddev_ns");
+  for (const Registered& bench : benches_) {
+    if (!options.filter.empty() &&
+        bench.name.find(options.filter) == std::string::npos) {
+      continue;
+    }
+    BenchResult result = measure(bench.name, bench.fn, bench.arg, options);
+    std::printf("%-34s %14llu %12.1f %12.1f %12.1f\n", result.name.c_str(),
+                static_cast<unsigned long long>(result.iterations),
+                result.median_ns, result.p95_ns, result.stddev_ns);
+    std::fflush(stdout);
+    results.push_back(std::move(result));
+  }
+
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::cerr << "bench: cannot write " << options.json_path << "\n";
+      return 1;
+    }
+    write_bench_json(out, suite_, MachineFingerprint::detect(), results);
+    std::cout << "wrote " << options.json_path << "\n";
+  }
+  return 0;
+}
+
+void write_bench_json(std::ostream& out, const std::string& suite,
+                      const MachineFingerprint& fingerprint,
+                      const std::vector<BenchResult>& results) {
+  out << "{\n";
+  out << "  \"schema\": \"triad-bench-v1\",\n";
+  out << "  \"suite\": \"" << json_escape(suite) << "\",\n";
+  out << "  \"fingerprint\": {\n";
+  out << "    \"cpu\": \"" << json_escape(fingerprint.cpu) << "\",\n";
+  out << "    \"cores\": " << fingerprint.cores << ",\n";
+  out << "    \"compiler\": \"" << json_escape(fingerprint.compiler)
+      << "\",\n";
+  out << "    \"flags\": \"" << json_escape(fingerprint.flags) << "\"\n";
+  out << "  },\n";
+  out << "  \"benchmarks\": [";
+  bool first = true;
+  for (const BenchResult& r : results) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\n";
+    out << "      \"name\": \"" << json_escape(r.name) << "\",\n";
+    out << "      \"iterations\": " << r.iterations << ",\n";
+    out << "      \"repetitions\": " << r.repetitions << ",\n";
+    out << "      \"min_ns\": " << fmt(r.min_ns) << ",\n";
+    out << "      \"median_ns\": " << fmt(r.median_ns) << ",\n";
+    out << "      \"p95_ns\": " << fmt(r.p95_ns) << ",\n";
+    out << "      \"mean_ns\": " << fmt(r.mean_ns) << ",\n";
+    out << "      \"stddev_ns\": " << fmt(r.stddev_ns) << ",\n";
+    out << "      \"bytes_per_second\": " << fmt(r.bytes_per_second) << ",\n";
+    out << "      \"items_per_second\": " << fmt(r.items_per_second) << "\n";
+    out << "    }";
+  }
+  out << "\n  ]\n";
+  out << "}\n";
+}
+
+}  // namespace triad::bench

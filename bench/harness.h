@@ -1,0 +1,198 @@
+// In-repo micro-benchmark harness (replaces google-benchmark for the
+// bench_micro_* binaries).
+//
+// Why not keep google-benchmark: the perf gate needs a JSON schema we
+// control (fixed key order, %.9g floats, machine fingerprint) so
+// tools/bench_diff can compare files byte-for-byte-stably across
+// library versions, and the whole measurement path has to flow through
+// runtime::MonotonicTimer to keep triad_lint's R1 ambient-clock rule
+// meaningful.
+//
+// Usage mirrors google-benchmark closely so the port is mechanical:
+//
+//   void bm_gcm_seal(bench::State& state) {
+//     Aes256Gcm gcm(key);
+//     for (auto _ : state) {
+//       auto sealed = gcm.seal(iv, plaintext, aad);
+//       bench::do_not_optimize(sealed);
+//     }
+//     state.set_bytes_processed(state.iterations() * state.range(0));
+//   }
+//   int main(int argc, char** argv) {
+//     bench::Harness h("micro_crypto");
+//     h.add("BM_GcmSeal", bm_gcm_seal, {32, 256, 1024, 8192});
+//     return h.run(argc, argv);
+//   }
+//
+// Protocol per benchmark: calibrate iteration count by doubling until
+// one repetition runs >= min_time, then run `warmup` throwaway
+// repetitions followed by `repetitions` timed ones; report per-iteration
+// min / median / p95 / mean / stddev ns across the timed repetitions.
+//
+// CLI: --json PATH (write BENCH JSON), --filter SUBSTR, --repetitions N,
+//      --min-time-ms N, --list.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/monotonic_timer.h"
+
+namespace triad::bench {
+
+/// The sanctioned wall-clock for bench code. Anything under bench/ that
+/// needs elapsed wall time (e.g. bench_campaign_scaling) uses this, not
+/// std::chrono directly — triad_lint R1 allowlists only the timer.
+using Stopwatch = runtime::MonotonicTimer;
+
+/// Compiler barrier: force `value` to be materialized.
+template <typename T>
+inline void do_not_optimize(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  static volatile const void* sink;
+  sink = &value;
+#endif
+}
+
+/// Per-run state handed to a benchmark function. Iterating it runs the
+/// calibrated number of iterations; the timer spans exactly the loop.
+class State {
+ public:
+  class Iterator {
+   public:
+    // Non-trivial destructor keeps `for (auto _ : state)` clear of
+    // -Wunused-but-set-variable (GCC only warns for trivial types).
+    struct Value {
+      ~Value() {}  // NOLINT(modernize-use-equals-default)
+    };
+    Value operator*() const { return {}; }
+    Iterator& operator++() {
+      --remaining_;
+      return *this;
+    }
+    bool operator!=(const Iterator&) {
+      if (remaining_ > 0) return true;
+      state_->finish_timing();
+      return false;
+    }
+
+   private:
+    friend class State;
+    Iterator(State* state, std::uint64_t remaining)
+        : state_(state), remaining_(remaining) {}
+    State* state_;
+    std::uint64_t remaining_;
+  };
+
+  Iterator begin() {
+    timer_.restart();
+    return Iterator(this, iterations_);
+  }
+  Iterator end() { return Iterator(this, 0); }
+
+  /// The benchmark's argument (0 when registered without args).
+  [[nodiscard]] std::int64_t range(std::size_t i = 0) const {
+    return i == 0 ? arg_ : 0;
+  }
+  /// Iterations this run will execute (fixed before the loop starts).
+  [[nodiscard]] std::int64_t iterations() const {
+    return static_cast<std::int64_t>(iterations_);
+  }
+  /// Throughput annotations; carried into the JSON as
+  /// bytes_per_second / items_per_second.
+  void set_bytes_processed(std::int64_t bytes) { bytes_processed_ = bytes; }
+  void set_items_processed(std::int64_t items) { items_processed_ = items; }
+
+ private:
+  friend class Harness;
+  State(std::uint64_t iterations, std::int64_t arg)
+      : iterations_(iterations), arg_(arg) {}
+  void finish_timing() { elapsed_ns_ = timer_.elapsed_ns(); }
+
+  Stopwatch timer_;
+  std::uint64_t iterations_;
+  std::int64_t arg_;
+  std::uint64_t elapsed_ns_ = 0;
+  std::int64_t bytes_processed_ = 0;
+  std::int64_t items_processed_ = 0;
+};
+
+/// Host identity recorded in every BENCH JSON, so a diff across
+/// machines is visibly apples-to-oranges.
+struct MachineFingerprint {
+  std::string cpu;       // /proc/cpuinfo model name (or "unknown")
+  unsigned cores = 0;    // std::thread::hardware_concurrency()
+  std::string compiler;  // e.g. "gcc 13.2.0"
+  std::string flags;     // TRIAD_BENCH_BUILD_FLAGS compile definition
+  [[nodiscard]] static MachineFingerprint detect();
+};
+
+/// One benchmark's measured result (per-iteration times, ns).
+struct BenchResult {
+  std::string name;  // registered name, "/arg"-suffixed when args given
+  std::uint64_t iterations = 0;  // per timed repetition
+  std::uint32_t repetitions = 0;
+  double min_ns = 0.0;
+  double median_ns = 0.0;
+  double p95_ns = 0.0;
+  double mean_ns = 0.0;
+  double stddev_ns = 0.0;
+  double bytes_per_second = 0.0;  // 0 when the bench set no byte count
+  double items_per_second = 0.0;  // 0 when the bench set no item count
+};
+
+struct HarnessOptions {
+  double min_time_ms = 20.0;  // calibration floor per repetition
+  std::uint32_t repetitions = 5;
+  std::uint32_t warmup = 1;
+  std::string filter;     // substring match on the expanded name
+  std::string json_path;  // empty = no JSON written
+  bool list = false;
+};
+
+class Harness {
+ public:
+  using BenchFn = std::function<void(State&)>;
+
+  /// `suite` names the JSON ("micro_crypto" -> BENCH_micro_crypto.json
+  /// by convention; the actual path comes from --json).
+  explicit Harness(std::string suite) : suite_(std::move(suite)) {}
+
+  /// Registers `fn`, expanded once per entry of `args` as "name/arg"
+  /// (or once, unexpanded, when `args` is empty).
+  void add(std::string name, BenchFn fn, std::vector<std::int64_t> args = {});
+
+  /// Parses CLI flags, runs every matching benchmark, prints a table to
+  /// stdout, and writes the JSON when requested. Returns the process
+  /// exit code (nonzero on bad flags or unwritable JSON path).
+  int run(int argc, char** argv);
+
+  /// Measurement core, exposed for tests: runs one registered function
+  /// under the calibrate/warmup/repeat protocol.
+  [[nodiscard]] BenchResult measure(const std::string& name,
+                                    const BenchFn& fn, std::int64_t arg,
+                                    const HarnessOptions& options) const;
+
+ private:
+  struct Registered {
+    std::string name;  // expanded
+    BenchFn fn;
+    std::int64_t arg = 0;
+  };
+  std::string suite_;
+  std::vector<Registered> benches_;
+};
+
+/// Writes the BENCH JSON document: schema "triad-bench-v1", fixed key
+/// order, %.9g floats. Stable keys are the contract bench_diff parses;
+/// values obviously vary run to run.
+void write_bench_json(std::ostream& out, const std::string& suite,
+                      const MachineFingerprint& fingerprint,
+                      const std::vector<BenchResult>& results);
+
+}  // namespace triad::bench

@@ -1,18 +1,25 @@
 # Runs the same campaign sweep at --jobs 1 and --jobs 4 and requires the
 # two JSON reports to be byte-identical. Invoked by the `tsan-campaign`
 # ctest entry (see examples/CMakeLists.txt); under a TSan build the
-# jobs-4 leg doubles as the worker-pool race test.
-set(args --seeds 1..4 --attack fminus --duration 2m)
+# jobs-4 leg doubles as the worker-pool race test. Both legs run with
+# the scope profiler active (--prof) so TSan also covers the per-thread
+# profile registration and post-join merge; --prof-normalize zeroes the
+# durations, making the two scope trees byte-comparable as well.
+set(args --seeds 1..4 --attack fminus --duration 2m --prof-normalize)
 
 execute_process(
-  COMMAND ${CAMPAIGN} ${args} --jobs 1 --json ${WORK_DIR}/tsan_campaign_j1.json
+  COMMAND ${CAMPAIGN} ${args} --jobs 1
+          --json ${WORK_DIR}/tsan_campaign_j1.json
+          --prof ${WORK_DIR}/tsan_campaign_j1.prof
   RESULT_VARIABLE rc1)
 if(NOT rc1 EQUAL 0)
   message(FATAL_ERROR "jobs=1 campaign run failed (rc=${rc1})")
 endif()
 
 execute_process(
-  COMMAND ${CAMPAIGN} ${args} --jobs 4 --json ${WORK_DIR}/tsan_campaign_j4.json
+  COMMAND ${CAMPAIGN} ${args} --jobs 4
+          --json ${WORK_DIR}/tsan_campaign_j4.json
+          --prof ${WORK_DIR}/tsan_campaign_j4.prof
   RESULT_VARIABLE rc4)
 if(NOT rc4 EQUAL 0)
   message(FATAL_ERROR "jobs=4 campaign run failed (rc=${rc4})")
@@ -25,4 +32,13 @@ execute_process(
 if(NOT same EQUAL 0)
   message(FATAL_ERROR "campaign reports differ between --jobs 1 and --jobs 4")
 endif()
-message(STATUS "campaign reports byte-identical at jobs 1 and 4")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/tsan_campaign_j1.prof ${WORK_DIR}/tsan_campaign_j4.prof
+  RESULT_VARIABLE same_prof)
+if(NOT same_prof EQUAL 0)
+  message(FATAL_ERROR
+          "normalized profiles differ between --jobs 1 and --jobs 4")
+endif()
+message(STATUS "campaign reports and profiles byte-identical at jobs 1 and 4")

@@ -163,12 +163,58 @@ cmp -s "$ART"/campaign_j1.json "$ART"/campaign_j4.json \
        exit 1; }
 echo "campaign smoke ok: jobs 1 vs 4 reports byte-identical"
 
+# ---- bench tier. BENCH_FILTER=substr runs only the matching binaries
+# (e.g. BENCH_FILTER=micro). The micro benches additionally write their
+# BENCH JSON for the perf gate below. Each bench's own exit status is
+# checked via PIPESTATUS — a plain `"$b" | tee` would report tee's
+# status and let a crashing bench slip through.
 : > "$ART"/bench_output.txt
 for b in "$BUILD_DIR"/bench/bench_*; do
-  [ -x "$b" ] || continue
-  echo "===== $b =====" | tee -a "$ART"/bench_output.txt
-  "$b" 2>&1 | tee -a "$ART"/bench_output.txt
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name=$(basename "$b")
+  case "$name" in
+    *"${BENCH_FILTER:-}"*) ;;
+    *) echo "===== $name skipped (BENCH_FILTER=${BENCH_FILTER:-})" \
+         | tee -a "$ART"/bench_output.txt
+       continue ;;
+  esac
+  set -- # per-bench extra args
+  case "$name" in
+    bench_micro_sim)    set -- --json "$ART"/BENCH_micro_sim.json ;;
+    bench_micro_crypto) set -- --json "$ART"/BENCH_micro_crypto.json ;;
+  esac
+  echo "===== $name =====" | tee -a "$ART"/bench_output.txt
+  "$b" "$@" 2>&1 | tee -a "$ART"/bench_output.txt
+  test "${PIPESTATUS[0]}" -eq 0 \
+    || { echo "bench tier: $name failed" >&2; exit 1; }
 done
+
+# ---- perf tier: compare fresh micro-bench medians against the
+# committed BENCH_micro.json baseline. TRIAD_PERF_GATE=fail makes a
+# >10% median regression fatal; the default 'warn' only reports it, so
+# noisy shared boxes don't hard-fail the run.
+if [ -f "$ART"/BENCH_micro_sim.json ] \
+    && [ -f "$ART"/BENCH_micro_crypto.json ] && [ -f BENCH_micro.json ]; then
+  "$BUILD_DIR"/tools/bench_diff/bench_diff \
+      --merge "$ART"/BENCH_micro_current.json \
+      "$ART"/BENCH_micro_sim.json "$ART"/BENCH_micro_crypto.json \
+    || { echo "perf tier: bench_diff --merge failed" >&2; exit 1; }
+  if "$BUILD_DIR"/tools/bench_diff/bench_diff \
+      BENCH_micro.json "$ART"/BENCH_micro_current.json \
+      > "$ART"/bench_diff.txt 2>&1; then
+    tail -n 1 "$ART"/bench_diff.txt
+    echo "perf tier ok (full table: $ART/bench_diff.txt)"
+  else
+    cat "$ART"/bench_diff.txt
+    case "${TRIAD_PERF_GATE:-warn}" in
+      fail) echo "perf tier: median regression (TRIAD_PERF_GATE=fail)" >&2
+            exit 1 ;;
+      *)    echo "perf tier: WARNING median regression (gate=warn)" >&2 ;;
+    esac
+  fi
+else
+  echo "perf tier SKIPPED (micro JSONs or BENCH_micro.json baseline missing)"
+fi
 
 echo "artifacts under $ART/ (test_output.txt, bench_output.txt, ...)"
 case "${TRIAD_SANITIZE:-0}" in

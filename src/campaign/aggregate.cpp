@@ -171,6 +171,50 @@ void CampaignReport::write_json(std::ostream& out) const {
   out << "\n  ]\n}\n";
 }
 
+CampaignTiming CampaignTiming::of(const CampaignResult& result) {
+  CampaignTiming timing;
+  std::map<std::size_t, std::pair<std::vector<double>, std::vector<double>>>
+      by_cell;
+  std::vector<double> all_wall;
+  std::vector<double> all_queue;
+  for (const RunResult& run : result.runs) {
+    if (run.failed) continue;
+    by_cell[run.cell].first.push_back(run.wall_ms);
+    by_cell[run.cell].second.push_back(run.queue_ms);
+    all_wall.push_back(run.wall_ms);
+    all_queue.push_back(run.queue_ms);
+  }
+  for (auto& [cell, values] : by_cell) {
+    CellTiming cell_timing;
+    cell_timing.cell = cell;
+    cell_timing.wall_ms = Stat::of(std::move(values.first));
+    cell_timing.queue_ms = Stat::of(std::move(values.second));
+    timing.cells.push_back(std::move(cell_timing));
+  }
+  timing.wall_ms = Stat::of(std::move(all_wall));
+  timing.queue_ms = Stat::of(std::move(all_queue));
+  return timing;
+}
+
+void CampaignTiming::write_summary(std::ostream& out) const {
+  char line[160];
+  std::snprintf(line, sizeof line, "%6s %6s %12s %12s %12s %12s\n", "cell",
+                "n", "wall_mean", "wall_p95", "queue_mean", "queue_p95");
+  out << line;
+  for (const CellTiming& cell : cells) {
+    std::snprintf(line, sizeof line, "%6zu %6zu %12.1f %12.1f %12.1f %12.1f\n",
+                  cell.cell, cell.wall_ms.n, cell.wall_ms.mean,
+                  cell.wall_ms.p95, cell.queue_ms.mean, cell.queue_ms.p95);
+    out << line;
+  }
+  std::snprintf(line, sizeof line,
+                "all cells: wall mean %.1f ms p95 %.1f ms, queue mean %.1f "
+                "ms p95 %.1f ms (n=%zu)\n",
+                wall_ms.mean, wall_ms.p95, queue_ms.mean, queue_ms.p95,
+                wall_ms.n);
+  out << line;
+}
+
 void CampaignReport::write_csv(std::ostream& out) const {
   out << "cell,nodes,environment,policy,attack,runs,failures";
   // All cells share the built-in metric set; extras may differ, so the

@@ -69,4 +69,27 @@ struct CampaignReport {
 /// The names of the built-in RunResult metrics, in report order.
 const std::vector<std::string>& builtin_metric_names();
 
+/// Per-cell wall-clock timing: how long runs took (wall_ms) and how
+/// long they queued before a worker picked them up (queue_ms).
+///
+/// Real time, so by the determinism contract it NEVER enters
+/// write_json/write_csv — it renders only on the human summary stream
+/// (triad_campaign stderr summary, bench_campaign_scaling stdout).
+struct CellTiming {
+  std::size_t cell = 0;
+  Stat wall_ms;
+  Stat queue_ms;
+};
+
+struct CampaignTiming {
+  std::vector<CellTiming> cells;  // grid (cell-index) order
+  Stat wall_ms;                   // across every non-failed run
+  Stat queue_ms;
+
+  static CampaignTiming of(const CampaignResult& result);
+
+  /// Human-readable per-cell table plus campaign totals.
+  void write_summary(std::ostream& out) const;
+};
+
 }  // namespace triad::campaign

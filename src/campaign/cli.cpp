@@ -8,6 +8,7 @@
 #include "campaign/aggregate.h"
 #include "campaign/runner.h"
 #include "exp/cli.h"
+#include "obs/prof.h"
 
 namespace triad::campaign {
 namespace {
@@ -48,7 +49,11 @@ std::string campaign_cli_usage() {
       "  --jobs N           worker threads (default 1)\n"
       "  --json PATH        aggregate JSON report ('-' = stdout)\n"
       "  --csv PATH         aggregate CSV report ('-' = stdout)\n"
-      "  --metrics-dir DIR  per-run Prometheus dumps (run_<i>.prom)\n"
+      "  --metrics-dir DIR  per-run Prometheus dumps (run_<i>.prom) plus\n"
+      "                     an index.json grid manifest\n"
+      "  --prof PATH        merged profiler scope table ('-' = stdout)\n"
+      "  --prof-trace PATH  profiler Chrome trace JSON ('-' = stdout)\n"
+      "  --prof-normalize   zero profiler durations (deterministic tree)\n"
       "  --verbose          per-run progress on stderr\n"
       "  --help             this text\n"
       "\n"
@@ -88,11 +93,15 @@ std::optional<CampaignCliOptions> parse_campaign_cli(int argc,
       options.verbose = true;
       continue;
     }
+    if (arg == "--prof-normalize") {
+      options.prof_normalize = true;
+      continue;
+    }
     static constexpr std::string_view kValueFlags[] = {
         "--spec",   "--seeds",        "--attack", "--policy",
         "--env",    "--nodes",        "--duration", "--attack-delay",
         "--victim", "--jobs",         "--json",   "--csv",
-        "--metrics-dir"};
+        "--metrics-dir", "--prof", "--prof-trace"};
     const bool known =
         std::find(std::begin(kValueFlags), std::end(kValueFlags), arg) !=
         std::end(kValueFlags);
@@ -159,6 +168,10 @@ std::optional<CampaignCliOptions> parse_campaign_cli(int argc,
       options.csv_path = std::string(*v);
     } else if (arg == "--metrics-dir") {
       options.metrics_dir = std::string(*v);
+    } else if (arg == "--prof") {
+      options.prof_path = std::string(*v);
+    } else if (arg == "--prof-trace") {
+      options.prof_trace_path = std::string(*v);
     }
   }
 
@@ -166,11 +179,12 @@ std::optional<CampaignCliOptions> parse_campaign_cli(int argc,
     return fail(std::move(message));
   }
   int stdout_targets = 0;
-  for (const auto& path : {options.json_path, options.csv_path}) {
+  for (const auto& path : {options.json_path, options.csv_path,
+                           options.prof_path, options.prof_trace_path}) {
     if (path && *path == "-") ++stdout_targets;
   }
   if (stdout_targets > 1) {
-    return fail("at most one of --json/--csv may be '-'");
+    return fail("at most one of --json/--csv/--prof/--prof-trace may be '-'");
   }
   return options;
 }
@@ -187,9 +201,17 @@ int run_campaign_cli(const CampaignCliOptions& options, std::ostream& out,
   const auto targets_stdout = [](const std::optional<std::string>& path) {
     return path && *path == "-";
   };
-  const bool machine_on_stdout = targets_stdout(resolved.json_path) ||
-                                 targets_stdout(resolved.csv_path);
+  const bool machine_on_stdout =
+      targets_stdout(resolved.json_path) || targets_stdout(resolved.csv_path) ||
+      targets_stdout(resolved.prof_path) ||
+      targets_stdout(resolved.prof_trace_path);
   std::ostream& summary = machine_on_stdout ? err : out;
+
+  const bool profiling = resolved.prof_path || resolved.prof_trace_path;
+  if (profiling) {
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().set_enabled(true);
+  }
 
   const std::size_t total = resolved.spec.run_count();
   RunnerOptions runner_options;
@@ -207,6 +229,12 @@ int run_campaign_cli(const CampaignCliOptions& options, std::ostream& out,
 
   CampaignRunner runner(std::move(runner_options));
   const CampaignResult result = runner.run(resolved.spec);
+  // Workers have joined: the profiler is quiescent, safe to merge.
+  obs::ProfTree prof_tree;
+  if (profiling) {
+    obs::Profiler::instance().set_enabled(false);
+    prof_tree = obs::Profiler::instance().merge();
+  }
   const CampaignReport report =
       CampaignReport::aggregate(resolved.spec, result);
 
@@ -214,6 +242,9 @@ int run_campaign_cli(const CampaignCliOptions& options, std::ostream& out,
           << " runs=" << result.runs.size() << " failures="
           << result.failures << " jobs=" << resolved.jobs << " wall="
           << result.wall_ms / 1000.0 << "s\n";
+  // Wall/queue timing is real time: summary stream only, never in the
+  // byte-stable reports.
+  CampaignTiming::of(result).write_summary(summary);
 
   const auto write_output = [&](const std::string& path, const char* what,
                                 auto&& writer) -> bool {
@@ -239,6 +270,20 @@ int run_campaign_cli(const CampaignCliOptions& options, std::ostream& out,
   if (resolved.csv_path &&
       !write_output(*resolved.csv_path, "csv report",
                     [&](std::ostream& os) { report.write_csv(os); })) {
+    return 1;
+  }
+  if (resolved.prof_path &&
+      !write_output(*resolved.prof_path, "profile", [&](std::ostream& os) {
+        obs::Profiler::write_text(prof_tree, os, resolved.prof_normalize);
+      })) {
+    return 1;
+  }
+  if (resolved.prof_trace_path &&
+      !write_output(
+          *resolved.prof_trace_path, "profile trace", [&](std::ostream& os) {
+            obs::Profiler::write_chrome_trace(prof_tree, os,
+                                              resolved.prof_normalize);
+          })) {
     return 1;
   }
   return result.failures == 0 ? 0 : 1;

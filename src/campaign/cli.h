@@ -23,6 +23,13 @@ struct CampaignCliOptions {
   std::optional<std::string> csv_path;
   /// Per-run Prometheus dumps land in this directory when set.
   std::string metrics_dir;
+  /// Profiler outputs (see obs/prof.h). prof_path gets the text table,
+  /// prof_trace_path the Chrome trace JSON; either may be "-" (counted
+  /// against the one-stdout-target rule). prof_normalize zeroes every
+  /// duration so the scope tree byte-compares across runs/job counts.
+  std::optional<std::string> prof_path;
+  std::optional<std::string> prof_trace_path;
+  bool prof_normalize = false;
   /// Per-run progress lines on the error stream.
   bool verbose = false;
   bool help = false;

@@ -1,11 +1,11 @@
 #include "campaign/runner.h"
 
 #include <atomic>
-#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -13,7 +13,9 @@
 #include "exp/recorder.h"
 #include "exp/scenario.h"
 #include "obs/export.h"
+#include "obs/prof.h"
 #include "resilient/triad_plus.h"
+#include "runtime/monotonic_timer.h"
 
 namespace triad::campaign {
 namespace {
@@ -25,38 +27,39 @@ exp::AexEnvironment to_environment(const std::string& name) {
   throw std::invalid_argument("bad environment '" + name + "'");
 }
 
-double wall_ms_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
 }  // namespace
 
 RunResult execute_run(const RunSpec& spec, const RunOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
+  PROF_SCOPE("campaign/execute_run");
+  const runtime::MonotonicTimer timer;
   if (spec.nodes == 0) throw std::invalid_argument("run has zero nodes");
   if (spec.victim > spec.nodes) {
     throw std::invalid_argument("victim exceeds cluster size");
   }
 
-  exp::ScenarioConfig cfg;
-  cfg.seed = spec.seed;
-  cfg.node_count = spec.nodes;
-  cfg.machine_interrupts = spec.machine_interrupts;
-  cfg.environments.assign(spec.nodes, to_environment(spec.environment));
-  if (spec.policy == "triadplus") {
-    cfg.node_template = resilient::harden(cfg.node_template);
-    cfg.policy_factory = [] { return resilient::make_triad_plus_policy(); };
-  } else if (spec.policy != "original") {
-    throw std::invalid_argument("bad policy '" + spec.policy + "'");
+  std::optional<exp::Scenario> scenario_slot;
+  {
+    PROF_SCOPE("campaign/scenario_build");
+    exp::ScenarioConfig cfg;
+    cfg.seed = spec.seed;
+    cfg.node_count = spec.nodes;
+    cfg.machine_interrupts = spec.machine_interrupts;
+    cfg.environments.assign(spec.nodes, to_environment(spec.environment));
+    if (spec.policy == "triadplus") {
+      cfg.node_template = resilient::harden(cfg.node_template);
+      cfg.policy_factory = [] { return resilient::make_triad_plus_policy(); };
+    } else if (spec.policy != "original") {
+      throw std::invalid_argument("bad policy '" + spec.policy + "'");
+    }
+    cfg.enable_metrics = true;
+    cfg.enable_detectors = true;
+    if (!options.metrics_dir.empty()) {
+      cfg.trace_capacity = options.trace_capacity;
+    }
+    if (options.configure) options.configure(spec, cfg);
+    scenario_slot.emplace(std::move(cfg));
   }
-  cfg.enable_metrics = true;
-  cfg.enable_detectors = true;
-  if (!options.metrics_dir.empty()) cfg.trace_capacity = options.trace_capacity;
-  if (options.configure) options.configure(spec, cfg);
-
-  exp::Scenario scenario(std::move(cfg));
+  exp::Scenario& scenario = *scenario_slot;
   const std::size_t victim_index = spec.victim_index();
   if (spec.attack != "none") {
     attacks::DelayAttackConfig attack;
@@ -75,13 +78,19 @@ RunResult execute_run(const RunSpec& spec, const RunOptions& options) {
   if (options.customize) options.customize(spec, scenario);
 
   exp::Recorder recorder(scenario, options.sample_period);
-  scenario.start();
-  scenario.run_until(spec.duration);
+  {
+    PROF_SCOPE("campaign/sim_run");
+    scenario.start();
+    scenario.run_until(spec.duration);
+  }
 
   RunResult result;
   result.index = spec.index;
   result.cell = spec.cell;
   result.seed = spec.seed;
+  // Covers the rest of the run: series reduction plus (when enabled)
+  // the metrics dump, which nests its own scope under this one.
+  PROF_SCOPE("campaign/reduce");
 
   const bool attacked = spec.attack != "none";
   std::uint64_t peer_rounds = 0;
@@ -149,6 +158,7 @@ RunResult execute_run(const RunSpec& spec, const RunOptions& options) {
   if (options.inspect) options.inspect(spec, scenario, recorder, result);
 
   if (!options.metrics_dir.empty()) {
+    PROF_SCOPE("campaign/metrics_dump");
     std::filesystem::create_directories(options.metrics_dir);
     const std::filesystem::path base =
         std::filesystem::path(options.metrics_dir) /
@@ -171,7 +181,7 @@ RunResult execute_run(const RunSpec& spec, const RunOptions& options) {
     }
   }
 
-  result.wall_ms = wall_ms_since(start);
+  result.wall_ms = timer.elapsed_ms();
   return result;
 }
 
@@ -188,7 +198,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
 }
 
 CampaignResult CampaignRunner::run(const std::vector<RunSpec>& runs) {
-  const auto start = std::chrono::steady_clock::now();
+  const runtime::MonotonicTimer campaign_timer;
   CampaignResult result;
   result.runs.resize(runs.size());
 
@@ -203,6 +213,10 @@ CampaignResult CampaignRunner::run(const std::vector<RunSpec>& runs) {
   const auto worker = [&] {
     for (std::size_t i = next.fetch_add(1); i < runs.size();
          i = next.fetch_add(1)) {
+      // How long this run sat in the queue before a worker picked it
+      // up — the --jobs scaling signal (summary-stream only, like
+      // wall_ms).
+      const double queue_ms = campaign_timer.elapsed_ms();
       RunResult run_result;
       try {
         run_result = run_one(runs[i]);
@@ -211,6 +225,7 @@ CampaignResult CampaignRunner::run(const std::vector<RunSpec>& runs) {
         run_result.failed = true;
         run_result.error = e.what();
       }
+      run_result.queue_ms = queue_ms;
       // A failed run keeps its grid coordinates so the Aggregator can
       // attribute the failure to the right cell.
       run_result.index = runs[i].index;
@@ -239,8 +254,46 @@ CampaignResult CampaignRunner::run(const std::vector<RunSpec>& runs) {
   }
 
   result.failures = failures.load();
-  result.wall_ms = wall_ms_since(start);
+  result.wall_ms = campaign_timer.elapsed_ms();
+
+  if (!options_.run.metrics_dir.empty() && !options_.run_fn) {
+    write_metrics_index(runs, result);
+  }
   return result;
+}
+
+void CampaignRunner::write_metrics_index(const std::vector<RunSpec>& runs,
+                                         const CampaignResult& result) const {
+  namespace fs = std::filesystem;
+  const fs::path dir(options_.run.metrics_dir);
+  std::ofstream out(dir / "index.json");
+  if (!out) {
+    throw std::runtime_error("cannot open " + (dir / "index.json").string());
+  }
+  // Grid order (== run-list order), so the manifest is byte-identical
+  // at every job count. Artifact names are listed only when the run
+  // actually produced them (failed runs dump nothing; traces depend on
+  // the scenario's ring being enabled).
+  out << "{\n  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunSpec& spec = runs[i];
+    const std::string stem = "run_" + std::to_string(spec.index);
+    const bool failed = result.runs[i].failed;
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"index\": " << spec.index << ", \"cell\": " << spec.cell
+        << ", \"seed\": " << spec.seed << ", \"nodes\": " << spec.nodes
+        << ", \"environment\": \"" << spec.environment << "\", \"policy\": \""
+        << spec.policy << "\", \"attack\": \"" << spec.attack
+        << "\", \"failed\": " << (failed ? "true" : "false");
+    if (!failed && fs::exists(dir / (stem + ".prom"))) {
+      out << ", \"prom\": \"" << stem << ".prom\"";
+    }
+    if (!failed && fs::exists(dir / (stem + ".jsonl"))) {
+      out << ", \"trace\": \"" << stem << ".jsonl\"";
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
 }
 
 }  // namespace triad::campaign

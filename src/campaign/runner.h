@@ -77,6 +77,9 @@ struct RunResult {
   /// Real execution time. Never part of the aggregate report (it would
   /// break byte-identical output across job counts).
   double wall_ms = 0.0;
+  /// Real time this run waited from campaign start until a worker
+  /// picked it up. Same rule as wall_ms: summary display only.
+  double queue_ms = 0.0;
 };
 
 /// Hooks and knobs for executing one RunSpec.
@@ -135,6 +138,14 @@ class CampaignRunner {
   CampaignResult run(const std::vector<RunSpec>& runs);
 
  private:
+  /// Writes <metrics_dir>/index.json: every run's grid coordinates and
+  /// which per-run artifacts (run_<i>.prom / .jsonl) exist, in grid
+  /// order, so forensic tooling can locate a cell without re-deriving
+  /// the grid. Skipped when run_fn substitutes execute_run (stub runs
+  /// dump no artifacts).
+  void write_metrics_index(const std::vector<RunSpec>& runs,
+                           const CampaignResult& result) const;
+
   RunnerOptions options_;
 };
 

@@ -7,6 +7,7 @@
 #include "campaign/aggregate.h"
 #include "campaign/runner.h"
 #include "exp/scenario.h"
+#include "obs/prof.h"
 
 namespace triad::campaign {
 namespace {
@@ -50,8 +51,19 @@ int run_sim_sweep(const exp::CliOptions& options, std::ostream& out,
 
   std::ostream& summary = err;
 
+  const bool profiling = options.prof_path || options.prof_trace_path;
+  if (profiling) {
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().set_enabled(true);
+  }
   CampaignRunner runner(std::move(runner_options));
   const CampaignResult result = runner.run(spec);
+  obs::ProfTree prof_tree;
+  if (profiling) {
+    // Workers joined inside run(): quiescent, safe to merge.
+    obs::Profiler::instance().set_enabled(false);
+    prof_tree = obs::Profiler::instance().merge();
+  }
   const CampaignReport report = CampaignReport::aggregate(spec, result);
 
   summary << "sweep: seeds=" << spec.seeds.front() << ".."
@@ -59,6 +71,7 @@ int run_sim_sweep(const exp::CliOptions& options, std::ostream& out,
           << " failures=" << result.failures << " jobs=" << options.jobs
           << " attack=" << options.attack << " policy=" << options.policy
           << " wall=" << result.wall_ms / 1000.0 << "s\n";
+  CampaignTiming::of(result).write_summary(summary);
   // In sweep mode --csv selects the *aggregate* CSV report (there is no
   // single recorded series). '-' replaces the stdout JSON; a file path
   // gets the CSV alongside the JSON on stdout.
@@ -75,6 +88,35 @@ int run_sim_sweep(const exp::CliOptions& options, std::ostream& out,
       summary << "csv report written to " << *options.csv_path << "\n";
     }
     report.write_json(out);
+  }
+  const auto write_prof = [&](const std::optional<std::string>& path,
+                              const char* what, auto&& writer) -> bool {
+    if (!path) return true;
+    if (*path == "-") {
+      // Aggregate JSON owns stdout in sweep mode; '-' would interleave.
+      summary << "error: " << what << " cannot target stdout in a sweep\n";
+      return false;
+    }
+    std::ofstream file(*path);
+    if (!file) {
+      summary << "error: cannot open " << *path << "\n";
+      return false;
+    }
+    writer(file);
+    summary << what << " written to " << *path << "\n";
+    return true;
+  };
+  if (!write_prof(options.prof_path, "profile", [&](std::ostream& os) {
+        obs::Profiler::write_text(prof_tree, os, options.prof_normalize);
+      })) {
+    return 1;
+  }
+  if (!write_prof(options.prof_trace_path, "profile trace",
+                  [&](std::ostream& os) {
+                    obs::Profiler::write_chrome_trace(prof_tree, os,
+                                                      options.prof_normalize);
+                  })) {
+    return 1;
   }
   return result.failures == 0 ? 0 : 1;
 }

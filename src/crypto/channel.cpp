@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/hmac.h"
+#include "obs/prof.h"
 #include "util/bytes.h"
 
 namespace triad::crypto {
@@ -64,6 +65,7 @@ const Aes256Gcm& SecureChannel::cipher_for(NodeId sender, NodeId receiver) {
 }
 
 Bytes SecureChannel::seal(NodeId receiver, BytesView plaintext) {
+  PROF_SCOPE("crypto/channel_seal");
   const std::uint64_t counter = ++send_counters_[receiver];
   const GcmIv iv = make_iv(self_, counter);
 
@@ -87,6 +89,7 @@ Bytes SecureChannel::seal(NodeId receiver, BytesView plaintext) {
 
 std::optional<SecureChannel::Opened> SecureChannel::open(BytesView frame,
                                                          OpenError* error) {
+  PROF_SCOPE("crypto/channel_open");
   auto fail = [&](OpenError e) -> std::optional<Opened> {
     if (error != nullptr) *error = e;
     return std::nullopt;

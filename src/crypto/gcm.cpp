@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/prof.h"
+
 namespace triad::crypto {
 namespace {
 
@@ -126,6 +128,7 @@ GcmTag Aes256Gcm::compute_tag(const GcmIv& iv, BytesView aad,
 
 GcmSealed Aes256Gcm::seal(const GcmIv& iv, BytesView plaintext,
                           BytesView aad) const {
+  PROF_SCOPE("crypto/gcm_seal");
   GcmSealed sealed;
   ctr_crypt(iv, plaintext, sealed.ciphertext);
   sealed.tag = compute_tag(iv, aad, sealed.ciphertext);
@@ -134,6 +137,7 @@ GcmSealed Aes256Gcm::seal(const GcmIv& iv, BytesView plaintext,
 
 std::optional<Bytes> Aes256Gcm::open(const GcmIv& iv, BytesView ciphertext,
                                      BytesView aad, const GcmTag& tag) const {
+  PROF_SCOPE("crypto/gcm_open");
   const GcmTag expected = compute_tag(iv, aad, ciphertext);
   if (!constant_time_equal(expected.data(), tag.data(), kGcmTagSize)) {
     return std::nullopt;

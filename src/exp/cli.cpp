@@ -10,6 +10,7 @@
 #include "exp/recorder.h"
 #include "exp/scenario.h"
 #include "obs/export.h"
+#include "obs/prof.h"
 #include "resilient/triad_plus.h"
 #include "util/log.h"
 
@@ -99,6 +100,10 @@ std::string cli_usage() {
       "                     ('-' = stdout)\n"
       "  --trace PATH       dump the protocol trace as JSON Lines\n"
       "                     ('-' = stdout)\n"
+      "  --prof PATH        wall-clock scope profile table ('-' = stdout)\n"
+      "  --prof-trace PATH  profile as Chrome trace JSON for Perfetto /\n"
+      "                     chrome://tracing ('-' = stdout)\n"
+      "  --prof-normalize   zero profile durations (deterministic tree)\n"
       "  --help             this text\n";
 }
 
@@ -129,11 +134,16 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       options.attested = true;
       continue;
     }
+    if (arg == "--prof-normalize") {
+      options.prof_normalize = true;
+      continue;
+    }
     static constexpr std::string_view kValueFlags[] = {
         "--seed",    "--nodes",        "--duration",  "--attack",
         "--victim",  "--policy",       "--env",       "--csv",
         "--machine", "--attack-delay", "--wan-delay", "--metrics",
-        "--trace",   "--seeds",        "--repeat",    "--jobs"};
+        "--trace",   "--seeds",        "--repeat",    "--jobs",
+        "--prof",    "--prof-trace"};
     const bool known =
         std::find(std::begin(kValueFlags), std::end(kValueFlags), arg) !=
         std::end(kValueFlags);
@@ -203,6 +213,10 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
       options.metrics_path = std::string(*v);
     } else if (arg == "--trace") {
       options.trace_path = std::string(*v);
+    } else if (arg == "--prof") {
+      options.prof_path = std::string(*v);
+    } else if (arg == "--prof-trace") {
+      options.prof_trace_path = std::string(*v);
     }
   }
 
@@ -231,11 +245,14 @@ std::optional<CliOptions> parse_cli(int argc, const char* const* argv,
   }
   int stdout_targets = 0;
   for (const auto& path :
-       {options.csv_path, options.metrics_path, options.trace_path}) {
+       {options.csv_path, options.metrics_path, options.trace_path,
+        options.prof_path, options.prof_trace_path}) {
     if (path && *path == "-") ++stdout_targets;
   }
   if (stdout_targets > 1) {
-    return fail("at most one of --csv/--metrics/--trace may be '-'");
+    return fail(
+        "at most one of --csv/--metrics/--trace/--prof/--prof-trace may "
+        "be '-'");
   }
   return options;
 }
@@ -275,8 +292,16 @@ int run_cli(const CliOptions& options, std::ostream& out,
   };
   const bool machine_on_stdout = targets_stdout(options.csv_path) ||
                                  targets_stdout(options.metrics_path) ||
-                                 targets_stdout(options.trace_path);
+                                 targets_stdout(options.trace_path) ||
+                                 targets_stdout(options.prof_path) ||
+                                 targets_stdout(options.prof_trace_path);
   std::ostream& summary = machine_on_stdout ? err : out;
+
+  const bool profiling = options.prof_path || options.prof_trace_path;
+  if (profiling) {
+    obs::Profiler::instance().reset();
+    obs::Profiler::instance().set_enabled(true);
+  }
 
   ScenarioConfig cfg;
   cfg.seed = options.seed;
@@ -317,6 +342,19 @@ int run_cli(const CliOptions& options, std::ostream& out,
   Recorder recorder(scenario);
   scenario.start();
   scenario.run_until(options.duration);
+
+  obs::ProfTree prof_tree;
+  if (profiling) {
+    obs::Profiler::instance().set_enabled(false);
+    prof_tree = obs::Profiler::instance().merge();
+    // Surface the scope timings as registry histograms too, so a
+    // combined --prof + --metrics run carries them in the Prometheus
+    // dump (triad_prof_scope_seconds{path=...}).
+    if (scenario.metrics() != nullptr) {
+      obs::Profiler::export_histograms(prof_tree, *scenario.metrics(),
+                                       options.prof_normalize);
+    }
+  }
 
   summary << "scenario: nodes=" << options.nodes << " seed=" << options.seed
           << " duration=" << to_seconds(options.duration) << "s attack="
@@ -387,6 +425,20 @@ int run_cli(const CliOptions& options, std::ostream& out,
       !write_output(*options.trace_path, "trace", [&](std::ostream& os) {
         obs::write_jsonl(*scenario.trace(), os);
       })) {
+    return 1;
+  }
+  if (options.prof_path &&
+      !write_output(*options.prof_path, "profile", [&](std::ostream& os) {
+        obs::Profiler::write_text(prof_tree, os, options.prof_normalize);
+      })) {
+    return 1;
+  }
+  if (options.prof_trace_path &&
+      !write_output(
+          *options.prof_trace_path, "profile trace", [&](std::ostream& os) {
+            obs::Profiler::write_chrome_trace(prof_tree, os,
+                                              options.prof_normalize);
+          })) {
     return 1;
   }
   return 0;

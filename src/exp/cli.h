@@ -52,6 +52,15 @@ struct CliOptions {
   std::optional<std::string> metrics_path;
   /// Write the protocol trace as JSON Lines ("-" = stdout).
   std::optional<std::string> trace_path;
+  /// Profiler outputs (obs/prof.h): text scope table and Chrome trace
+  /// JSON ("-" = stdout, counted against the one-stdout-target rule).
+  /// Enabling either also exports triad_prof_scope_seconds histograms
+  /// into the scenario registry, so --metrics picks them up.
+  std::optional<std::string> prof_path;
+  std::optional<std::string> prof_trace_path;
+  /// Zero every profiler duration: the rendered scope tree becomes a
+  /// pure call-structure artifact, byte-comparable across runs.
+  bool prof_normalize = false;
   bool help = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/prof.h"
 #include "util/log.h"
 
 namespace triad::net {
@@ -119,6 +120,7 @@ DelayModel& Network::model_for(NodeId src, NodeId dst) {
 }
 
 void Network::send(NodeId src, NodeId dst, Bytes payload) {
+  PROF_SCOPE("net/send");
   ++stats_.sent;
   stats_.bytes_sent += payload.size();
   Packet packet{src, dst, std::move(payload), sim_.now(), next_packet_id_++};
@@ -166,6 +168,7 @@ void Network::send(NodeId src, NodeId dst, Bytes payload) {
 }
 
 void Network::deliver(std::uint32_t slot) {
+  PROF_SCOPE("net/deliver");
   // Move the packet out first: the handler may send more packets and
   // reallocate or recycle the slab.
   Packet packet = std::move(in_flight_[slot]);

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "obs/detect.h"
+#include "obs/prof.h"
 
 namespace triad::obs {
 namespace {
@@ -80,10 +81,12 @@ const char* outcome_name(std::int64_t outcome) {
 }  // namespace
 
 void write_prometheus(const Registry& registry, std::ostream& out) {
+  PROF_SCOPE("obs/export_prometheus");
   registry.write_prometheus(out);
 }
 
 void write_csv(const Registry& registry, std::ostream& out) {
+  PROF_SCOPE("obs/export_csv");
   registry.write_csv(out);
 }
 
@@ -192,6 +195,7 @@ void write_json_line(const TraceEvent& event, std::ostream& out) {
 }
 
 void write_jsonl(const RingTraceSink& sink, std::ostream& out) {
+  PROF_SCOPE("obs/export_jsonl");
   sink.for_each([&out](const TraceEvent& event) {
     write_json_line(event, out);
     out << '\n';

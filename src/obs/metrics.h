@@ -102,6 +102,10 @@ class Histogram {
   }
   [[nodiscard]] bool attached() const { return cell_ != nullptr; }
   [[nodiscard]] const HistogramCell* cell() const { return cell_; }
+  /// Bulk-fill access for offline importers (profiler tree export). The
+  /// usual path is observe(); direct writes must keep counts/sum/count
+  /// mutually consistent, since exporters trust the cell verbatim.
+  [[nodiscard]] HistogramCell* mutable_cell() { return cell_; }
 
  private:
   friend class Registry;

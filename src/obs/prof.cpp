@@ -1,0 +1,280 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "runtime/monotonic_timer.h"
+
+namespace triad::obs {
+
+std::atomic<bool> Profiler::enabled_{false};
+
+namespace prof_detail {
+
+namespace {
+
+// The calling thread's profile pointer, revalidated against the
+// profiler generation so reset() invalidates every thread's cache.
+struct ThreadSlot {
+  ThreadProfile* profile = nullptr;
+  std::uint64_t generation = 0;
+};
+thread_local ThreadSlot t_slot;
+
+}  // namespace
+
+ThreadProfile::ThreadProfile() {
+  // Node 0 is the synthetic root ("no open scope"); current_ starts there.
+  nodes_.emplace_back();
+}
+
+void ThreadProfile::enter(const char* name) {
+  ThreadNode& parent = nodes_[current_];
+  std::uint32_t child = 0;
+  for (std::uint32_t idx : parent.children) {
+    const ThreadNode& node = nodes_[idx];
+    if (node.name == name || std::strcmp(node.name, name) == 0) {
+      child = idx;
+      break;
+    }
+  }
+  if (child == 0) {
+    child = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_.back().name = name;
+    nodes_.back().parent = current_;
+    nodes_[current_].children.push_back(child);
+  }
+  current_ = child;
+}
+
+void ThreadProfile::exit(std::uint64_t elapsed_ns) {
+  ThreadNode& node = nodes_[current_];
+  node.count += 1;
+  node.incl_ns += elapsed_ns;
+  std::size_t bucket = 0;
+  while (bucket < kProfBucketBoundsNs.size() &&
+         elapsed_ns > kProfBucketBoundsNs[bucket]) {
+    ++bucket;
+  }
+  node.buckets[bucket] += 1;
+  current_ = node.parent;
+}
+
+const std::vector<ThreadNode>& ThreadProfile::nodes() const { return nodes_; }
+
+}  // namespace prof_detail
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+prof_detail::ThreadProfile& Profiler::thread_profile() {
+  auto& slot = prof_detail::t_slot;
+  const std::uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (slot.profile == nullptr || slot.generation != generation) {
+    auto owned = std::make_unique<prof_detail::ThreadProfile>();
+    slot.profile = owned.get();
+    slot.generation = generation;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    profiles_.push_back(std::move(owned));
+  }
+  return *slot.profile;
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  profiles_.clear();
+}
+
+namespace {
+
+void merge_subtree(const std::vector<prof_detail::ThreadNode>& nodes,
+                   std::uint32_t index, ProfNode& into) {
+  const prof_detail::ThreadNode& from = nodes[index];
+  into.count += from.count;
+  into.incl_ns += from.incl_ns;
+  for (std::size_t i = 0; i < from.buckets.size(); ++i) {
+    into.buckets[i] += from.buckets[i];
+  }
+  for (std::uint32_t child_index : from.children) {
+    const char* child_name = nodes[child_index].name;
+    auto it = std::find_if(
+        into.children.begin(), into.children.end(),
+        [child_name](const ProfNode& n) { return n.name == child_name; });
+    if (it == into.children.end()) {
+      into.children.emplace_back();
+      it = std::prev(into.children.end());
+      it->name = child_name;
+    }
+    merge_subtree(nodes, child_index, *it);
+  }
+}
+
+void sort_children(ProfNode& node) {
+  std::sort(node.children.begin(), node.children.end(),
+            [](const ProfNode& a, const ProfNode& b) { return a.name < b.name; });
+  for (ProfNode& child : node.children) sort_children(child);
+}
+
+}  // namespace
+
+ProfTree Profiler::merge() const {
+  ProfTree tree;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tree.threads = profiles_.size();
+  for (const auto& profile : profiles_) {
+    merge_subtree(profile->nodes(), 0, tree.root);
+  }
+  // merge_subtree visits node 0 (the synthetic per-thread root) too;
+  // scrub its meaningless count/time and order the result by name.
+  tree.root.count = 0;
+  tree.root.incl_ns = 0;
+  tree.root.buckets = {};
+  sort_children(tree.root);
+  return tree;
+}
+
+std::uint64_t ProfNode::excl_ns() const {
+  std::uint64_t child_ns = 0;
+  for (const ProfNode& child : children) child_ns += child.incl_ns;
+  return child_ns >= incl_ns ? 0 : incl_ns - child_ns;
+}
+
+namespace {
+
+// All rendered durations go through one fixed-format helper so the
+// normalize contract ("zero every duration, keep the shape") holds for
+// each render target identically.
+double ms_of(std::uint64_t ns, bool normalize) {
+  return normalize ? 0.0 : static_cast<double>(ns) / 1e6;
+}
+
+void write_text_node(const ProfNode& node, std::ostream& out, int depth,
+                     bool normalize) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%*s%-*s %10llu %12.3f %12.3f\n", depth * 2,
+                "", 36 - depth * 2, node.name.c_str(),
+                static_cast<unsigned long long>(node.count),
+                ms_of(node.incl_ns, normalize), ms_of(node.excl_ns(), normalize));
+  out << line;
+  for (const ProfNode& child : node.children) {
+    write_text_node(child, out, depth + 1, normalize);
+  }
+}
+
+// Chrome trace "X" events. The tree has no timeline, so one is
+// synthesized: each node spans [ts, ts+incl), children packed
+// sequentially from the parent's ts — nesting is faithful, ordering
+// within a level is alphabetical, not temporal.
+void write_trace_node(const ProfNode& node, std::ostream& out,
+                      std::uint64_t ts_ns, bool normalize, bool* first) {
+  char event[512];
+  std::snprintf(event, sizeof(event),
+                "%s\n  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": 0, \"tid\": 0, "
+                "\"ts\": %.3f, \"dur\": %.3f, \"args\": {\"count\": %llu}}",
+                *first ? "" : ",", node.name.c_str(),
+                normalize ? 0.0 : static_cast<double>(ts_ns) / 1e3,
+                normalize ? 0.0 : static_cast<double>(node.incl_ns) / 1e3,
+                static_cast<unsigned long long>(node.count));
+  out << event;
+  *first = false;
+  std::uint64_t child_ts = ts_ns;
+  for (const ProfNode& child : node.children) {
+    write_trace_node(child, out, child_ts, normalize, first);
+    child_ts += child.incl_ns;
+  }
+}
+
+void export_node(const ProfNode& node, Registry& registry,
+                 const std::string& prefix, bool normalize) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + "/" + node.name;
+  static const std::vector<double> kBoundsSeconds = [] {
+    std::vector<double> bounds;
+    bounds.reserve(kProfBucketBoundsNs.size());
+    for (std::uint64_t ns : kProfBucketBoundsNs) {
+      bounds.push_back(static_cast<double>(ns) / 1e9);
+    }
+    return bounds;
+  }();
+  Histogram histogram = registry.histogram(
+      "triad_prof_scope_seconds", kBoundsSeconds, {{"path", path}});
+  if (HistogramCell* cell = histogram.mutable_cell(); cell != nullptr) {
+    // Bulk fill: the per-scope buckets were recorded live; sum is the
+    // inclusive total, which keeps _sum consistent with _count.
+    for (std::size_t i = 0; i < node.buckets.size(); ++i) {
+      cell->counts[i] += normalize ? 0 : node.buckets[i];
+    }
+    cell->count += normalize ? 0 : node.count;
+    cell->sum += normalize ? 0.0 : static_cast<double>(node.incl_ns) / 1e9;
+  }
+  for (const ProfNode& child : node.children) {
+    export_node(child, registry, path, normalize);
+  }
+}
+
+}  // namespace
+
+void Profiler::write_text(const ProfTree& tree, std::ostream& out,
+                          bool normalize) {
+  // Normalized output is a byte-comparable structure artifact: the
+  // thread-tree count varies with --jobs, so it only appears live.
+  if (normalize) {
+    out << "# triad profiler (normalized)\n";
+  } else {
+    out << "# triad profiler (" << tree.threads << " thread tree"
+        << (tree.threads == 1 ? "" : "s") << " merged)\n";
+  }
+  char header[128];
+  std::snprintf(header, sizeof(header), "%-36s %10s %12s %12s\n", "scope",
+                "count", "incl_ms", "excl_ms");
+  out << header;
+  for (const ProfNode& child : tree.root.children) {
+    write_text_node(child, out, 0, normalize);
+  }
+}
+
+void Profiler::write_chrome_trace(const ProfTree& tree, std::ostream& out,
+                                  bool normalize) {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  std::uint64_t ts_ns = 0;
+  for (const ProfNode& child : tree.root.children) {
+    write_trace_node(child, out, ts_ns, normalize, &first);
+    ts_ns += child.incl_ns;
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void Profiler::export_histograms(const ProfTree& tree, Registry& registry,
+                                 bool normalize) {
+  registry.set_help("triad_prof_scope_seconds",
+                    "Wall-clock time per profiler scope (merged across "
+                    "threads; path label is the scope tree path)");
+  for (const ProfNode& child : tree.root.children) {
+    export_node(child, registry, "", normalize);
+  }
+}
+
+ProfScope::ProfScope(const char* name) {
+  if (!Profiler::enabled()) return;
+  active_ = true;
+  Profiler::instance().thread_profile().enter(name);
+  start_ns_ = runtime::MonotonicTimer::now_ns();
+}
+
+ProfScope::~ProfScope() {
+  if (!active_) return;
+  const std::uint64_t elapsed =
+      runtime::MonotonicTimer::now_ns() - start_ns_;
+  Profiler::instance().thread_profile().exit(elapsed);
+}
+
+}  // namespace triad::obs

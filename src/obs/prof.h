@@ -1,0 +1,170 @@
+// Hierarchical wall-clock scope profiler.
+//
+// PROF_SCOPE("crypto/gcm_seal") opens an RAII scope on the calling
+// thread; nested scopes build a per-thread call tree (name, call count,
+// inclusive ns, and a fixed log-scale duration histogram per node).
+// Scope names must be string literals (the profiler stores the pointer).
+//
+// Cost model: the profiler is always compiled in. Disabled (the
+// default), a scope is one relaxed atomic load and a branch — the <5%
+// budget on FullScenarioVirtualMinute. Enabled, it is two
+// runtime::MonotonicTimer readings plus a short child scan, all on
+// thread-private state: no locks, no allocation after a node's first
+// visit, nothing the TSan campaign tier can race on.
+//
+// Threading: each thread owns a private tree, registered with the
+// process-wide Profiler on first use. merge() folds every registered
+// tree into one deterministic ProfTree — children sorted by name,
+// counts and times summed — so the merged *structure* is independent of
+// thread count and registration order; `normalize` additionally zeroes
+// every duration, making the rendered tree byte-comparable across runs
+// and across campaign --jobs counts. merge()/reset() require quiescence
+// (no instrumented thread mid-scope): call them after worker pools have
+// joined, the way src/campaign does.
+//
+// Render targets (see also DESIGN.md §2.5):
+//   * write_text        — exclusive/inclusive table, indented by depth;
+//   * write_chrome_trace — trace-event JSON for Perfetto or
+//     chrome://tracing ("X" complete events; sibling scopes laid out
+//     sequentially, so nesting mirrors the tree, not a real timeline);
+//   * export_histograms — triad_prof_scope_seconds{path=...} into an
+//     obs::Registry, one histogram series per tree path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace triad::obs {
+
+class Registry;
+
+/// Per-scope duration bucket upper bounds, in nanoseconds (powers of
+/// four from 256 ns to ~1.07 s; the implicit +Inf bucket is last).
+inline constexpr std::array<std::uint64_t, 12> kProfBucketBoundsNs = {
+    256,        1024,       4096,        16384,
+    65536,      262144,     1048576,     4194304,
+    16777216,   67108864,   268435456,   1073741824,
+};
+
+/// One node of the merged, deterministic profile tree.
+struct ProfNode {
+  std::string name;  // one path segment, e.g. "crypto/gcm_seal"
+  std::uint64_t count = 0;
+  std::uint64_t incl_ns = 0;
+  std::array<std::uint64_t, kProfBucketBoundsNs.size() + 1> buckets{};
+  std::vector<ProfNode> children;  // sorted by name
+
+  /// Inclusive minus the children's inclusive time (never negative).
+  [[nodiscard]] std::uint64_t excl_ns() const;
+};
+
+/// The merged profile: a synthetic root whose children are the
+/// top-level scopes, plus the number of thread trees folded in.
+struct ProfTree {
+  ProfNode root;  // root.name is empty; root times are unused
+  std::size_t threads = 0;
+
+  [[nodiscard]] bool empty() const { return root.children.empty(); }
+};
+
+namespace prof_detail {
+
+/// A thread's private call tree: an arena of nodes indexed by parent /
+/// child links. Only the owning thread touches it while profiling.
+class ThreadProfile {
+ public:
+  ThreadProfile();
+  void enter(const char* name);
+  void exit(std::uint64_t elapsed_ns);
+  [[nodiscard]] const std::vector<struct ThreadNode>& nodes() const;
+
+ private:
+  std::vector<struct ThreadNode> nodes_;
+  std::uint32_t current_ = 0;  // arena index of the open scope
+};
+
+struct ThreadNode {
+  const char* name = nullptr;
+  std::uint32_t parent = 0;
+  std::uint64_t count = 0;
+  std::uint64_t incl_ns = 0;
+  std::array<std::uint64_t, kProfBucketBoundsNs.size() + 1> buckets{};
+  std::vector<std::uint32_t> children;  // arena indices, visit order
+};
+
+}  // namespace prof_detail
+
+/// Process-wide profiler registry. One instance per process; scopes are
+/// cheap enough that per-run instances would buy nothing and cost a
+/// pointer indirection on every scope.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  /// Hot-path gate, read by every PROF_SCOPE.
+  [[nodiscard]] static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Folds every thread tree recorded so far (see header comment for
+  /// the determinism guarantee). Requires quiescence.
+  [[nodiscard]] ProfTree merge() const;
+
+  /// Drops all recorded trees and detaches every thread's cached
+  /// profile. Requires quiescence.
+  void reset();
+
+  /// The calling thread's profile, registering it on first use.
+  prof_detail::ThreadProfile& thread_profile();
+
+  // --- rendering (all deterministic given a deterministic tree) -------
+  /// Indented exclusive/inclusive table. `normalize` zeroes durations.
+  static void write_text(const ProfTree& tree, std::ostream& out,
+                         bool normalize = false);
+  /// Chrome trace-event JSON ({"traceEvents": [...]}); ts/dur in us.
+  static void write_chrome_trace(const ProfTree& tree, std::ostream& out,
+                                 bool normalize = false);
+  /// One triad_prof_scope_seconds histogram series per tree path
+  /// (label path="campaign/execute_run/sim_run").
+  static void export_histograms(const ProfTree& tree, Registry& registry,
+                                bool normalize = false);
+
+ private:
+  Profiler() = default;
+
+  static std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> generation_{1};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<prof_detail::ThreadProfile>> profiles_;
+};
+
+/// RAII scope. `name` must be a string literal (or otherwise outlive
+/// the profiler); use slash-separated segments: "layer/operation".
+class ProfScope {
+ public:
+  explicit ProfScope(const char* name);
+  ~ProfScope();
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+#define TRIAD_PROF_CONCAT2(a, b) a##b
+#define TRIAD_PROF_CONCAT(a, b) TRIAD_PROF_CONCAT2(a, b)
+/// Opens a profiler scope for the rest of the enclosing block.
+#define PROF_SCOPE(name) \
+  ::triad::obs::ProfScope TRIAD_PROF_CONCAT(triad_prof_scope_, __LINE__)(name)
+
+}  // namespace triad::obs

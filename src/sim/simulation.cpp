@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/prof.h"
+
 namespace triad::sim {
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
@@ -110,6 +112,7 @@ void Simulation::purge_dead_top() {
 }
 
 bool Simulation::step() {
+  PROF_SCOPE("sim/dispatch");
   purge_dead_top();
   if (heap_.empty()) return false;
   const Event ev = heap_.top();

@@ -1,0 +1,212 @@
+// Coverage for the in-repo bench harness (bench/harness.h) and the
+// bench_diff comparison core: measurement statistics sanity, the
+// triad-bench-v1 JSON contract (schema tag, fixed key order, parseable
+// floats), and the regression gate (exit 0 on identical inputs, nonzero
+// past the median threshold).
+#include "harness.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "diff.h"
+
+namespace {
+
+using triad::bench::BenchResult;
+using triad::bench::Harness;
+using triad::bench::HarnessOptions;
+using triad::bench::MachineFingerprint;
+using triad::tools::BenchEntry;
+using triad::tools::DiffOptions;
+using triad::tools::DiffReport;
+using triad::tools::DiffStatus;
+
+/// A fast deterministic workload: enough work per iteration that the
+/// calibrated count stays small under the test's tiny min_time.
+void spin_bench(triad::bench::State& state) {
+  std::uint64_t acc = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) acc = acc * 6364136223846793005ULL + 1;
+    triad::bench::do_not_optimize(acc);
+  }
+  state.set_items_processed(state.iterations());
+}
+
+HarnessOptions fast_options() {
+  HarnessOptions options;
+  options.min_time_ms = 0.5;
+  options.repetitions = 3;
+  options.warmup = 1;
+  return options;
+}
+
+TEST(BenchHarness, MeasureProducesOrderedStats) {
+  const Harness harness("test");
+  const BenchResult result =
+      harness.measure("spin", spin_bench, 0, fast_options());
+  EXPECT_EQ(result.name, "spin");
+  EXPECT_GE(result.iterations, 1u);
+  EXPECT_EQ(result.repetitions, 3u);
+  EXPECT_GT(result.min_ns, 0.0);
+  EXPECT_LE(result.min_ns, result.median_ns);
+  EXPECT_LE(result.median_ns, result.p95_ns);
+  EXPECT_GE(result.stddev_ns, 0.0);
+  EXPECT_GT(result.items_per_second, 0.0);
+}
+
+TEST(BenchHarness, StateCarriesRangeArgument) {
+  const Harness harness("test");
+  std::int64_t seen = -1;
+  const BenchResult result = harness.measure(
+      "arg",
+      [&seen](triad::bench::State& state) {
+        seen = state.range(0);
+        std::uint64_t acc = static_cast<std::uint64_t>(seen);
+        for (auto _ : state) {
+          for (int i = 0; i < 64; ++i) acc = acc * 2862933555777941757ULL + 3;
+          triad::bench::do_not_optimize(acc);
+        }
+        state.set_bytes_processed(state.iterations() * state.range(0));
+      },
+      1024, fast_options());
+  EXPECT_EQ(seen, 1024);
+  EXPECT_GT(result.bytes_per_second, 0.0);
+}
+
+std::string bench_json_text(const std::vector<BenchResult>& results) {
+  MachineFingerprint fp;
+  fp.cpu = "Test CPU";
+  fp.cores = 4;
+  fp.compiler = "gcc test";
+  fp.flags = "-O2";
+  std::ostringstream out;
+  triad::bench::write_bench_json(out, "unit", fp, results);
+  return out.str();
+}
+
+BenchResult make_result(const std::string& name, double median_ns) {
+  BenchResult r;
+  r.name = name;
+  r.iterations = 100;
+  r.repetitions = 5;
+  r.min_ns = median_ns * 0.9;
+  r.median_ns = median_ns;
+  r.p95_ns = median_ns * 1.1;
+  r.mean_ns = median_ns;
+  r.stddev_ns = 1.0;
+  return r;
+}
+
+TEST(BenchJson, SchemaAndFixedKeyOrder) {
+  const std::string text =
+      bench_json_text({make_result("a", 100.0), make_result("b", 5.5)});
+  const triad::tools::JsonValue doc = triad::tools::parse_json_or_throw(text);
+
+  const auto& top = doc.as_object();
+  const std::vector<std::string> top_keys = {"schema", "suite", "fingerprint",
+                                             "benchmarks"};
+  ASSERT_EQ(top.size(), top_keys.size());
+  for (std::size_t i = 0; i < top_keys.size(); ++i) {
+    EXPECT_EQ(top[i].first, top_keys[i]) << "top-level key " << i;
+  }
+  EXPECT_EQ(doc.at("schema").as_string(), "triad-bench-v1");
+  EXPECT_EQ(doc.at("suite").as_string(), "unit");
+
+  const auto& fp = doc.at("fingerprint").as_object();
+  const std::vector<std::string> fp_keys = {"cpu", "cores", "compiler",
+                                            "flags"};
+  ASSERT_EQ(fp.size(), fp_keys.size());
+  for (std::size_t i = 0; i < fp_keys.size(); ++i) {
+    EXPECT_EQ(fp[i].first, fp_keys[i]) << "fingerprint key " << i;
+  }
+
+  const auto& benchmarks = doc.at("benchmarks").as_array();
+  ASSERT_EQ(benchmarks.size(), 2u);
+  const std::vector<std::string> bench_keys = {
+      "name",    "iterations", "repetitions",      "min_ns",
+      "median_ns", "p95_ns",   "mean_ns",          "stddev_ns",
+      "bytes_per_second",      "items_per_second"};
+  const auto& entry = benchmarks[0].as_object();
+  ASSERT_EQ(entry.size(), bench_keys.size());
+  for (std::size_t i = 0; i < bench_keys.size(); ++i) {
+    EXPECT_EQ(entry[i].first, bench_keys[i]) << "benchmark key " << i;
+  }
+  EXPECT_DOUBLE_EQ(benchmarks[0].at("median_ns").as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(benchmarks[1].at("median_ns").as_number(), 5.5);
+}
+
+std::vector<BenchEntry> entries_from(const std::vector<BenchResult>& results) {
+  const triad::tools::JsonValue doc =
+      triad::tools::parse_json_or_throw(bench_json_text(results));
+  return triad::tools::load_bench_document(doc);
+}
+
+TEST(BenchDiff, IdenticalInputsExitZero) {
+  const auto baseline = entries_from({make_result("a", 100.0)});
+  const DiffOptions options;
+  const DiffReport report =
+      triad::tools::diff_benchmarks(baseline, baseline, options);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].status, DiffStatus::kOk);
+  EXPECT_EQ(report.exit_code(options), 0);
+}
+
+TEST(BenchDiff, MedianRegressionPastThresholdExitsNonzero) {
+  const auto baseline = entries_from({make_result("a", 100.0)});
+  // 25% slower median: past the default 10% threshold.
+  const auto current = entries_from({make_result("a", 125.0)});
+  const DiffOptions options;
+  const DiffReport report =
+      triad::tools::diff_benchmarks(baseline, current, options);
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].status, DiffStatus::kRegression);
+  EXPECT_NEAR(report.rows[0].delta_pct, 25.0, 1e-9);
+  EXPECT_NE(report.exit_code(options), 0);
+}
+
+TEST(BenchDiff, ImprovementAndMissingEntriesStayClean) {
+  const auto baseline =
+      entries_from({make_result("gone", 50.0), make_result("kept", 100.0)});
+  const auto current =
+      entries_from({make_result("kept", 80.0), make_result("fresh", 10.0)});
+  DiffOptions options;
+  const DiffReport report =
+      triad::tools::diff_benchmarks(baseline, current, options);
+  ASSERT_EQ(report.rows.size(), 3u);  // baseline order, then new entries
+  EXPECT_EQ(report.rows[0].status, DiffStatus::kMissing);
+  EXPECT_EQ(report.rows[1].status, DiffStatus::kOk);  // 20% faster
+  EXPECT_EQ(report.rows[2].status, DiffStatus::kNew);
+  EXPECT_EQ(report.exit_code(options), 0);
+  options.require_all = true;
+  EXPECT_NE(report.exit_code(options), 0);
+}
+
+TEST(BenchHarness, MeasureRespectsFilterViaRegistration) {
+  Harness harness("test");
+  int spin_calls = 0;
+  int other_calls = 0;
+  harness.add("spin", [&spin_calls](triad::bench::State& state) {
+    ++spin_calls;
+    spin_bench(state);
+  });
+  harness.add("other", [&other_calls](triad::bench::State& state) {
+    ++other_calls;
+    spin_bench(state);
+  });
+  // Drive the real CLI path: --filter selects a subset, --min-time-ms
+  // keeps the run fast, --list exercises name expansion.
+  const char* argv[] = {"bench_test",      "--filter",      "spin",
+                        "--min-time-ms",   "0.5",           "--repetitions",
+                        "2"};
+  ASSERT_EQ(harness.run(static_cast<int>(std::size(argv)),
+                        const_cast<char**>(argv)),
+            0);
+  EXPECT_GT(spin_calls, 0);
+  EXPECT_EQ(other_calls, 0);
+}
+
+}  // namespace

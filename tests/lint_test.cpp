@@ -102,15 +102,33 @@ TEST(LintFixtures, R4HotPathAllocationFiresAtMarkedLines) {
   expect_fixture_fires("r4_hotpath_alloc.cpp", "R4");
 }
 
-TEST(LintFixtures, R1SilentInExemptLayers) {
-  // The same banned tokens are legal inside the clock/util layers — that
-  // is where the real time/randomness sources are supposed to live.
+TEST(LintFixtures, R1HasNoBlanketLayerExemptions) {
+  // Since PR 7 no directory is exempt from R1 — banned tokens fire even
+  // inside the clock/util layers; each real binding site must be a named
+  // allow entry instead.
   const std::string text = read_file(fixture_path("r1_banned_clock.cpp"));
   const Config config = triad::lint::default_config();
-  EXPECT_TRUE(
+  EXPECT_TRUE(config.r1_exempt_prefixes.empty());
+  EXPECT_FALSE(
       triad::lint::lint_source("src/runtime/impl.cpp", text, config).empty());
-  EXPECT_TRUE(
+  EXPECT_FALSE(
       triad::lint::lint_source("src/util/impl.cpp", text, config).empty());
+}
+
+TEST(LintFixtures, R1MonotonicTimerBindingIsNamedAllowEntry) {
+  // The single sanctioned wall-clock binding suppresses via the
+  // allowlist, and only for that (file, token) pair.
+  const Config config = triad::lint::default_config();
+  std::vector<Diagnostic> diagnostics = {
+      {"R1", "src/runtime/monotonic_timer.h", 41, "steady_clock", "m"},
+      {"R1", "src/campaign/runner.cpp", 10, "steady_clock", "m"},
+  };
+  const triad::lint::TreeReport report =
+      triad::lint::apply_allowlist(std::move(diagnostics), config);
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0].file, "src/runtime/monotonic_timer.h");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].file, "src/campaign/runner.cpp");
 }
 
 TEST(LintFixtures, DiagnosticFormatIsFileLineRuleMessage) {

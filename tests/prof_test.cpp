@@ -1,0 +1,199 @@
+// Coverage for the obs/prof scope profiler: tree shape and counts,
+// disabled no-op behaviour, deterministic multi-thread merge, the three
+// render targets (text / Chrome trace / registry histograms), and the
+// campaign-level guarantee that a normalized profile is byte-identical
+// across --jobs counts.
+#include "obs/prof.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "campaign/runner.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using triad::obs::ProfNode;
+using triad::obs::Profiler;
+using triad::obs::ProfTree;
+
+/// Every prof test owns the process-global profiler for its duration.
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::instance().set_enabled(false);
+    Profiler::instance().reset();
+  }
+  void TearDown() override {
+    Profiler::instance().set_enabled(false);
+    Profiler::instance().reset();
+  }
+};
+
+std::uint64_t bucket_sum(const ProfNode& node) {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : node.buckets) sum += c;
+  return sum;
+}
+
+void nested_workload() {
+  PROF_SCOPE("test/outer");
+  for (int i = 0; i < 3; ++i) {
+    PROF_SCOPE("test/inner");
+  }
+}
+
+TEST_F(ProfTest, DisabledScopesAreNoOps) {
+  nested_workload();  // profiler disabled: nothing may register
+  const ProfTree tree = Profiler::instance().merge();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.threads, 0u);
+}
+
+TEST_F(ProfTest, BuildsNestedTreeWithCountsAndBuckets) {
+  Profiler::instance().set_enabled(true);
+  nested_workload();
+  {
+    PROF_SCOPE("test/aside");
+  }
+  Profiler::instance().set_enabled(false);
+  const ProfTree tree = Profiler::instance().merge();
+
+  ASSERT_EQ(tree.root.children.size(), 2u);
+  // Children are sorted by name: "test/aside" < "test/outer".
+  EXPECT_EQ(tree.root.children[0].name, "test/aside");
+  EXPECT_EQ(tree.root.children[1].name, "test/outer");
+
+  const ProfNode& outer = tree.root.children[1];
+  EXPECT_EQ(outer.count, 1u);
+  ASSERT_EQ(outer.children.size(), 1u);
+  const ProfNode& inner = outer.children[0];
+  EXPECT_EQ(inner.name, "test/inner");
+  EXPECT_EQ(inner.count, 3u);
+  // Inclusive time covers the children; exclusive never exceeds it.
+  EXPECT_GE(outer.incl_ns, inner.incl_ns);
+  EXPECT_LE(outer.excl_ns(), outer.incl_ns);
+  // One histogram observation per call.
+  EXPECT_EQ(bucket_sum(outer), outer.count);
+  EXPECT_EQ(bucket_sum(inner), inner.count);
+}
+
+TEST_F(ProfTest, MergeUnionsThreadTreesDeterministically) {
+  Profiler::instance().set_enabled(true);
+  {
+    PROF_SCOPE("test/shared");
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(2);
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([] {
+      PROF_SCOPE("test/shared");
+      PROF_SCOPE("test/worker_only");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  Profiler::instance().set_enabled(false);
+  const ProfTree tree = Profiler::instance().merge();
+
+  EXPECT_EQ(tree.threads, 3u);
+  ASSERT_EQ(tree.root.children.size(), 1u);
+  const ProfNode& shared = tree.root.children[0];
+  EXPECT_EQ(shared.name, "test/shared");
+  EXPECT_EQ(shared.count, 3u);  // 1 main + 2 workers, summed
+  ASSERT_EQ(shared.children.size(), 1u);
+  EXPECT_EQ(shared.children[0].name, "test/worker_only");
+  EXPECT_EQ(shared.children[0].count, 2u);
+}
+
+TEST_F(ProfTest, NormalizedTextIsByteIdenticalAcrossRuns) {
+  std::string first;
+  std::string second;
+  for (std::string* out : {&first, &second}) {
+    Profiler::instance().reset();
+    Profiler::instance().set_enabled(true);
+    nested_workload();
+    Profiler::instance().set_enabled(false);
+    std::ostringstream text;
+    Profiler::write_text(Profiler::instance().merge(), text,
+                         /*normalize=*/true);
+    *out = text.str();
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("test/outer"), std::string::npos);
+  EXPECT_NE(first.find("test/inner"), std::string::npos);
+}
+
+TEST_F(ProfTest, ChromeTraceIsValidNestedJson) {
+  Profiler::instance().set_enabled(true);
+  nested_workload();
+  Profiler::instance().set_enabled(false);
+  std::ostringstream out;
+  Profiler::write_chrome_trace(Profiler::instance().merge(), out);
+
+  const triad::tools::JsonValue doc =
+      triad::tools::parse_json_or_throw(out.str());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_GE(events.size(), 2u);
+  bool saw_inner = false;
+  for (const auto& event : events) {
+    EXPECT_EQ(event.at("ph").as_string(), "X");
+    EXPECT_GE(event.at("dur").as_number(), 0.0);
+    EXPECT_GE(event.at("ts").as_number(), 0.0);
+    saw_inner |= event.at("name").as_string() == "test/inner";
+  }
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST_F(ProfTest, ExportHistogramsRendersPrometheusSeries) {
+  Profiler::instance().set_enabled(true);
+  nested_workload();
+  Profiler::instance().set_enabled(false);
+
+  triad::obs::Registry registry;
+  Profiler::export_histograms(Profiler::instance().merge(), registry);
+  std::ostringstream out;
+  triad::obs::write_prometheus(registry, out);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("triad_prof_scope_seconds_bucket"), std::string::npos);
+  EXPECT_NE(text.find("triad_prof_scope_seconds_sum"), std::string::npos);
+  EXPECT_NE(text.find("triad_prof_scope_seconds_count"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  // Paths are slash-joined down the tree.
+  EXPECT_NE(text.find("path=\"test/outer/test/inner\""), std::string::npos);
+}
+
+TEST_F(ProfTest, CampaignNormalizedProfileIdenticalAcrossJobs) {
+  triad::campaign::CampaignSpec spec;
+  spec.seeds = {1, 2};
+  spec.attacks = {"fminus"};
+  spec.duration = triad::seconds(30);
+
+  std::string profiles[2];
+  const std::size_t jobs[2] = {1, 4};
+  for (int leg = 0; leg < 2; ++leg) {
+    Profiler::instance().reset();
+    Profiler::instance().set_enabled(true);
+    triad::campaign::RunnerOptions options;
+    options.jobs = jobs[leg];
+    triad::campaign::CampaignRunner runner(std::move(options));
+    const triad::campaign::CampaignResult result = runner.run(spec);
+    Profiler::instance().set_enabled(false);
+    EXPECT_EQ(result.failures, 0u);
+    std::ostringstream text;
+    Profiler::write_text(Profiler::instance().merge(), text,
+                         /*normalize=*/true);
+    profiles[leg] = text.str();
+  }
+  EXPECT_EQ(profiles[0], profiles[1]);
+  EXPECT_NE(profiles[0].find("campaign/execute_run"), std::string::npos);
+  EXPECT_NE(profiles[0].find("campaign/sim_run"), std::string::npos);
+}
+
+}  // namespace

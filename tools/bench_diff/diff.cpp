@@ -1,0 +1,145 @@
+#include "diff.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bench_json.h"
+
+namespace triad::tools {
+
+std::vector<BenchEntry> load_bench_document(const JsonValue& doc) {
+  const std::string& schema = doc.at("schema").as_string();
+  if (schema != "triad-bench-v1") {
+    throw std::runtime_error("unsupported schema '" + schema +
+                             "' (want triad-bench-v1)");
+  }
+  const std::string& suite = doc.at("suite").as_string();
+  std::vector<BenchEntry> entries;
+  for (const JsonValue& bench : doc.at("benchmarks").as_array()) {
+    BenchEntry entry;
+    entry.suite = suite;
+    entry.name = bench.at("name").as_string();
+    entry.median_ns = bench.at("median_ns").as_number();
+    entry.p95_ns = bench.at("p95_ns").as_number();
+    entry.min_ns = bench.at("min_ns").as_number();
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<BenchEntry> load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return load_bench_document(parse_json_or_throw(text.str()));
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+namespace {
+
+std::string qualified(const BenchEntry& entry) {
+  return entry.suite + "/" + entry.name;
+}
+
+}  // namespace
+
+int DiffReport::exit_code(const DiffOptions& options) const {
+  for (const DiffRow& row : rows) {
+    if (row.status == DiffStatus::kRegression) return 1;
+    if (row.status == DiffStatus::kMissing && options.require_all) return 1;
+  }
+  return 0;
+}
+
+DiffReport diff_benchmarks(const std::vector<BenchEntry>& baseline,
+                           const std::vector<BenchEntry>& current,
+                           const DiffOptions& options) {
+  DiffReport report;
+  auto find_current = [&](const std::string& name) -> const BenchEntry* {
+    const BenchEntry* found = nullptr;
+    for (const BenchEntry& entry : current) {
+      if (qualified(entry) == name) found = &entry;  // last wins
+    }
+    return found;
+  };
+
+  for (const BenchEntry& base : baseline) {
+    DiffRow row;
+    row.name = qualified(base);
+    row.baseline_median_ns = base.median_ns;
+    const BenchEntry* cur = find_current(row.name);
+    if (cur == nullptr) {
+      row.status = DiffStatus::kMissing;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+    row.current_median_ns = cur->median_ns;
+    row.delta_pct = base.median_ns > 0.0
+                        ? (cur->median_ns - base.median_ns) / base.median_ns *
+                              100.0
+                        : 0.0;
+    row.status = row.delta_pct > options.threshold_pct
+                     ? DiffStatus::kRegression
+                     : DiffStatus::kOk;
+    report.rows.push_back(std::move(row));
+  }
+
+  for (const BenchEntry& cur : current) {
+    const std::string name = qualified(cur);
+    bool in_baseline = false;
+    for (const BenchEntry& base : baseline) {
+      if (qualified(base) == name) {
+        in_baseline = true;
+        break;
+      }
+    }
+    if (!in_baseline) {
+      DiffRow row;
+      row.name = name;
+      row.status = DiffStatus::kNew;
+      row.current_median_ns = cur.median_ns;
+      report.rows.push_back(std::move(row));
+    }
+  }
+  return report;
+}
+
+void write_diff_table(const DiffReport& report, const DiffOptions& options,
+                      std::ostream& out) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-44s %14s %14s %9s  %s\n", "benchmark",
+                "baseline_ns", "current_ns", "delta", "status");
+  out << line;
+  for (const DiffRow& row : report.rows) {
+    const char* status = "ok";
+    switch (row.status) {
+      case DiffStatus::kOk: status = "ok"; break;
+      case DiffStatus::kRegression: status = "REGRESSION"; break;
+      case DiffStatus::kMissing:
+        status = options.require_all ? "MISSING" : "missing (warn)";
+        break;
+      case DiffStatus::kNew: status = "new"; break;
+    }
+    if (row.status == DiffStatus::kMissing) {
+      std::snprintf(line, sizeof(line), "%-44s %14.1f %14s %9s  %s\n",
+                    row.name.c_str(), row.baseline_median_ns, "-", "-", status);
+    } else if (row.status == DiffStatus::kNew) {
+      std::snprintf(line, sizeof(line), "%-44s %14s %14.1f %9s  %s\n",
+                    row.name.c_str(), "-", row.current_median_ns, "-", status);
+    } else {
+      std::snprintf(line, sizeof(line), "%-44s %14.1f %14.1f %+8.1f%%  %s\n",
+                    row.name.c_str(), row.baseline_median_ns,
+                    row.current_median_ns, row.delta_pct, status);
+    }
+    out << line;
+  }
+}
+
+}  // namespace triad::tools

@@ -1,0 +1,67 @@
+// bench_diff core: compare triad-bench-v1 documents against a baseline
+// and flag median regressions past a threshold. Library-shaped so
+// bench_harness_test can drive the exact code the CLI runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace triad::tools {
+
+class JsonValue;
+
+/// One benchmark entry pulled out of a triad-bench-v1 document.
+struct BenchEntry {
+  std::string suite;
+  std::string name;
+  double median_ns = 0.0;
+  double p95_ns = 0.0;
+  double min_ns = 0.0;
+};
+
+/// Parses a triad-bench-v1 document. Throws std::runtime_error on a
+/// schema violation (wrong schema tag, missing keys).
+std::vector<BenchEntry> load_bench_document(const JsonValue& doc);
+
+/// Reads and parses one BENCH file. Throws on I/O or schema errors.
+std::vector<BenchEntry> load_bench_file(const std::string& path);
+
+enum class DiffStatus {
+  kOk,          // within threshold (includes improvements)
+  kRegression,  // current median worse than baseline by > threshold
+  kMissing,     // in baseline but absent from current
+  kNew,         // in current but absent from baseline
+};
+
+struct DiffRow {
+  std::string name;  // "suite/bench" fully qualified
+  DiffStatus status = DiffStatus::kOk;
+  double baseline_median_ns = 0.0;
+  double current_median_ns = 0.0;
+  double delta_pct = 0.0;  // +12.5 = 12.5% slower than baseline
+};
+
+struct DiffOptions {
+  double threshold_pct = 10.0;  // fail past this much slower
+  bool require_all = false;     // missing entries fail instead of warn
+};
+
+struct DiffReport {
+  std::vector<DiffRow> rows;  // baseline order, then new entries
+  /// Exit code under `options`: 0 clean, 1 regression (or missing
+  /// entries when require_all).
+  [[nodiscard]] int exit_code(const DiffOptions& options) const;
+};
+
+/// Compares current entries (the union of every --current file) against
+/// the baseline. Duplicate names across current files keep the last.
+DiffReport diff_benchmarks(const std::vector<BenchEntry>& baseline,
+                           const std::vector<BenchEntry>& current,
+                           const DiffOptions& options);
+
+/// Human-readable table, one row per benchmark, worst offenders marked.
+void write_diff_table(const DiffReport& report, const DiffOptions& options,
+                      std::ostream& out);
+
+}  // namespace triad::tools

@@ -1,0 +1,201 @@
+// bench_diff: the perf gate. Compares BENCH_*.json files produced by
+// the bench harness against a committed baseline and exits nonzero on a
+// median regression past the threshold.
+//
+//   bench_diff [--threshold PCT] [--require-all] BASELINE CURRENT...
+//   bench_diff --merge OUT.json CURRENT...   (concatenate suites into
+//                                             one baseline document)
+//
+// Multiple CURRENT files are unioned (the committed BENCH_micro.json
+// baseline holds both micro suites; each bench binary emits one file).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "diff.h"
+
+namespace {
+
+using namespace triad::tools;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threshold PCT] [--metric median_ns] "
+               "[--require-all] BASELINE CURRENT...\n"
+               "       %s --merge OUT.json CURRENT...\n",
+               argv0, argv0);
+  return 2;
+}
+
+// Re-emits the raw "benchmarks" entries of several documents as one
+// triad-bench-v1 document whose suite is "merged" and whose benchmark
+// names are "suite/name" qualified — the format the committed baseline
+// uses so one file can gate several bench binaries.
+int merge_documents(const std::string& out_path,
+                    const std::vector<std::string>& paths) {
+  std::ostringstream benches;
+  std::string fingerprint_block;
+  bool first = true;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    JsonValue doc;
+    std::string error;
+    if (!parse_json(text.str(), &doc, &error)) {
+      std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    const std::string& suite = doc.at("suite").as_string();
+    if (first) {
+      // Keep the first file's fingerprint verbatim (same machine for
+      // every suite in one merge).
+      const std::string& raw = text.str();
+      const auto start = raw.find("\"fingerprint\"");
+      const auto end = raw.find("},", start);
+      if (start != std::string::npos && end != std::string::npos) {
+        fingerprint_block = raw.substr(start, end - start + 1);
+      }
+    }
+    (void)load_bench_document(doc);  // schema check (throws on violation)
+    // Re-serialize each entry with the qualified name, preserving the
+    // numeric fields at %.9g via the parsed values.
+    for (const JsonValue& bench : doc.at("benchmarks").as_array()) {
+      char buf[1024];
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s    {\n"
+          "      \"name\": \"%s/%s\",\n"
+          "      \"iterations\": %.0f,\n"
+          "      \"repetitions\": %.0f,\n"
+          "      \"min_ns\": %.9g,\n"
+          "      \"median_ns\": %.9g,\n"
+          "      \"p95_ns\": %.9g,\n"
+          "      \"mean_ns\": %.9g,\n"
+          "      \"stddev_ns\": %.9g,\n"
+          "      \"bytes_per_second\": %.9g,\n"
+          "      \"items_per_second\": %.9g\n"
+          "    }",
+          first ? "\n" : ",\n", suite.c_str(),
+          bench.at("name").as_string().c_str(),
+          bench.at("iterations").as_number(),
+          bench.at("repetitions").as_number(),
+          bench.at("min_ns").as_number(), bench.at("median_ns").as_number(),
+          bench.at("p95_ns").as_number(), bench.at("mean_ns").as_number(),
+          bench.at("stddev_ns").as_number(),
+          bench.at("bytes_per_second").as_number(),
+          bench.at("items_per_second").as_number());
+      benches << buf;
+      first = false;
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_diff: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"schema\": \"triad-bench-v1\",\n  \"suite\": \"merged\",\n  ";
+  if (!fingerprint_block.empty()) out << fingerprint_block << ",\n  ";
+  out << "\"benchmarks\": [" << benches.str() << "\n  ]\n}\n";
+  std::printf("merged %zu file(s) into %s\n", paths.size(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DiffOptions options;
+  std::string merge_out;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--threshold") {
+      if (++i >= argc) return usage(argv[0]);
+      options.threshold_pct = std::strtod(argv[i], nullptr);
+    } else if (flag == "--metric") {
+      // Only median_ns is supported; the flag exists so the run_all.sh
+      // invocation is explicit about what the gate measures.
+      if (++i >= argc) return usage(argv[0]);
+      if (std::strcmp(argv[i], "median_ns") != 0) {
+        std::fprintf(stderr, "bench_diff: unsupported metric %s\n", argv[i]);
+        return 2;
+      }
+    } else if (flag == "--require-all") {
+      options.require_all = true;
+    } else if (flag == "--merge") {
+      if (++i >= argc) return usage(argv[0]);
+      merge_out = argv[i];
+    } else if (flag == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else if (!flag.empty() && flag[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(flag);
+    }
+  }
+
+  if (!merge_out.empty()) {
+    if (files.empty()) return usage(argv[0]);
+    try {
+      return merge_documents(merge_out, files);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_diff: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (files.size() < 2) return usage(argv[0]);
+
+  try {
+    // The committed baseline is a "merged" document with
+    // "suite/name"-qualified names and suite "merged"; plain harness
+    // output qualifies as "<suite>/<name>". Handle both by qualifying
+    // with the document suite unless the name already contains it.
+    auto load_qualified = [](const std::string& path) {
+      std::vector<BenchEntry> entries = load_bench_file(path);
+      for (BenchEntry& entry : entries) {
+        if (entry.suite == "merged") {
+          // Names are pre-qualified; strip the synthetic suite.
+          const auto slash = entry.name.find('/');
+          if (slash != std::string::npos) {
+            entry.suite = entry.name.substr(0, slash);
+            entry.name = entry.name.substr(slash + 1);
+          }
+        }
+      }
+      return entries;
+    };
+    const std::vector<BenchEntry> baseline = load_qualified(files[0]);
+    std::vector<BenchEntry> current;
+    for (std::size_t i = 1; i < files.size(); ++i) {
+      std::vector<BenchEntry> entries = load_qualified(files[i]);
+      current.insert(current.end(), entries.begin(), entries.end());
+    }
+    const DiffReport report = diff_benchmarks(baseline, current, options);
+    write_diff_table(report, options, std::cout);
+    const int code = report.exit_code(options);
+    if (code != 0) {
+      std::printf("bench_diff: FAIL (threshold %.1f%%)\n",
+                  options.threshold_pct);
+    } else {
+      std::printf("bench_diff: ok (threshold %.1f%%)\n",
+                  options.threshold_pct);
+    }
+    return code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

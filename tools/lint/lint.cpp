@@ -254,8 +254,8 @@ void check_r1(const std::string& path, const std::vector<Token>& tokens,
         "R1", path, t.line, t.text,
         "banned nondeterminism source '" + t.text +
             "' — all time must flow from runtime::Clock and all randomness "
-            "from the per-run Rng (only src/runtime/ and src/util/ may bind "
-            "the real ones)"});
+            "from the per-run Rng; wall time only via runtime::MonotonicTimer "
+            "(src/runtime/monotonic_timer.h is the sole binding site)"});
   }
 }
 
@@ -432,7 +432,9 @@ Config default_config() {
                    "rand",           "time",         "getenv",
                    "clock_gettime",  "gettimeofday", "timespec_get"};
   cfg.r1_call_only = {"time", "rand", "getenv"};
-  cfg.r1_exempt_prefixes = {"src/runtime/", "src/util/"};
+  // No blanket layer exemptions: every real-clock binding site is named
+  // in [allow] so a new one cannot slip in under a directory prefix.
+  cfg.r1_exempt_prefixes = {};
   cfg.r2_files = {"src/obs/export.cpp", "src/obs/forensic.cpp",
                   "src/obs/metrics.cpp", "src/campaign/aggregate.cpp",
                   "src/exp/recorder.cpp"};
@@ -445,9 +447,10 @@ Config default_config() {
   cfg.r4_banned = {"new",    "malloc",      "calloc",     "realloc",
                    "strdup", "make_unique", "make_shared", "function"};
   cfg.allow = {
-      // Wall-clock run duration reported in campaign results — explicitly
-      // outside the determinism contract (never aggregated byte-stably).
-      {"R1", "src/campaign/runner.cpp", "steady_clock"},
+      // The one sanctioned wall-clock binding: MonotonicTimer wraps
+      // steady_clock; bench/, profiler, and campaign wall_ms all go
+      // through it rather than binding a real clock themselves.
+      {"R1", "src/runtime/monotonic_timer.h", "steady_clock"},
       // The slab event loop and runtime interfaces traffic in
       // std::function by design (SBO-sized closures, PR 1); R4 still
       // polices raw new/malloc there.

@@ -10,8 +10,9 @@
 // plugin, because the container only ships g++ (no libclang).
 //
 // Rules (see tools/lint/lint_rules.toml for the repo-specific targets):
-//   R1  banned nondeterminism identifiers (system_clock, rand(), ...)
-//       outside the designated clock/util layers;
+//   R1  banned nondeterminism identifiers (system_clock, rand(), ...);
+//       no layer is blanket-exempt — each real binding site (today only
+//       runtime::MonotonicTimer) is a named [allow] entry;
 //   R2  no range-for / .begin() iteration over unordered_map/set in
 //       byte-stable export/aggregate/forensic files;
 //   R3  no %f/%g/%e printf conversions without an explicit precision in
