@@ -1,0 +1,413 @@
+// triad_timed: the real-transport trusted-time daemon.
+//
+// Runs one cluster member over UDP/epoll (runtime::RealEnv):
+//   --role ta      the Time Authority (reference clock root of trust)
+//   --role node    a triad::Node + SO_REUSEPORT serve workers answering
+//                  sealed timestamp requests from external clients
+//   --role client  a probe issuing sealed requests against a node's
+//                  serve endpoint and checking monotonicity
+//
+// The observability flags behave exactly as on triad_sim: --metrics
+// writes a Prometheus dump, --trace a JSONL protocol trace, --prof /
+// --prof-trace the scope profile — each to a file or '-' (stdout, at
+// most one). On SIGTERM/SIGINT the daemon shuts down cleanly and emits
+// the final dumps.
+//
+// Quickstart (3-node loopback cluster): see README.md §triad_timed.
+
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
+#include "timed/service.h"
+#include "util/types.h"
+
+namespace {
+
+using triad::Duration;
+using triad::NodeId;
+using triad::runtime::SockAddr;
+
+struct Options {
+  std::string role = "node";
+  NodeId id = 1;
+  std::optional<SockAddr> listen;
+  std::optional<SockAddr> serve;
+  int workers = 1;
+  std::vector<std::pair<NodeId, SockAddr>> peers;
+  NodeId ta_id = 9;
+  std::uint64_t seed = 1;
+  double duration_s = 0.0;  // 0 = run until SIGTERM/SIGINT
+  int calib_pairs = 8;
+  double calib_wait_high_s = 1.0;
+  // client role
+  std::optional<SockAddr> server;
+  NodeId server_id = 1;
+  int requests = 10;
+  // observability
+  std::optional<std::string> metrics_path;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> prof_path;
+  std::optional<std::string> prof_trace_path;
+  bool prof_normalize = false;
+  bool help = false;
+};
+
+const char* usage() {
+  return
+      "usage: triad_timed [options]\n"
+      "  --role node|ta|client   what to run (default node)\n"
+      "  --id N                  this endpoint's wire identity\n"
+      "  --listen ip:port        protocol endpoint (node, ta)\n"
+      "  --serve ip:port         client-facing endpoint (node)\n"
+      "  --workers N             SO_REUSEPORT serve workers (default 1)\n"
+      "  --peer id=ip:port       protocol address book entry (repeat;\n"
+      "                          the --ta-id entry is the TA, the rest\n"
+      "                          become this node's peers)\n"
+      "  --ta-id N               the TA's wire identity (default 9)\n"
+      "  --seed N                protocol rng seed (default 1)\n"
+      "  --duration S            run S seconds, then exit (default: until\n"
+      "                          SIGTERM)\n"
+      "  --calib-pairs N         calibration round-trip pairs (default 8)\n"
+      "  --calib-wait-high S     calibration high wait (default 1.0)\n"
+      "  --server ip:port        node serve endpoint to probe (client)\n"
+      "  --server-id N           the probed node's identity (client)\n"
+      "  --requests N            probes to issue (client, default 10)\n"
+      "  --metrics PATH|-        Prometheus metrics dump on exit\n"
+      "  --trace PATH|-          JSONL protocol trace on exit\n"
+      "  --prof PATH|-           profiler scope table on exit\n"
+      "  --prof-trace PATH|-     profiler chrome trace on exit\n"
+      "  --prof-normalize        zero durations in profiler output\n"
+      "  --help\n";
+}
+
+std::optional<Options> parse_args(int argc, char** argv, std::ostream& err) {
+  Options options;
+  const auto fail = [&err](const std::string& message) {
+    err << "triad_timed: " << message << "\n";
+    return std::nullopt;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    const auto addr_value = [&](const char* flag)
+        -> std::optional<SockAddr> {
+      const auto text = value();
+      if (!text) return std::nullopt;
+      auto addr = triad::runtime::parse_sockaddr(*text);
+      if (!addr) {
+        err << "triad_timed: bad " << flag << " '" << *text << "'\n";
+      }
+      return addr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+      return options;
+    } else if (arg == "--role") {
+      const auto v = value();
+      if (!v || (*v != "node" && *v != "ta" && *v != "client")) {
+        return fail("--role must be node, ta, or client");
+      }
+      options.role = *v;
+    } else if (arg == "--id") {
+      const auto v = value();
+      if (!v) return fail("--id needs a value");
+      options.id = static_cast<NodeId>(std::stoul(*v));
+    } else if (arg == "--listen") {
+      options.listen = addr_value("--listen");
+      if (!options.listen) return std::nullopt;
+    } else if (arg == "--serve") {
+      options.serve = addr_value("--serve");
+      if (!options.serve) return std::nullopt;
+    } else if (arg == "--server") {
+      options.server = addr_value("--server");
+      if (!options.server) return std::nullopt;
+    } else if (arg == "--workers") {
+      const auto v = value();
+      if (!v) return fail("--workers needs a value");
+      options.workers = std::stoi(*v);
+    } else if (arg == "--peer") {
+      const auto v = value();
+      if (!v) return fail("--peer needs id=ip:port");
+      const auto eq = v->find('=');
+      if (eq == std::string::npos) return fail("--peer needs id=ip:port");
+      const auto addr = triad::runtime::parse_sockaddr(v->substr(eq + 1));
+      if (!addr) return fail("bad --peer address in '" + *v + "'");
+      options.peers.emplace_back(
+          static_cast<NodeId>(std::stoul(v->substr(0, eq))), *addr);
+    } else if (arg == "--ta-id") {
+      const auto v = value();
+      if (!v) return fail("--ta-id needs a value");
+      options.ta_id = static_cast<NodeId>(std::stoul(*v));
+    } else if (arg == "--server-id") {
+      const auto v = value();
+      if (!v) return fail("--server-id needs a value");
+      options.server_id = static_cast<NodeId>(std::stoul(*v));
+    } else if (arg == "--seed") {
+      const auto v = value();
+      if (!v) return fail("--seed needs a value");
+      options.seed = std::stoull(*v);
+    } else if (arg == "--duration") {
+      const auto v = value();
+      if (!v) return fail("--duration needs seconds");
+      options.duration_s = std::stod(*v);
+    } else if (arg == "--calib-pairs") {
+      const auto v = value();
+      if (!v) return fail("--calib-pairs needs a value");
+      options.calib_pairs = std::stoi(*v);
+    } else if (arg == "--calib-wait-high") {
+      const auto v = value();
+      if (!v) return fail("--calib-wait-high needs seconds");
+      options.calib_wait_high_s = std::stod(*v);
+    } else if (arg == "--requests") {
+      const auto v = value();
+      if (!v) return fail("--requests needs a value");
+      options.requests = std::stoi(*v);
+    } else if (arg == "--metrics") {
+      options.metrics_path = value();
+      if (!options.metrics_path) return fail("--metrics needs a path");
+    } else if (arg == "--trace") {
+      options.trace_path = value();
+      if (!options.trace_path) return fail("--trace needs a path");
+    } else if (arg == "--prof") {
+      options.prof_path = value();
+      if (!options.prof_path) return fail("--prof needs a path");
+    } else if (arg == "--prof-trace") {
+      options.prof_trace_path = value();
+      if (!options.prof_trace_path) return fail("--prof-trace needs a path");
+    } else if (arg == "--prof-normalize") {
+      options.prof_normalize = true;
+    } else {
+      return fail("unknown flag '" + arg + "' (try --help)");
+    }
+  }
+  int stdout_targets = 0;
+  for (const auto& path : {options.metrics_path, options.trace_path,
+                           options.prof_path, options.prof_trace_path}) {
+    if (path && *path == "-") ++stdout_targets;
+  }
+  if (stdout_targets > 1) {
+    return fail(
+        "at most one of --metrics/--trace/--prof/--prof-trace may be '-'");
+  }
+  return options;
+}
+
+// The signal handler only touches this pointer and calls the
+// async-signal-safe stop() (atomic stores + one eventfd write).
+triad::timed::TimedService* g_service = nullptr;
+
+void on_signal(int) {
+  if (g_service != nullptr) g_service->stop();
+}
+
+int run_client(const Options& options, std::ostream& out,
+               std::ostream& err) {
+  if (!options.server.has_value()) {
+    err << "triad_timed: --role client needs --server ip:port\n";
+    return 2;
+  }
+  const triad::crypto::ClusterKeyring keyring(triad::Bytes(32, 0x42));
+  triad::timed::BlockingProbe probe(options.id, options.server_id,
+                                    *options.server, keyring);
+  if (!probe.valid()) {
+    err << "triad_timed: cannot open client socket\n";
+    return 1;
+  }
+  triad::SimTime last = 0;
+  int served = 0;
+  for (int i = 0; i < options.requests; ++i) {
+    const auto ts = probe.request();
+    if (!ts.has_value()) {
+      out << "request " << (i + 1) << ": unavailable\n";
+      continue;
+    }
+    const bool monotone = ts->timestamp > last;
+    last = ts->timestamp;
+    ++served;
+    out << "request " << (i + 1) << ": t=" << ts->timestamp
+        << "ns bound=" << ts->error_bound << "ns from=" << ts->served_by
+        << (monotone ? "" : " NON-MONOTONE") << "\n";
+    if (!monotone) return 1;
+  }
+  out << "served " << served << "/" << options.requests
+      << " bad_frames=" << probe.bad_frames()
+      << " timeouts=" << probe.timeouts()
+      << " tainted=" << probe.tainted_answers() << "\n";
+  return served > 0 ? 0 : 1;
+}
+
+int run_service(const Options& options, std::ostream& out,
+                std::ostream& err) {
+  const auto targets_stdout = [](const std::optional<std::string>& path) {
+    return path && *path == "-";
+  };
+  const bool machine_on_stdout = targets_stdout(options.metrics_path) ||
+                                 targets_stdout(options.trace_path) ||
+                                 targets_stdout(options.prof_path) ||
+                                 targets_stdout(options.prof_trace_path);
+  std::ostream& summary = machine_on_stdout ? err : out;
+
+  const bool profiling =
+      options.prof_path.has_value() || options.prof_trace_path.has_value();
+  if (profiling) {
+    triad::obs::Profiler::instance().reset();
+    triad::obs::Profiler::instance().set_enabled(true);
+  }
+
+  triad::obs::Registry registry;
+  std::optional<triad::obs::RingTraceSink> trace;
+  if (options.trace_path.has_value()) trace.emplace(std::size_t{1} << 18);
+
+  triad::timed::ServiceConfig config;
+  config.role = options.role == "ta" ? triad::timed::Role::kTa
+                                     : triad::timed::Role::kNode;
+  if (options.listen.has_value()) config.listen = *options.listen;
+  if (options.serve.has_value()) config.serve = *options.serve;
+  config.workers = options.workers;
+  config.peers = options.peers;
+  config.seed = options.seed;
+  config.ta_id = options.ta_id;
+  config.node.id = options.id;
+  config.node.ta_address = options.ta_id;
+  for (const auto& [id, addr] : options.peers) {
+    if (id != options.ta_id && id != options.id) {
+      config.node.peers.push_back(id);
+    }
+  }
+  config.node.calib_pairs = options.calib_pairs;
+  config.node.calib_wait_high =
+      triad::from_seconds(options.calib_wait_high_s);
+
+  triad::runtime::ObsBinding obs;
+  obs.metrics = &registry;
+  obs.trace = trace.has_value() ? &*trace : nullptr;
+  triad::timed::TimedService service(std::move(config), obs);
+  if (!service.valid()) {
+    err << "triad_timed: " << service.error() << "\n";
+    return 1;
+  }
+
+  g_service = &service;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  summary << "triad_timed: role=" << options.role << " id=" << options.id
+          << " protocol=" << service.protocol_addr().to_string();
+  if (options.role == "node") {
+    summary << " serve=" << service.serve_addr().to_string()
+            << " workers=" << std::max(1, options.workers);
+  }
+  summary << "\n";
+  summary.flush();
+
+  service.start();
+  if (options.duration_s > 0) {
+    service.run_for(triad::from_seconds(options.duration_s));
+    service.shutdown_workers();
+  } else {
+    service.run();  // until SIGTERM/SIGINT
+  }
+  g_service = nullptr;
+
+  triad::obs::ProfTree prof_tree;
+  if (profiling) {
+    triad::obs::Profiler::instance().set_enabled(false);
+    prof_tree = triad::obs::Profiler::instance().merge();
+    triad::obs::Profiler::export_histograms(prof_tree, registry,
+                                            options.prof_normalize);
+  }
+
+  // --- final summary + dumps (same shape as triad_sim's run_cli) ------
+  if (triad::TriadNode* node = service.node(); node != nullptr) {
+    summary << "node " << options.id
+            << ": state=" << triad::to_string(node->state())
+            << " F_calib=" << node->calibrated_frequency_hz() / 1e6
+            << "MHz availability=" << node->availability() * 100.0
+            << "% aex=" << node->stats().aex_count
+            << " ta_refs=" << node->stats().ta_time_references << "\n";
+    summary << "served " << service.total_responses()
+            << " sealed responses, bad_frames="
+            << service.total_bad_frames() << "\n";
+  }
+  if (triad::ta::TimeAuthority* ta = service.authority(); ta != nullptr) {
+    summary << "ta " << options.id << ": served "
+            << ta->stats().requests_served
+            << " rejected_frames=" << ta->stats().rejected_frames << "\n";
+  }
+  if (trace.has_value()) {
+    summary << "trace events: " << trace->total() << " (dropped "
+            << trace->dropped() << ")\n";
+  }
+
+  const auto write_output = [&](const std::string& path, const char* what,
+                                auto&& writer) -> bool {
+    if (path == "-") {
+      writer(out);
+      return true;
+    }
+    std::ofstream file(path);
+    if (!file) {
+      summary << "error: cannot open " << path << "\n";
+      return false;
+    }
+    writer(file);
+    summary << what << " written to " << path << "\n";
+    return true;
+  };
+  if (options.metrics_path &&
+      !write_output(*options.metrics_path, "metrics", [&](std::ostream& os) {
+        registry.write_prometheus(os);
+      })) {
+    return 1;
+  }
+  if (options.trace_path &&
+      !write_output(*options.trace_path, "trace", [&](std::ostream& os) {
+        triad::obs::write_jsonl(*trace, os);
+      })) {
+    return 1;
+  }
+  if (options.prof_path &&
+      !write_output(*options.prof_path, "profile", [&](std::ostream& os) {
+        triad::obs::Profiler::write_text(prof_tree, os,
+                                         options.prof_normalize);
+      })) {
+    return 1;
+  }
+  if (options.prof_trace_path &&
+      !write_output(
+          *options.prof_trace_path, "profile trace", [&](std::ostream& os) {
+            triad::obs::Profiler::write_chrome_trace(
+                prof_tree, os, options.prof_normalize);
+          })) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_args(argc, argv, std::cerr);
+  if (!options.has_value()) return 2;
+  if (options->help) {
+    std::cout << usage();
+    return 0;
+  }
+  if (options->role == "client") {
+    return run_client(*options, std::cout, std::cerr);
+  }
+  return run_service(*options, std::cout, std::cerr);
+}

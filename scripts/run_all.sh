@@ -59,17 +59,24 @@ case "${TRIAD_SANITIZE:-0}" in
   thread)
     cmake -B build-tsan -G Ninja -DTRIAD_SANITIZE=thread
     cmake --build build-tsan
-    # The two thread-heavy paths: the Logger's concurrent level/gating
-    # test and the campaign worker pool (jobs 1 vs 4 byte-compare runs
-    # inside the tsan-campaign ctest entry). TSan exits nonzero on any
-    # report, so a clean pass means zero races.
+    # The thread-heavy paths: the Logger's concurrent level/gating test,
+    # the campaign worker pool (jobs 1 vs 4 byte-compare runs inside the
+    # tsan-campaign ctest entry), and the real-transport runtime (epoll
+    # loops + SO_REUSEPORT serve workers + snapshot board in
+    # real_env_test). TSan exits nonzero on any report, so a clean pass
+    # means zero races.
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'LogTest|tsan-campaign' 2>&1 | tee "$ART"/test_output_tsan.txt
+        -R 'LogTest|tsan-campaign|RealEnv|RealScheduler|UdpSocket|UdpTransport|TimedService|SockAddr' \
+        2>&1 | tee "$ART"/test_output_tsan.txt
     test "${PIPESTATUS[0]}" -eq 0 \
       || { echo "TSan tier failed" >&2; exit 1; }
     ;;
   *)
-    cmake -B build-asan -G Ninja -DTRIAD_SANITIZE=address
+    # Debug (-O0): sanitizer accuracy over speed, and GCC 12's optimizer
+    # false-fires -Wrestrict/-Wmaybe-uninitialized under -Werror at -O2
+    # when combined with -fsanitize=address,undefined.
+    cmake -B build-asan -G Ninja -DTRIAD_SANITIZE=address \
+          -DCMAKE_BUILD_TYPE=Debug
     cmake --build build-asan
     ctest --test-dir build-asan --output-on-failure 2>&1 \
       | tee "$ART"/test_output_asan.txt
@@ -163,6 +170,81 @@ cmp -s "$ART"/campaign_j1.json "$ART"/campaign_j4.json \
        exit 1; }
 echo "campaign smoke ok: jobs 1 vs 4 reports byte-identical"
 
+# ---- realenv smoke tier: a triad_timed loopback trio (TA + 3 nodes,
+# real UDP/epoll) must calibrate, serve sealed timestamps with zero auth
+# failures and per-node monotone timestamps, and exit cleanly on
+# SIGTERM. Skips loudly when the sandbox has no loopback sockets (the
+# probe run below fails to bind).
+REALENV_PORT=${REALENV_PORT:-47830}
+TIMED="$BUILD_DIR/examples/triad_timed"
+if "$TIMED" --role ta --id 9 --listen "127.0.0.1:$REALENV_PORT" \
+    --duration 0.2 > "$ART"/realenv_probe.txt 2>&1; then
+  "$TIMED" --role ta --id 9 --listen "127.0.0.1:$REALENV_PORT" \
+      > "$ART"/realenv_ta.txt 2>&1 &
+  realenv_ta_pid=$!
+  realenv_node_pids=""
+  for i in 1 2 3; do
+    "$TIMED" --role node --id "$i" \
+        --listen "127.0.0.1:$((REALENV_PORT + i))" \
+        --serve "127.0.0.1:$((REALENV_PORT + 10 + i))" --workers 2 \
+        --peer "9=127.0.0.1:$REALENV_PORT" \
+        --calib-pairs 2 --calib-wait-high 0.05 \
+        > "$ART/realenv_node$i.txt" 2>&1 &
+    realenv_node_pids="$realenv_node_pids $!"
+  done
+  realenv_ok=1
+  # Nodes answer `tainted` (unavailable) until their first TA
+  # calibration completes — instantly, not after a timeout — so poll
+  # each serve port with a single-probe client before the scored run.
+  # Every attempt needs a fresh client id: a new process restarts the
+  # channel sequence at 0, and a reused id trips the node's replay
+  # protection (counted as bad_frames).
+  for i in 1 2 3; do
+    ready=0
+    for t in $(seq 1 50); do
+      if "$TIMED" --role client --id "$((100 * i + 100 + t))" \
+          --server "127.0.0.1:$((REALENV_PORT + 10 + i))" \
+          --server-id "$i" --requests 1 > /dev/null 2>&1; then
+        ready=1; break
+      fi
+      sleep 0.1
+    done
+    [ "$ready" -eq 1 ] \
+      || { echo "realenv tier: node $i never became available" >&2
+           realenv_ok=0; }
+  done
+  for i in 1 2 3; do
+    "$TIMED" --role client --id "$((40 + i))" \
+        --server "127.0.0.1:$((REALENV_PORT + 10 + i))" --server-id "$i" \
+        --requests 50 > "$ART/realenv_client$i.txt" 2>&1 \
+      || { echo "realenv tier: client against node $i failed" >&2
+           realenv_ok=0; }
+    grep -q 'bad_frames=0' "$ART/realenv_client$i.txt" \
+      || { echo "realenv tier: client $i saw auth failures" >&2
+           realenv_ok=0; }
+  done
+  kill -TERM $realenv_ta_pid $realenv_node_pids 2> /dev/null
+  for pid in $realenv_ta_pid $realenv_node_pids; do
+    wait "$pid" \
+      || { echo "realenv tier: pid $pid did not exit cleanly on SIGTERM" >&2
+           realenv_ok=0; }
+  done
+  for i in 1 2 3; do
+    grep -q 'bad_frames=0' "$ART/realenv_node$i.txt" \
+      || { echo "realenv tier: node $i counted bad frames" >&2
+           realenv_ok=0; }
+  done
+  [ "$realenv_ok" -eq 1 ] \
+    || { echo "realenv tier failed (see $ART/realenv_*.txt)" >&2; exit 1; }
+  served=$(awk -F'[ /]' '/^served/ { sum += $2 } END { print sum }' \
+               "$ART"/realenv_client[123].txt)
+  echo "realenv smoke ok: trio served $served sealed probes," \
+       "zero auth failures, clean SIGTERM"
+else
+  echo "realenv tier SKIPPED (no loopback UDP:" \
+       "$(tail -n 1 "$ART"/realenv_probe.txt))"
+fi
+
 # ---- bench tier. BENCH_FILTER=substr runs only the matching binaries
 # (e.g. BENCH_FILTER=micro). The micro benches additionally write their
 # BENCH JSON for the perf gate below. Each bench's own exit status is
@@ -180,8 +262,9 @@ for b in "$BUILD_DIR"/bench/bench_*; do
   esac
   set -- # per-bench extra args
   case "$name" in
-    bench_micro_sim)    set -- --json "$ART"/BENCH_micro_sim.json ;;
-    bench_micro_crypto) set -- --json "$ART"/BENCH_micro_crypto.json ;;
+    bench_micro_sim)      set -- --json "$ART"/BENCH_micro_sim.json ;;
+    bench_micro_crypto)   set -- --json "$ART"/BENCH_micro_crypto.json ;;
+    bench_triad_loopback) set -- --json "$ART"/BENCH_loopback_current.json ;;
   esac
   echo "===== $name =====" | tee -a "$ART"/bench_output.txt
   "$b" "$@" 2>&1 | tee -a "$ART"/bench_output.txt
@@ -214,6 +297,28 @@ if [ -f "$ART"/BENCH_micro_sim.json ] \
   fi
 else
   echo "perf tier SKIPPED (micro JSONs or BENCH_micro.json baseline missing)"
+fi
+
+# Loopback service trajectory: compare against the committed
+# BENCH_loopback.json (QPS + RTT percentiles). Same warn-by-default gate
+# — service QPS on a shared 1-core box is far noisier than the micro
+# benches. The bench SKIPs (writing no JSON) in socketless sandboxes.
+if [ -f "$ART"/BENCH_loopback_current.json ] && [ -f BENCH_loopback.json ]; then
+  if "$BUILD_DIR"/tools/bench_diff/bench_diff \
+      BENCH_loopback.json "$ART"/BENCH_loopback_current.json \
+      > "$ART"/bench_diff_loopback.txt 2>&1; then
+    tail -n 1 "$ART"/bench_diff_loopback.txt
+    echo "loopback perf ok (full table: $ART/bench_diff_loopback.txt)"
+  else
+    cat "$ART"/bench_diff_loopback.txt
+    case "${TRIAD_PERF_GATE:-warn}" in
+      fail) echo "loopback perf: median regression (TRIAD_PERF_GATE=fail)" >&2
+            exit 1 ;;
+      *)    echo "loopback perf: WARNING median regression (gate=warn)" >&2 ;;
+    esac
+  fi
+else
+  echo "loopback perf SKIPPED (no current JSON or committed baseline)"
 fi
 
 echo "artifacts under $ART/ (test_output.txt, bench_output.txt, ...)"

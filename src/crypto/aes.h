@@ -30,6 +30,9 @@ class Aes256 {
   void expand_key(const std::uint8_t* key);
   // 15 round keys of 16 bytes (Nr = 14).
   std::array<std::uint8_t, 16 * 15> round_keys_{};
+  // The same schedule as big-endian words, for the T-table round
+  // function (one word per state column).
+  std::array<std::uint32_t, 60> round_keys_words_{};
 };
 
 }  // namespace triad::crypto

@@ -25,21 +25,43 @@ void store_block(const Block128& b, std::uint8_t* p) {
   }
 }
 
-/// GF(2^128) multiplication with the GCM reduction polynomial, operating
-/// on the bit-reflected representation NIST specifies (right-shift form).
-Block128 gf_mul(const Block128& x, const Block128& y) {
+/// Multiplies a field element by x (one right shift in the bit-reflected
+/// representation NIST specifies, reducing by the GCM polynomial).
+Block128 mul_by_x(const Block128& v) {
+  Block128 r;
+  const bool lsb = (v[1] & 1) != 0;
+  r[1] = (v[1] >> 1) | (v[0] << 63);
+  r[0] = v[0] >> 1;
+  if (lsb) r[0] ^= 0xe100000000000000ULL;
+  return r;
+}
+
+/// Reduction constants for a 4-bit right shift (Shoup's method): entry n
+/// is what XORs into the top 16 bits of the 128-bit value when the
+/// nibble n falls off the low end — the image of n·x^128 under the GCM
+/// polynomial, accumulated across the four single-bit shifts.
+constexpr std::array<std::uint16_t, 16> kShiftReduction = {
+    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
+};
+
+/// GF(2^128) multiply by H via its 4-bit Shoup table: Horner over the 32
+/// nibbles of x, highest-degree nibble first. ~4x fewer iterations and
+/// no data-dependent branches compared to the bit-serial loop this
+/// replaced.
+Block128 gf_mul(const Block128& x, const std::array<Block128, 16>& table) {
   Block128 z{0, 0};
-  Block128 v = y;
-  for (int half = 0; half < 2; ++half) {
-    for (int bit = 63; bit >= 0; --bit) {
-      if ((x[half] >> bit) & 1) {
-        z[0] ^= v[0];
-        z[1] ^= v[1];
-      }
-      const bool lsb = (v[1] & 1) != 0;
-      v[1] = (v[1] >> 1) | (v[0] << 63);
-      v[0] >>= 1;
-      if (lsb) v[0] ^= 0xe100000000000000ULL;
+  for (int half = 1; half >= 0; --half) {
+    std::uint64_t word = x[half];
+    for (int nibble = 0; nibble < 16; ++nibble) {
+      const std::uint64_t out = z[1] & 0xf;
+      z[1] = (z[1] >> 4) | (z[0] << 60);
+      z[0] = (z[0] >> 4) ^
+             (static_cast<std::uint64_t>(kShiftReduction[out]) << 48);
+      const Block128& add = table[word & 0xf];
+      z[0] ^= add[0];
+      z[1] ^= add[1];
+      word >>= 4;
     }
   }
   return z;
@@ -63,7 +85,20 @@ bool constant_time_equal(const std::uint8_t* a, const std::uint8_t* b,
 Aes256Gcm::Aes256Gcm(BytesView key) : aes_(key) {
   AesBlock zero{};
   const AesBlock h_bytes = aes_.encrypt_block(zero);
-  h_ = load_block(h_bytes.data());
+  const Block128 h = load_block(h_bytes.data());
+  // Shoup table: powers of x at the single-bit indices (bit 3 of the
+  // index is the x^0 coefficient — see gf_mul), XOR combinations at the
+  // rest.
+  h_table_[8] = h;
+  h_table_[4] = mul_by_x(h_table_[8]);
+  h_table_[2] = mul_by_x(h_table_[4]);
+  h_table_[1] = mul_by_x(h_table_[2]);
+  for (int base = 2; base < 16; base *= 2) {
+    for (int add = 1; add < base; ++add) {
+      h_table_[base + add] = {h_table_[base][0] ^ h_table_[add][0],
+                              h_table_[base][1] ^ h_table_[add][1]};
+    }
+  }
 }
 
 Aes256Gcm::Block128 Aes256Gcm::ghash(BytesView aad,
@@ -71,15 +106,20 @@ Aes256Gcm::Block128 Aes256Gcm::ghash(BytesView aad,
   Block128 y{0, 0};
   auto absorb = [&](BytesView data) {
     std::size_t offset = 0;
-    while (offset < data.size()) {
+    while (offset + 16 <= data.size()) {
+      const Block128 x = load_block(data.data() + offset);
+      y[0] ^= x[0];
+      y[1] ^= x[1];
+      y = gf_mul(y, h_table_);
+      offset += 16;
+    }
+    if (offset < data.size()) {
       std::uint8_t block[16] = {};
-      const std::size_t take = std::min<std::size_t>(16, data.size() - offset);
-      std::memcpy(block, data.data() + offset, take);
+      std::memcpy(block, data.data() + offset, data.size() - offset);
       const Block128 x = load_block(block);
       y[0] ^= x[0];
       y[1] ^= x[1];
-      y = gf_mul(y, h_);
-      offset += take;
+      y = gf_mul(y, h_table_);
     }
   };
   absorb(aad);
@@ -89,7 +129,7 @@ Aes256Gcm::Block128 Aes256Gcm::ghash(BytesView aad,
                 static_cast<std::uint64_t>(ciphertext.size()) * 8};
   y[0] ^= lens[0];
   y[1] ^= lens[1];
-  return gf_mul(y, h_);
+  return gf_mul(y, h_table_);
 }
 
 void Aes256Gcm::ctr_crypt(const GcmIv& iv, BytesView in, Bytes& out) const {

@@ -50,7 +50,13 @@ class Aes256Gcm {
                                    BytesView ciphertext) const;
 
   Aes256 aes_;
-  Block128 h_{};  // GHASH subkey E_K(0^128)
+  /// Shoup 4-bit table for the GHASH subkey H = E_K(0^128): entry n is
+  /// (bit3(n) + bit2(n)·x + bit1(n)·x² + bit0(n)·x³)·H, letting ghash()
+  /// multiply by H in 32 table lookups per block instead of a
+  /// 128-iteration bit-serial loop (the portable-crypto hotspot; see
+  /// bench_micro_crypto). 256 bytes per cipher instance, built once at
+  /// key setup.
+  std::array<Block128, 16> h_table_{};
 };
 
 }  // namespace triad::crypto

@@ -1,0 +1,52 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace triad::net::wire {
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void encode_frame_into(NodeId src, NodeId dst, BytesView payload, Bytes& out) {
+  out.resize(kHeaderSize + payload.size());
+  put_u32(out.data(), kMagic);
+  put_u32(out.data() + 4, src);
+  put_u32(out.data() + 8, dst);
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kHeaderSize, payload.data(), payload.size());
+  }
+}
+
+Bytes encode_frame(NodeId src, NodeId dst, BytesView payload) {
+  Bytes out;
+  encode_frame_into(src, dst, payload, out);
+  return out;
+}
+
+std::optional<Frame> decode_frame(BytesView datagram) {
+  if (datagram.size() < kHeaderSize || datagram.size() > kMaxDatagram) {
+    return std::nullopt;
+  }
+  if (get_u32(datagram.data()) != kMagic) return std::nullopt;
+  Frame frame;
+  frame.src = get_u32(datagram.data() + 4);
+  frame.dst = get_u32(datagram.data() + 8);
+  frame.payload = datagram.subspan(kHeaderSize);
+  return frame;
+}
+
+}  // namespace triad::net::wire

@@ -1,0 +1,55 @@
+// Datagram wire framing shared by every real transport.
+//
+// The simulated network carries (src, dst) as struct fields; a real UDP
+// socket only carries bytes, so the RealEnv transport prefixes each
+// sealed payload with this fixed header. The header is deliberately
+// minimal — src/dst logical addresses plus a magic/version word — because
+// everything that needs integrity (sender, receiver, counter, payload)
+// is *also* inside the AES-GCM-sealed SecureChannel frame; the wire
+// header is routing metadata an attacker can already see and forge, and
+// forging it buys nothing past the authenticated open().
+//
+// Layout (little-endian, 12 bytes):
+//   offset 0  u32  magic+version ("TT" | version 1)
+//   offset 4  u32  src NodeId
+//   offset 8  u32  dst NodeId
+//   offset 12 ...  payload (sealed SecureChannel frame)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+#include "util/types.h"
+
+namespace triad::net::wire {
+
+/// "TT" + 16-bit version 1. A different version bumps the whole word, so
+/// old binaries drop new datagrams instead of misparsing them.
+inline constexpr std::uint32_t kMagic = 0x54540001u;
+inline constexpr std::size_t kHeaderSize = 12;
+/// Largest UDP payload we ever emit (IPv4 65535 - 20 IP - 8 UDP).
+inline constexpr std::size_t kMaxDatagram = 65507;
+
+/// A decoded datagram. `payload` borrows from the input buffer: copy it
+/// (e.g. by opening the sealed frame) before the buffer is reused.
+struct Frame {
+  NodeId src = 0;
+  NodeId dst = 0;
+  BytesView payload;
+};
+
+/// Serializes header + payload into one datagram buffer.
+[[nodiscard]] Bytes encode_frame(NodeId src, NodeId dst, BytesView payload);
+
+/// Writes header + payload into `out` (resized to kHeaderSize +
+/// payload.size()). Allocation-free once `out` has capacity — the
+/// batched send path reuses one buffer per slot.
+void encode_frame_into(NodeId src, NodeId dst, BytesView payload, Bytes& out);
+
+/// Parses one datagram. Returns nullopt on a short buffer, a wrong
+/// magic/version, or an oversized length — never throws on
+/// attacker-controlled bytes.
+[[nodiscard]] std::optional<Frame> decode_frame(BytesView datagram);
+
+}  // namespace triad::net::wire

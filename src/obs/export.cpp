@@ -17,7 +17,9 @@ class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& out) : out_(out) {}
 
-  void begin() { buf_ = "{"; }
+  // Single-char form: GCC 12's -Wrestrict false-fires on the C-string
+  // assign under -fsanitize=address,undefined at -O2.
+  void begin() { buf_ = '{'; }
   void end() {
     buf_ += '}';
     out_ << buf_;

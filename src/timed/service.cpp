@@ -1,0 +1,305 @@
+#include "timed/service.h"
+
+#include <utility>
+
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/prof.h"
+#include "triad/messages.h"
+
+namespace triad::timed {
+
+// --- ServeWorker -------------------------------------------------------
+
+ServeWorker::ServeWorker(runtime::SockAddr serve, NodeId node_id,
+                         const crypto::Keyring& keyring,
+                         const SnapshotBoard& board)
+    : socket_(runtime::UdpSocket::bind(serve, /*reuse_port=*/true,
+                                       &bind_error_)),
+      channel_(node_id, keyring),
+      board_(board) {
+  if (socket_.valid()) {
+    loop_.add_fd(socket_.fd(), [this] { on_readable(); });
+  }
+}
+
+void ServeWorker::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void ServeWorker::stop() { loop_.stop(); }
+
+void ServeWorker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ServeWorker::run() { loop_.run(scheduler_, clock_); }
+
+void ServeWorker::on_readable() {
+  PROF_SCOPE("timed/serve_batch");
+  std::array<runtime::RecvView, runtime::kRecvBatch> views;
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n = socket_.recv_batch(views);
+    if (n == 0) return;
+    // One snapshot per batch: every request in the batch is answered
+    // from the same extrapolation anchor, then clamped monotone.
+    const ClockSnapshot snap = board_.read();
+    const std::uint64_t now_ns = runtime::MonotonicTimer::now_ns();
+    SimTime now = snap.time;
+    if (snap.mono_ns != 0 && now_ns > snap.mono_ns) {
+      now += static_cast<SimTime>(now_ns - snap.mono_ns);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto frame = net::wire::decode_frame(views[i].data);
+      if (!frame.has_value()) {
+        stats_.decode_errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const auto opened = channel_.open(frame->payload);
+      if (!opened.has_value() || opened->sender != frame->src) {
+        stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const auto message = proto::decode(opened->plaintext);
+      const auto* request =
+          message.has_value()
+              ? std::get_if<proto::PeerTimeRequest>(&*message)
+              : nullptr;
+      if (request == nullptr) {
+        stats_.bad_frames.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      stats_.requests.fetch_add(1, std::memory_order_relaxed);
+
+      proto::PeerTimeResponse response;
+      response.request_id = request->request_id;
+      response.tainted = !snap.available;
+      if (snap.available) {
+        if (now <= last_served_) now = last_served_ + 1;
+        last_served_ = now;
+        response.timestamp = now;
+        response.error_bound = snap.error_bound;
+      } else {
+        stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+      }
+      const Bytes sealed =
+          channel_.seal(frame->src, proto::encode(response));
+      net::wire::encode_frame_into(frame->dst, frame->src, sealed,
+                                   reply_buf_);
+      if (socket_.send_to(views[i].from, reply_buf_)) {
+        stats_.responses.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.send_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (n < runtime::kRecvBatch) return;
+  }
+}
+
+// --- TimedService ------------------------------------------------------
+
+TimedService::TimedService(ServiceConfig config, runtime::ObsBinding obs)
+    : config_(std::move(config)), keyring_(config_.master_secret) {
+  runtime::RealEnvConfig env_config;
+  env_config.seed = config_.seed;
+  env_config.listen = config_.listen;
+  env_config.peers = config_.peers;
+  env_config.obs = obs;
+  env_ = std::make_unique<runtime::RealEnv>(std::move(env_config));
+  if (!env_->valid()) {
+    error_ = "protocol endpoint: " + env_->bind_error();
+    return;
+  }
+
+  if (config_.role == Role::kTa) {
+    authority_ = std::make_unique<ta::TimeAuthority>(
+        env_->env(), config_.ta_id, keyring_, config_.ta_max_wait);
+    return;
+  }
+
+  node_ = std::make_unique<TriadNode>(env_->env(), keyring_, config_.node,
+                                      TriadNode::HardwareParams{});
+  const int workers = std::max(1, config_.workers);
+  for (int i = 0; i < workers; ++i) {
+    // Every worker after the first must land on the first one's
+    // resolved port — with serve.port == 0 each bind(0) would get a
+    // *different* ephemeral port and the REUSEPORT group would never
+    // form.
+    runtime::SockAddr serve = config_.serve;
+    if (i > 0) serve = workers_.front()->local_addr();
+    auto worker = std::make_unique<ServeWorker>(serve, config_.node.id,
+                                               keyring_, board_);
+    if (!worker->valid()) {
+      error_ = "serve endpoint: " + worker->bind_error();
+      return;
+    }
+    workers_.push_back(std::move(worker));
+  }
+  register_worker_metrics(obs.metrics);
+}
+
+TimedService::~TimedService() {
+  stop();
+  shutdown_workers();
+}
+
+bool TimedService::valid() const { return error_.empty(); }
+
+std::string TimedService::error() const { return error_; }
+
+runtime::SockAddr TimedService::protocol_addr() const {
+  return env_->transport() != nullptr ? env_->transport()->local_addr()
+                                      : runtime::SockAddr{};
+}
+
+runtime::SockAddr TimedService::serve_addr() const {
+  return workers_.empty() ? runtime::SockAddr{}
+                          : workers_.front()->local_addr();
+}
+
+void TimedService::start() {
+  if (started_.exchange(true)) return;
+  if (node_ != nullptr) {
+    node_->start();
+    // Publish the first snapshot immediately (workers would otherwise
+    // serve tainted until the first period elapses), then periodically.
+    const auto publish = [this] {
+      ClockSnapshot snap;
+      snap.available = node_->available();
+      snap.time = node_->current_time();
+      snap.mono_ns = runtime::MonotonicTimer::now_ns();
+      snap.error_bound = node_->current_error_bound();
+      board_.publish(snap);
+    };
+    publish();
+    publisher_ = std::make_unique<runtime::PeriodicTimer>(
+        env_->env(), config_.snapshot_period, publish);
+  }
+  for (auto& worker : workers_) worker->start();
+}
+
+void TimedService::run() {
+  env_->run();
+  shutdown_workers();
+}
+
+void TimedService::run_for(Duration d) { env_->run_for(d); }
+
+void TimedService::stop() {
+  env_->stop();
+  // Plain loads: workers_ stops mutating once start() has run, and the
+  // signal handler path only reaches here afterwards.
+  for (auto& worker : workers_) worker->stop();
+}
+
+void TimedService::shutdown_workers() {
+  for (auto& worker : workers_) {
+    worker->stop();
+    worker->join();
+  }
+  publisher_.reset();
+}
+
+std::uint64_t TimedService::total_responses() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->stats().responses.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t TimedService::total_bad_frames() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->stats().bad_frames.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void TimedService::register_worker_metrics(obs::Registry* registry) {
+  if (registry == nullptr) return;
+  const auto read = [](const std::atomic<std::uint64_t>& cell) {
+    return [&cell] {
+      return static_cast<double>(cell.load(std::memory_order_relaxed));
+    };
+  };
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const obs::Labels labels = {{"worker", std::to_string(i)}};
+    const WorkerStats& stats = workers_[i]->stats();
+    registry->counter_fn(this, "triad_timed_requests_total", labels,
+                         read(stats.requests));
+    registry->counter_fn(this, "triad_timed_responses_total", labels,
+                         read(stats.responses));
+    registry->counter_fn(this, "triad_timed_unavailable_total", labels,
+                         read(stats.unavailable));
+    registry->counter_fn(this, "triad_timed_bad_frames_total", labels,
+                         read(stats.bad_frames));
+    registry->counter_fn(this, "triad_timed_decode_errors_total", labels,
+                         read(stats.decode_errors));
+    registry->counter_fn(this, "triad_timed_send_failures_total", labels,
+                         read(stats.send_failures));
+  }
+}
+
+// --- BlockingProbe -----------------------------------------------------
+
+BlockingProbe::BlockingProbe(NodeId self, NodeId server,
+                             runtime::SockAddr server_addr,
+                             const crypto::Keyring& keyring)
+    : self_(self),
+      server_(server),
+      server_addr_(server_addr),
+      socket_(runtime::UdpSocket::bind(runtime::kLoopbackAny)),
+      channel_(self, keyring) {}
+
+std::optional<TrustedTimestamp> BlockingProbe::request(Duration timeout) {
+  if (!socket_.valid()) return std::nullopt;
+  proto::PeerTimeRequest request;
+  request.request_id = next_request_id_++;
+  const Bytes sealed = channel_.seal(server_, proto::encode(request));
+  const Bytes datagram = net::wire::encode_frame(self_, server_, sealed);
+  if (!socket_.send_to(server_addr_, datagram)) return std::nullopt;
+
+  socket_.set_recv_timeout_ms(
+      std::max(1, static_cast<int>(timeout / 1'000'000)));
+  std::array<runtime::RecvView, runtime::kRecvBatch> views;
+  // A stale response (from an earlier timed-out request) may arrive
+  // first; keep reading until the id matches or the timeout hits.
+  runtime::MonotonicTimer waited;
+  while (static_cast<Duration>(waited.elapsed_ns()) < timeout) {
+    const std::size_t n = socket_.recv_batch(views);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto frame = net::wire::decode_frame(views[i].data);
+      if (!frame.has_value() || frame->dst != self_) continue;
+      const auto opened = channel_.open(frame->payload);
+      if (!opened.has_value()) {
+        ++bad_frames_;
+        continue;
+      }
+      const auto message = proto::decode(opened->plaintext);
+      const auto* response =
+          message.has_value()
+              ? std::get_if<proto::PeerTimeResponse>(&*message)
+              : nullptr;
+      if (response == nullptr) {
+        ++bad_frames_;
+        continue;
+      }
+      if (response->request_id != request.request_id) continue;
+      if (response->tainted) {
+        ++tainted_answers_;
+        return std::nullopt;
+      }
+      TrustedTimestamp result;
+      result.timestamp = response->timestamp;
+      result.error_bound = response->error_bound;
+      result.served_by = opened->sender;
+      return result;
+    }
+  }
+  ++timeouts_;
+  return std::nullopt;
+}
+
+}  // namespace triad::timed

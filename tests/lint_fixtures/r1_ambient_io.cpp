@@ -1,0 +1,47 @@
+// Known-bad R1 fixture: raw ambient-I/O syscalls outside
+// src/runtime/real_env.cpp. RealEnv is the sole named allowlist site for
+// socket/epoll bindings; every marked line below must fire when the same
+// tokens appear anywhere else in the tree.
+
+#include <cstdint>
+
+struct Event {
+  std::uint32_t events;
+};
+
+int harvest(int fd) {
+  Event evs[16];
+  int epfd = epoll_create1(0);               // LINT:R1
+  epoll_ctl(epfd, 1, fd, nullptr);           // LINT:R1
+  int n = ::epoll_wait(epfd, evs, 16, -1);   // LINT:R1
+  return n;
+}
+
+int open_channel() {
+  int fd = ::socket(2, 2, 0);                // LINT:R1
+  int one = 1;
+  setsockopt(fd, 1, 2, &one, sizeof(one));   // LINT:R1
+  int wake = eventfd(0, 0);                  // LINT:R1
+  (void)wake;
+  return fd;
+}
+
+long drain(int fd, void* ts) {
+  long total = recvmmsg(fd, nullptr, 0, 0, nullptr);  // LINT:R1
+  total += sendmmsg(fd, nullptr, 0, 0);               // LINT:R1
+  clock_gettime(0, ts);                               // LINT:R1
+  return total;
+}
+
+// Negative cases: call_only means data members and locals named `socket`
+// stay legal, as do member calls and distinct identifiers.
+struct Transport {
+  int socket;
+  int epoll_wait_count;
+};
+
+int shims(Transport& t) {
+  int socket = t.socket;
+  t.socket = socket + 1;
+  return t.epoll_wait_count;
+}

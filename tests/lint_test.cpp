@@ -102,6 +102,32 @@ TEST(LintFixtures, R4HotPathAllocationFiresAtMarkedLines) {
   expect_fixture_fires("r4_hotpath_alloc.cpp", "R4");
 }
 
+TEST(LintFixtures, R1AmbientIoFiresAtMarkedLines) {
+  expect_fixture_fires("r1_ambient_io.cpp", "R1");
+}
+
+TEST(LintFixtures, R1RealEnvSyscallsAreNamedAllowEntriesNotABlanket) {
+  // Each raw syscall RealEnv binds is its own (file, token) allow entry;
+  // the same token in any other file — even the same directory — must
+  // survive the allowlist and fail the tree.
+  const Config config = triad::lint::default_config();
+  std::vector<Diagnostic> diagnostics = {
+      {"R1", "src/runtime/real_env.cpp", 311, "epoll_wait", "m"},
+      {"R1", "src/runtime/other_env.cpp", 10, "epoll_wait", "m"},
+      {"R1", "src/runtime/real_env.cpp", 20, "clock_gettime", "m"},
+  };
+  const triad::lint::TreeReport report =
+      triad::lint::apply_allowlist(std::move(diagnostics), config);
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0].file, "src/runtime/real_env.cpp");
+  EXPECT_EQ(report.suppressed[0].token, "epoll_wait");
+  // clock_gettime is not among real_env.cpp's listed tokens (RealEnv's
+  // clock goes through MonotonicTimer), so it stays a diagnostic.
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_EQ(report.diagnostics[0].file, "src/runtime/other_env.cpp");
+  EXPECT_EQ(report.diagnostics[1].token, "clock_gettime");
+}
+
 TEST(LintFixtures, R1HasNoBlanketLayerExemptions) {
   // Since PR 7 no directory is exempt from R1 — banned tokens fire even
   // inside the clock/util layers; each real binding site must be a named

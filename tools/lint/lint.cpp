@@ -430,8 +430,11 @@ Config default_config() {
                    "random_device",  "mt19937",      "mt19937_64",
                    "default_random_engine",          "srand",
                    "rand",           "time",         "getenv",
-                   "clock_gettime",  "gettimeofday", "timespec_get"};
-  cfg.r1_call_only = {"time", "rand", "getenv"};
+                   "clock_gettime",  "gettimeofday", "timespec_get",
+                   "epoll_create1",  "epoll_wait",   "epoll_ctl",
+                   "eventfd",        "recvmmsg",     "sendmmsg",
+                   "setsockopt",     "socket"};
+  cfg.r1_call_only = {"time", "rand", "getenv", "socket"};
   // No blanket layer exemptions: every real-clock binding site is named
   // in [allow] so a new one cannot slip in under a directory prefix.
   cfg.r1_exempt_prefixes = {};
@@ -451,6 +454,18 @@ Config default_config() {
       // steady_clock; bench/, profiler, and campaign wall_ms all go
       // through it rather than binding a real clock themselves.
       {"R1", "src/runtime/monotonic_timer.h", "steady_clock"},
+      // The one sanctioned ambient-I/O site: RealEnv owns every raw
+      // socket/epoll syscall. Entries are named per token so a second
+      // binding site (or a new syscall here) must be listed explicitly —
+      // no directory blanket.
+      {"R1", "src/runtime/real_env.cpp", "socket"},
+      {"R1", "src/runtime/real_env.cpp", "setsockopt"},
+      {"R1", "src/runtime/real_env.cpp", "recvmmsg"},
+      {"R1", "src/runtime/real_env.cpp", "sendmmsg"},
+      {"R1", "src/runtime/real_env.cpp", "epoll_create1"},
+      {"R1", "src/runtime/real_env.cpp", "epoll_ctl"},
+      {"R1", "src/runtime/real_env.cpp", "epoll_wait"},
+      {"R1", "src/runtime/real_env.cpp", "eventfd"},
       // The slab event loop and runtime interfaces traffic in
       // std::function by design (SBO-sized closures, PR 1); R4 still
       // polices raw new/malloc there.
