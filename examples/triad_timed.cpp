@@ -13,6 +13,12 @@
 // most one). On SIGTERM/SIGINT the daemon shuts down cleanly and emits
 // the final dumps.
 //
+// Live telemetry: --telemetry ip:port opens a read-only TCP listener
+// serving /metrics, /trace, and /prof (scraped by Prometheus or the
+// triad_mon fleet aggregator); --detectors runs the online attack
+// detectors on the daemon's own trace, so alarms fire while the attack
+// is happening, not just in post-hoc analysis.
+//
 // Quickstart (3-node loopback cluster): see README.md §triad_timed.
 
 #include <csignal>
@@ -59,6 +65,10 @@ struct Options {
   std::optional<std::string> prof_path;
   std::optional<std::string> prof_trace_path;
   bool prof_normalize = false;
+  // live telemetry
+  std::optional<SockAddr> telemetry;
+  bool detectors = false;
+  double detector_nominal_mhz = 0.0;
   bool help = false;
 };
 
@@ -84,6 +94,13 @@ const char* usage() {
       "  --requests N            probes to issue (client, default 10)\n"
       "  --metrics PATH|-        Prometheus metrics dump on exit\n"
       "  --trace PATH|-          JSONL protocol trace on exit\n"
+      "  --telemetry ip:port     read-only TCP telemetry listener serving\n"
+      "                          /metrics, /trace, /prof (triad_mon scrapes\n"
+      "                          it)\n"
+      "  --detectors             run the online attack detectors on this\n"
+      "                          daemon's live trace\n"
+      "  --detector-nominal-mhz F  slope detector prior for the true TSC\n"
+      "                          frequency (default: cluster-relative only)\n"
       "  --prof PATH|-           profiler scope table on exit\n"
       "  --prof-trace PATH|-     profiler chrome trace on exit\n"
       "  --prof-normalize        zero durations in profiler output\n"
@@ -189,6 +206,15 @@ std::optional<Options> parse_args(int argc, char** argv, std::ostream& err) {
       if (!options.prof_trace_path) return fail("--prof-trace needs a path");
     } else if (arg == "--prof-normalize") {
       options.prof_normalize = true;
+    } else if (arg == "--telemetry") {
+      options.telemetry = addr_value("--telemetry");
+      if (!options.telemetry) return std::nullopt;
+    } else if (arg == "--detectors") {
+      options.detectors = true;
+    } else if (arg == "--detector-nominal-mhz") {
+      const auto v = value();
+      if (!v) return fail("--detector-nominal-mhz needs a value");
+      options.detector_nominal_mhz = std::stod(*v);
     } else {
       return fail("unknown flag '" + arg + "' (try --help)");
     }
@@ -268,8 +294,6 @@ int run_service(const Options& options, std::ostream& out,
   }
 
   triad::obs::Registry registry;
-  std::optional<triad::obs::RingTraceSink> trace;
-  if (options.trace_path.has_value()) trace.emplace(std::size_t{1} << 18);
 
   triad::timed::ServiceConfig config;
   config.role = options.role == "ta" ? triad::timed::Role::kTa
@@ -291,9 +315,22 @@ int run_service(const Options& options, std::ostream& out,
   config.node.calib_wait_high =
       triad::from_seconds(options.calib_wait_high_s);
 
+  // The service owns the trace ring: /trace, the exit dump, and the
+  // detector bank all read the same recording.
+  if (options.trace_path.has_value() || options.telemetry.has_value() ||
+      options.detectors) {
+    config.trace_capacity = std::size_t{1} << 18;
+  }
+  config.enable_detectors = options.detectors;
+  config.detectors.ta_address = options.ta_id;
+  if (options.detector_nominal_mhz > 0) {
+    config.detectors.nominal_frequency_hz =
+        options.detector_nominal_mhz * 1e6;
+  }
+  config.telemetry = options.telemetry;
+
   triad::runtime::ObsBinding obs;
   obs.metrics = &registry;
-  obs.trace = trace.has_value() ? &*trace : nullptr;
   triad::timed::TimedService service(std::move(config), obs);
   if (!service.valid()) {
     err << "triad_timed: " << service.error() << "\n";
@@ -309,6 +346,9 @@ int run_service(const Options& options, std::ostream& out,
   if (options.role == "node") {
     summary << " serve=" << service.serve_addr().to_string()
             << " workers=" << std::max(1, options.workers);
+  }
+  if (options.telemetry.has_value()) {
+    summary << " telemetry=" << service.telemetry_addr().to_string();
   }
   summary << "\n";
   summary.flush();
@@ -347,9 +387,24 @@ int run_service(const Options& options, std::ostream& out,
             << ta->stats().requests_served
             << " rejected_frames=" << ta->stats().rejected_frames << "\n";
   }
-  if (trace.has_value()) {
-    summary << "trace events: " << trace->total() << " (dropped "
-            << trace->dropped() << ")\n";
+  if (const triad::obs::RingTraceSink* ring = service.trace_ring();
+      ring != nullptr) {
+    summary << "trace events: " << ring->total() << " (dropped "
+            << ring->dropped() << ", high watermark "
+            << ring->high_watermark() << ")\n";
+  }
+  if (const triad::obs::DetectorBank* bank = service.detectors();
+      bank != nullptr) {
+    summary << "detector alarms: " << bank->alarms().size();
+    if (!bank->alarms().empty()) {
+      summary << " (first at "
+              << triad::to_seconds(bank->first_alarm_at()) << " s)";
+    }
+    summary << "\n";
+  }
+  if (const triad::timed::TelemetryServer* telemetry = service.telemetry();
+      telemetry != nullptr) {
+    summary << "telemetry scrapes: " << telemetry->scrapes() << "\n";
   }
 
   const auto write_output = [&](const std::string& path, const char* what,
@@ -375,7 +430,7 @@ int run_service(const Options& options, std::ostream& out,
   }
   if (options.trace_path &&
       !write_output(*options.trace_path, "trace", [&](std::ostream& os) {
-        triad::obs::write_jsonl(*trace, os);
+        triad::obs::write_jsonl(*service.trace_ring(), os);
       })) {
     return 1;
   }

@@ -61,12 +61,13 @@ case "${TRIAD_SANITIZE:-0}" in
     cmake --build build-tsan
     # The thread-heavy paths: the Logger's concurrent level/gating test,
     # the campaign worker pool (jobs 1 vs 4 byte-compare runs inside the
-    # tsan-campaign ctest entry), and the real-transport runtime (epoll
+    # tsan-campaign ctest entry), the real-transport runtime (epoll
     # loops + SO_REUSEPORT serve workers + snapshot board in
-    # real_env_test). TSan exits nonzero on any report, so a clean pass
-    # means zero races.
+    # real_env_test), and the telemetry plane (scrape-signal atomics +
+    # node-thread listener in timed_telemetry_test). TSan exits nonzero
+    # on any report, so a clean pass means zero races.
     ctest --test-dir build-tsan --output-on-failure \
-        -R 'LogTest|tsan-campaign|RealEnv|RealScheduler|UdpSocket|UdpTransport|TimedService|SockAddr' \
+        -R 'LogTest|tsan-campaign|RealEnv|RealScheduler|UdpSocket|UdpTransport|TimedService|TimedTelemetry|SockAddr' \
         2>&1 | tee "$ART"/test_output_tsan.txt
     test "${PIPESTATUS[0]}" -eq 0 \
       || { echo "TSan tier failed" >&2; exit 1; }
@@ -180,6 +181,7 @@ TIMED="$BUILD_DIR/examples/triad_timed"
 if "$TIMED" --role ta --id 9 --listen "127.0.0.1:$REALENV_PORT" \
     --duration 0.2 > "$ART"/realenv_probe.txt 2>&1; then
   "$TIMED" --role ta --id 9 --listen "127.0.0.1:$REALENV_PORT" \
+      --telemetry "127.0.0.1:$((REALENV_PORT + 20))" \
       > "$ART"/realenv_ta.txt 2>&1 &
   realenv_ta_pid=$!
   realenv_node_pids=""
@@ -189,6 +191,8 @@ if "$TIMED" --role ta --id 9 --listen "127.0.0.1:$REALENV_PORT" \
         --serve "127.0.0.1:$((REALENV_PORT + 10 + i))" --workers 2 \
         --peer "9=127.0.0.1:$REALENV_PORT" \
         --calib-pairs 2 --calib-wait-high 0.05 \
+        --telemetry "127.0.0.1:$((REALENV_PORT + 20 + i))" --detectors \
+        --metrics "$ART/realenv_node$i.prom" \
         > "$ART/realenv_node$i.txt" 2>&1 &
     realenv_node_pids="$realenv_node_pids $!"
   done
@@ -223,6 +227,33 @@ if "$TIMED" --role ta --id 9 --listen "127.0.0.1:$REALENV_PORT" \
       || { echo "realenv tier: client $i saw auth failures" >&2
            realenv_ok=0; }
   done
+  # ---- telemetry plane: scrape the live daemons (plain /dev/tcp — no
+  # curl in the image), validate the pages, and let triad_mon pull the
+  # whole fleet while it is still running.
+  scrape() {  # scrape PORT PATH OUT
+    exec 3<> "/dev/tcp/127.0.0.1/$1" || return 1
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$2" >&3
+    cat <&3 > "$3"
+    exec 3<&- 3>&-
+  }
+  for i in 1 2 3; do
+    scrape "$((REALENV_PORT + 20 + i))" /metrics \
+        "$ART/realenv_scrape$i.txt" 2> /dev/null \
+      || { echo "realenv tier: node $i telemetry scrape failed" >&2
+           realenv_ok=0; }
+    awk -f scripts/check_prom.awk -v http=1 -v require_detectors=1 \
+        "$ART/realenv_scrape$i.txt" \
+      || { echo "realenv tier: node $i scraped metrics invalid" >&2
+           realenv_ok=0; }
+  done
+  "$BUILD_DIR/examples/triad_mon" \
+      --node "9=127.0.0.1:$((REALENV_PORT + 20))" \
+      --node "1=127.0.0.1:$((REALENV_PORT + 21))" \
+      --node "2=127.0.0.1:$((REALENV_PORT + 22))" \
+      --node "3=127.0.0.1:$((REALENV_PORT + 23))" \
+      --out-dir "$ART/fleet" > "$ART/fleet_report.txt" \
+    || { echo "realenv tier: triad_mon fleet scrape failed" >&2
+         realenv_ok=0; }
   kill -TERM $realenv_ta_pid $realenv_node_pids 2> /dev/null
   for pid in $realenv_ta_pid $realenv_node_pids; do
     wait "$pid" \
@@ -233,13 +264,39 @@ if "$TIMED" --role ta --id 9 --listen "127.0.0.1:$REALENV_PORT" \
     grep -q 'bad_frames=0' "$ART/realenv_node$i.txt" \
       || { echo "realenv tier: node $i counted bad frames" >&2
            realenv_ok=0; }
+    # A dropped trace event would make the offline replay below unsound.
+    grep -q 'dropped 0' "$ART/realenv_node$i.txt" \
+      || { echo "realenv tier: node $i trace ring dropped events" >&2
+           realenv_ok=0; }
+  done
+  # Offline==online: replaying each shipped per-node trace through
+  # triad_trace must reproduce triad_mon's per-node verdict byte for
+  # byte — the live detectors and the offline forensics are one code
+  # path, so any divergence is a wiring bug.
+  for i in 1 2 3 9; do
+    "$BUILD_DIR/examples/triad_trace" "$ART/fleet/node$i.jsonl" \
+        > "$ART/fleet/node$i.replay.txt" 2> /dev/null
+    cmp -s "$ART/fleet/node$i.replay.txt" "$ART/fleet/node$i.forensic.txt" \
+      || { echo "realenv tier: node $i live verdict != offline replay" >&2
+           realenv_ok=0; }
+  done
+  # The scraped page and the --metrics exit dump are the same registry
+  # rendered at different instants: sample values move, but the family
+  # set must match exactly.
+  for i in 1 2 3; do
+    grep '^# TYPE ' "$ART/realenv_scrape$i.txt" | sort \
+        > "$ART/realenv_scrape$i.families"
+    grep '^# TYPE ' "$ART/realenv_node$i.prom" | sort \
+        | cmp -s - "$ART/realenv_scrape$i.families" \
+      || { echo "realenv tier: node $i scrape vs exit-dump families differ" >&2
+           realenv_ok=0; }
   done
   [ "$realenv_ok" -eq 1 ] \
     || { echo "realenv tier failed (see $ART/realenv_*.txt)" >&2; exit 1; }
   served=$(awk -F'[ /]' '/^served/ { sum += $2 } END { print sum }' \
                "$ART"/realenv_client[123].txt)
   echo "realenv smoke ok: trio served $served sealed probes," \
-       "zero auth failures, clean SIGTERM"
+       "zero auth failures, telemetry verified, clean SIGTERM"
 else
   echo "realenv tier SKIPPED (no loopback UDP:" \
        "$(tail -n 1 "$ART"/realenv_probe.txt))"

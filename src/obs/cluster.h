@@ -1,0 +1,44 @@
+// Fleet-level forensics over multiple nodes' shipped traces.
+//
+// Input is one NodeStream per daemon — the JSONL its telemetry endpoint
+// shipped (/trace) or its --trace exit dump, parsed back with
+// obs::parse_jsonl. cluster_report merges the streams into the
+// deterministic cluster timeline (merge_node_streams), replays each
+// node's stream through the standard detector bank — the *same* replay
+// `triad_trace` runs on that node's file alone, so per-node verdicts
+// agree byte-for-byte with single-node forensics — and reads the
+// cross-node propagation structure (who adopted whose clock, rooted in
+// whose calibration) off the merged span index.
+//
+// Output is byte-deterministic for a given stream set, in any input
+// order: fixed printf formats, std::map iteration only, and the merge's
+// node-primary total order. The `triad_mon` CLI
+// (examples/triad_mon.cpp) is a thin wrapper around this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/forensic.h"
+#include "obs/span.h"
+
+namespace triad::obs {
+
+struct ClusterReportOptions {
+  /// Render a JSON object instead of the human-readable text report.
+  bool json = false;
+  /// Per-node replay thresholds + the timeline's minimum jump.
+  /// detector_config.ta_address 0 = infer it per node from that node's
+  /// own stream for the per-node replay (exactly the rule
+  /// forensic_report applies, keeping per-node verdicts byte-identical
+  /// with it), and from the merged trace for the cluster timeline.
+  ForensicOptions forensic;
+};
+
+/// Renders the fleet report: per-node slope/alarm table, cluster
+/// disagreement width, and the infection timeline with cross-node cause
+/// chains.
+[[nodiscard]] std::string cluster_report(
+    std::vector<NodeStream> streams, const ClusterReportOptions& options = {});
+
+}  // namespace triad::obs

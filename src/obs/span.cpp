@@ -1,5 +1,7 @@
 #include "obs/span.h"
 
+#include <algorithm>
+#include <tuple>
 #include <unordered_map>
 
 namespace triad::obs {
@@ -12,8 +14,45 @@ const char* to_string(SpanKind kind) {
   return "?";
 }
 
+bool trace_event_less(const TraceEvent& lhs, const TraceEvent& rhs) {
+  return std::tie(lhs.at, lhs.type, lhs.node, lhs.peer, lhs.span, lhs.a,
+                  lhs.b, lhs.x, lhs.y) <
+         std::tie(rhs.at, rhs.type, rhs.node, rhs.peer, rhs.span, rhs.a,
+                  rhs.b, rhs.x, rhs.y);
+}
+
+// Streams sort by origin node; two streams claiming the same node (a
+// re-shipped dump, a misconfigured id) fall back to content comparison
+// so the merge stays a total order either way.
+bool node_stream_less(const NodeStream& lhs, const NodeStream& rhs) {
+  if (lhs.node != rhs.node) return lhs.node < rhs.node;
+  const std::size_t n = std::min(lhs.events.size(), rhs.events.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (trace_event_less(lhs.events[i], rhs.events[i])) return true;
+    if (trace_event_less(rhs.events[i], lhs.events[i])) return false;
+  }
+  return lhs.events.size() < rhs.events.size();
+}
+
+std::vector<TraceEvent> merge_node_streams(std::vector<NodeStream> streams) {
+  std::sort(streams.begin(), streams.end(), node_stream_less);
+  std::size_t total = 0;
+  for (const NodeStream& stream : streams) total += stream.events.size();
+  std::vector<TraceEvent> merged;
+  merged.reserve(total);
+  for (const NodeStream& stream : streams) {
+    merged.insert(merged.end(), stream.events.begin(), stream.events.end());
+  }
+  return merged;
+}
+
 SpanIndex::SpanIndex(std::vector<TraceEvent> events)
     : events_(std::move(events)) {
+  build();
+}
+
+SpanIndex::SpanIndex(std::vector<NodeStream> streams)
+    : events_(merge_node_streams(std::move(streams))) {
   build();
 }
 

@@ -79,12 +79,47 @@ struct Span {
   SimTime calib_at = 0;
 };
 
+/// One node's recorded trace stream, as shipped by its telemetry
+/// endpoint (/trace) or dumped at exit (--trace). `node` is the stream's
+/// origin — the daemon that recorded it — not necessarily the subject of
+/// every event in it (a TA stream carries kTaServe events whose span
+/// belongs to a remote requester).
+struct NodeStream {
+  NodeId node = 0;
+  std::vector<TraceEvent> events;
+};
+
+/// Total order on events used by the multi-stream merge tie-break:
+/// lexicographic on every field (at, type, node, peer, span, a, b, x, y).
+[[nodiscard]] bool trace_event_less(const TraceEvent& lhs,
+                                    const TraceEvent& rhs);
+
+/// The merge's stream order: origin node first, content as tie-break.
+[[nodiscard]] bool node_stream_less(const NodeStream& lhs,
+                                    const NodeStream& rhs);
+
+/// Merges per-node trace streams into one deterministic cluster
+/// timeline: streams are ordered by (origin node, then event content) and
+/// concatenated, each stream keeping its internal order. Node-primary
+/// ordering is deliberate — RealEnv timestamps are per-process epochs
+/// (ns since daemon start), so cross-node `at` comparison is
+/// meaningless; what must survive the merge is each node's event order,
+/// which is what the detectors and SpanIndex consume. The result is
+/// byte-identical regardless of the order streams are passed in
+/// (merge(a,b) == merge(b,a)), the contract DESIGN.md §2.6 pins down.
+[[nodiscard]] std::vector<TraceEvent> merge_node_streams(
+    std::vector<NodeStream> streams);
+
 /// Rebuilds spans from a recorded event stream. The index owns a copy of
 /// the events; spans appear in order of their first event.
 class SpanIndex {
  public:
   explicit SpanIndex(std::vector<TraceEvent> events);
   explicit SpanIndex(const RingTraceSink& sink);
+  /// Index over a merged cluster timeline (see merge_node_streams). A
+  /// span opened on one node and served on another (kTaServe carrying
+  /// the requester's id) lands in one Span spanning both streams.
+  explicit SpanIndex(std::vector<NodeStream> streams);
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;

@@ -9,6 +9,7 @@
 // slots to named fields.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -119,6 +120,12 @@ class RingTraceSink final : public TraceSink {
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] std::uint64_t dropped() const {
     return total_ - static_cast<std::uint64_t>(size());
+  }
+  /// Most events the ring ever held at once (== size() until the first
+  /// wrap, then capacity()). Exported as a gauge so a ring sized "big
+  /// enough" can prove how close to the edge a run actually came.
+  [[nodiscard]] std::size_t high_watermark() const {
+    return std::min(static_cast<std::uint64_t>(capacity_), total_);
   }
 
   /// Visits retained events oldest-to-newest.

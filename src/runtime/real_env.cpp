@@ -250,6 +250,141 @@ std::size_t UdpSocket::send_batch(SockAddr to, const std::vector<Bytes>& bufs,
   return sent;
 }
 
+// --- TcpConn / TcpListener ---------------------------------------------
+// The TCP plane exists solely for read-only telemetry (timed::
+// TelemetryServer, triad_mon). Like every other raw syscall, listen/
+// accept4/connect live only here, each a named R1 allow entry.
+
+namespace {
+
+void set_io_timeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+TcpConn::~TcpConn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpConn::TcpConn(TcpConn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpConn TcpConn::dial(SockAddr addr, int timeout_ms, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_string("socket");
+    return TcpConn{};
+  }
+  // SO_SNDTIMEO bounds the blocking connect as well as later writes.
+  set_io_timeouts(fd, timeout_ms);
+  const sockaddr_in native = to_native(addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&native),
+                sizeof(native)) != 0) {
+    if (error != nullptr) *error = errno_string("connect");
+    ::close(fd);
+    return TcpConn{};
+  }
+  return TcpConn{fd};
+}
+
+std::size_t TcpConn::read_some(std::uint8_t* buf, std::size_t max) {
+  if (fd_ < 0 || max == 0) return 0;
+  const ssize_t n = ::read(fd_, buf, max);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+bool TcpConn::write_all(BytesView data) {
+  if (fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void TcpConn::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void TcpConn::close_now() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpListener TcpListener::open(SockAddr addr, std::string* error) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_string("socket");
+    return TcpListener{};
+  }
+  // Daemon restarts must re-bind the telemetry port without waiting out
+  // TIME_WAIT conns left by scrapers.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in native = to_native(addr);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&native),
+             sizeof(native)) != 0) {
+    if (error != nullptr) *error = errno_string("bind");
+    ::close(fd);
+    return TcpListener{};
+  }
+  if (::listen(fd, 16) != 0) {
+    if (error != nullptr) *error = errno_string("listen");
+    ::close(fd);
+    return TcpListener{};
+  }
+  return TcpListener{fd};
+}
+
+SockAddr TcpListener::local_addr() const {
+  sockaddr_in native{};
+  socklen_t len = sizeof(native);
+  if (fd_ < 0 || ::getsockname(fd_, reinterpret_cast<sockaddr*>(&native),
+                               &len) != 0) {
+    return SockAddr{};
+  }
+  return from_native(native);
+}
+
+TcpConn TcpListener::accept_client(int timeout_ms) {
+  if (fd_ < 0) return TcpConn{};
+  const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) return TcpConn{};
+  set_io_timeouts(fd, timeout_ms);
+  return TcpConn{fd};
+}
+
 // --- EpollLoop ---------------------------------------------------------
 
 EpollLoop::EpollLoop() {

@@ -136,6 +136,75 @@ class UdpSocket {
   std::unique_ptr<BatchBuffers> buffers_;
 };
 
+/// RAII TCP connection (the telemetry scrape path). Move-only; blocking
+/// IO with send/receive timeouts, so a stalled scraper can delay the
+/// owning loop by at most the timeout — acceptable for the read-only
+/// telemetry plane, which serves operators, not the protocol. Created by
+/// TcpListener::accept_client (server side) or TcpConn::dial (client).
+class TcpConn {
+ public:
+  TcpConn() = default;
+  ~TcpConn();
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Blocking client connect with `timeout_ms` applied to the connect
+  /// itself and to subsequent reads/writes. Invalid conn on failure
+  /// (errno message in *error when non-null).
+  [[nodiscard]] static TcpConn dial(SockAddr addr, int timeout_ms = 2000,
+                                    std::string* error = nullptr);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Reads up to `max` bytes. Returns the count read; 0 on orderly EOF,
+  /// timeout, or error (the caller closes either way).
+  std::size_t read_some(std::uint8_t* buf, std::size_t max);
+  /// Writes the whole buffer; false on any failure or timeout.
+  bool write_all(BytesView data);
+  /// Half-close: signals EOF to the peer while reads stay open.
+  void shutdown_write();
+  void close_now();
+
+ private:
+  friend class TcpListener;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+/// RAII listening TCP socket for the telemetry endpoints. The listener
+/// itself is non-blocking (epoll-registered); accepted connections come
+/// back as blocking TcpConns with timeouts (see TcpConn).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on `addr` (port 0 = ephemeral). Invalid listener
+  /// on failure (errno message in *error when non-null).
+  [[nodiscard]] static TcpListener open(SockAddr addr,
+                                        std::string* error = nullptr);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  /// The actually bound address (resolves port 0 to the kernel's pick).
+  [[nodiscard]] SockAddr local_addr() const;
+
+  /// Accepts one pending connection; invalid TcpConn when none is
+  /// pending (the listener is non-blocking) or on accept failure.
+  [[nodiscard]] TcpConn accept_client(int timeout_ms = 2000);
+
+ private:
+  explicit TcpListener(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
 class RealScheduler;
 
 /// Level-triggered epoll loop owning the environment's thread of

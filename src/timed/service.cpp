@@ -1,5 +1,6 @@
 #include "timed/service.h"
 
+#include <sstream>
 #include <utility>
 
 #include "net/wire.h"
@@ -48,6 +49,12 @@ void ServeWorker::on_readable() {
     SimTime now = snap.time;
     if (snap.mono_ns != 0 && now_ns > snap.mono_ns) {
       now += static_cast<SimTime>(now_ns - snap.mono_ns);
+    }
+    // The telemetry plane's entire hot-path cost: one relaxed load, and
+    // a queue-depth sample only while somebody is actually scraping.
+    if (scrape_signal_ != nullptr &&
+        scrape_signal_->load(std::memory_order_relaxed) != 0) {
+      stats_.batch_depth.store(n, std::memory_order_relaxed);
     }
     for (std::size_t i = 0; i < n; ++i) {
       const auto frame = net::wire::decode_frame(views[i].data);
@@ -105,10 +112,31 @@ TimedService::TimedService(ServiceConfig config, runtime::ObsBinding obs)
   env_config.listen = config_.listen;
   env_config.peers = config_.peers;
   env_config.obs = obs;
+  env_config.obs.trace = build_trace_chain(obs.trace, obs.metrics);
+  registry_ = obs.metrics;
   env_ = std::make_unique<runtime::RealEnv>(std::move(env_config));
   if (!env_->valid()) {
     error_ = "protocol endpoint: " + env_->bind_error();
     return;
+  }
+
+  if (config_.telemetry.has_value()) {
+    TelemetryServer::Sources sources;
+    sources.registry = obs.metrics;
+    sources.trace = ring_.has_value() ? &*ring_ : nullptr;
+    sources.prof = [] {
+      std::ostringstream os;
+      obs::Profiler::write_text(obs::Profiler::instance().merge(), os,
+                                /*normalize=*/false);
+      return os.str();
+    };
+    sources.trace_tail = config_.telemetry_trace_tail;
+    telemetry_ = std::make_unique<TelemetryServer>(
+        env_->loop(), *config_.telemetry, std::move(sources));
+    if (!telemetry_->valid()) {
+      error_ = "telemetry endpoint: " + telemetry_->error();
+      return;
+    }
   }
 
   if (config_.role == Role::kTa) {
@@ -133,6 +161,9 @@ TimedService::TimedService(ServiceConfig config, runtime::ObsBinding obs)
       error_ = "serve endpoint: " + worker->bind_error();
       return;
     }
+    if (telemetry_ != nullptr) {
+      worker->set_scrape_signal(&telemetry_->active_conns());
+    }
     workers_.push_back(std::move(worker));
   }
   register_worker_metrics(obs.metrics);
@@ -141,6 +172,7 @@ TimedService::TimedService(ServiceConfig config, runtime::ObsBinding obs)
 TimedService::~TimedService() {
   stop();
   shutdown_workers();
+  if (registry_ != nullptr) registry_->unregister(this);
 }
 
 bool TimedService::valid() const { return error_.empty(); }
@@ -216,6 +248,51 @@ std::uint64_t TimedService::total_bad_frames() const {
   return total;
 }
 
+obs::TraceSink* TimedService::build_trace_chain(obs::TraceSink* external,
+                                                obs::Registry* registry) {
+  if (config_.trace_capacity > 0) {
+    ring_.emplace(config_.trace_capacity);
+    if (registry != nullptr) {
+      registry->set_help("obs_trace_dropped_total",
+                         "Trace events overwritten after the ring filled");
+      registry->counter_fn(this, "obs_trace_dropped_total", {}, [this] {
+        return static_cast<double>(ring_->dropped());
+      });
+      registry->set_help("obs_trace_ring_high_watermark",
+                         "Most events the trace ring ever held at once");
+      registry->gauge_fn(this, "obs_trace_ring_high_watermark", {}, [this] {
+        return static_cast<double>(ring_->high_watermark());
+      });
+    }
+  }
+
+  // Recording legs: the caller's external sink plus the internal ring.
+  obs::TraceSink* record = external;
+  if (ring_.has_value()) {
+    if (record != nullptr) {
+      record_tee_ = std::make_unique<obs::TeeTraceSink>();
+      record_tee_->add(record);
+      record_tee_->add(&*ring_);
+      record = record_tee_.get();
+    } else {
+      record = &*ring_;
+    }
+  }
+  if (!config_.enable_detectors) return record;
+
+  // Alarms feed back into the *recording* legs only — never the bank
+  // itself — so every kDetectorAlarm lands right after its triggering
+  // event and replaying the shipped trace offline reproduces the same
+  // alarm sequence (the offline==online invariant).
+  bank_ = std::make_unique<obs::DetectorBank>(config_.detectors, registry,
+                                              record);
+  if (record == nullptr) return bank_.get();
+  env_tee_ = std::make_unique<obs::TeeTraceSink>();
+  env_tee_->add(record);
+  env_tee_->add(bank_.get());
+  return env_tee_.get();
+}
+
 void TimedService::register_worker_metrics(obs::Registry* registry) {
   if (registry == nullptr) return;
   const auto read = [](const std::atomic<std::uint64_t>& cell) {
@@ -238,6 +315,12 @@ void TimedService::register_worker_metrics(obs::Registry* registry) {
                          read(stats.decode_errors));
     registry->counter_fn(this, "triad_timed_send_failures_total", labels,
                          read(stats.send_failures));
+    registry->gauge_fn(this, "triad_timed_batch_depth", labels,
+                       read(stats.batch_depth));
+  }
+  if (!workers_.empty()) {
+    registry->set_help("triad_timed_batch_depth",
+                       "Last receive-batch size (sampled while scraped)");
   }
 }
 

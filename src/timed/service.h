@@ -35,8 +35,11 @@
 #include <vector>
 
 #include "crypto/channel.h"
+#include "obs/detect.h"
+#include "obs/trace.h"
 #include "runtime/real_env.h"
 #include "ta/time_authority.h"
+#include "timed/telemetry.h"
 #include "triad/client.h"
 #include "triad/node.h"
 #include "util/types.h"
@@ -78,6 +81,10 @@ struct WorkerStats {
   std::atomic<std::uint64_t> bad_frames{0};    // auth/replay/proto failures
   std::atomic<std::uint64_t> decode_errors{0};  // wire-header garbage
   std::atomic<std::uint64_t> send_failures{0};
+  /// Last receive-batch size, sampled only while a telemetry scraper is
+  /// connected (see ServeWorker::set_scrape_signal) — a live queue-depth
+  /// gauge that costs the hot path one relaxed load when nobody scrapes.
+  std::atomic<std::uint64_t> batch_depth{0};
 };
 
 /// One SO_REUSEPORT serve worker: epoll loop + socket + SecureChannel.
@@ -99,6 +106,13 @@ class ServeWorker {
   void stop();   // async-signal-safe (epoll eventfd write)
   void join();
 
+  /// Points the worker at the telemetry server's open-connection count;
+  /// batch depth is sampled into stats only while it is nonzero. Call
+  /// before start() (the worker thread reads it unsynchronized).
+  void set_scrape_signal(const std::atomic<std::uint32_t>* conns) {
+    scrape_signal_ = conns;
+  }
+
  private:
   void run();
   void on_readable();
@@ -110,6 +124,7 @@ class ServeWorker {
   runtime::RealScheduler scheduler_{clock_};
   crypto::SecureChannel channel_;
   const SnapshotBoard& board_;
+  const std::atomic<std::uint32_t>* scrape_signal_ = nullptr;
   WorkerStats stats_;
   SimTime last_served_ = 0;  // per-worker monotonicity clamp
   Bytes reply_buf_;
@@ -144,6 +159,23 @@ struct ServiceConfig {
   Duration ta_max_wait = seconds(2);
   /// Snapshot publish period (node thread -> serve workers).
   Duration snapshot_period = milliseconds(1);
+
+  // --- live telemetry (PR 9) -------------------------------------------
+  /// Internal trace ring capacity (0 = none). The ring records the
+  /// node's protocol trace for the /trace endpoint, the final dump
+  /// (trace_ring()), and the detector bank's causal context. An external
+  /// ObsBinding.trace sink keeps working alongside it (tee).
+  std::size_t trace_capacity = 0;
+  /// Online detectors (slope/disagreement/jump) teeing off the trace
+  /// path after the recording sinks — alarms fire live and land in the
+  /// ring *after* their triggering event, so replaying the shipped
+  /// JSONL offline reproduces them (the offline==online invariant).
+  bool enable_detectors = false;
+  obs::DetectorConfig detectors;
+  /// Telemetry listener (plain TCP, read-only; nullopt = none).
+  std::optional<runtime::SockAddr> telemetry;
+  /// Most events one /trace answer ships (tail of the ring).
+  std::size_t telemetry_trace_tail = std::size_t{1} << 16;
 };
 
 /// The triad_timed daemon core (also driven in-process by tests and the
@@ -186,17 +218,42 @@ class TimedService {
   [[nodiscard]] std::uint64_t total_responses() const;
   [[nodiscard]] std::uint64_t total_bad_frames() const;
 
+  /// Internal trace ring (null unless config.trace_capacity > 0).
+  [[nodiscard]] const obs::RingTraceSink* trace_ring() const {
+    return ring_.has_value() ? &*ring_ : nullptr;
+  }
+  /// Online detector bank (null unless config.enable_detectors).
+  [[nodiscard]] const obs::DetectorBank* detectors() const {
+    return bank_.get();
+  }
+  /// Telemetry server (null unless config.telemetry was set).
+  [[nodiscard]] const TelemetryServer* telemetry() const {
+    return telemetry_.get();
+  }
+  /// Resolved telemetry endpoint ({} when no listener).
+  [[nodiscard]] runtime::SockAddr telemetry_addr() const {
+    return telemetry_ ? telemetry_->local_addr() : runtime::SockAddr{};
+  }
+
  private:
   void register_worker_metrics(obs::Registry* registry);
+  [[nodiscard]] obs::TraceSink* build_trace_chain(
+      obs::TraceSink* external, obs::Registry* registry);
 
   ServiceConfig config_;
   crypto::ClusterKeyring keyring_;
+  std::optional<obs::RingTraceSink> ring_;
+  std::unique_ptr<obs::DetectorBank> bank_;
+  std::unique_ptr<obs::TeeTraceSink> record_tee_;  // external + ring
+  std::unique_ptr<obs::TeeTraceSink> env_tee_;     // recorders + bank
+  obs::Registry* registry_ = nullptr;
   std::unique_ptr<runtime::RealEnv> env_;
   std::unique_ptr<TriadNode> node_;
   std::unique_ptr<ta::TimeAuthority> authority_;
   SnapshotBoard board_;
   std::unique_ptr<runtime::PeriodicTimer> publisher_;
   std::vector<std::unique_ptr<ServeWorker>> workers_;
+  std::unique_ptr<TelemetryServer> telemetry_;
   std::string error_;
   std::atomic<bool> started_{false};
 };

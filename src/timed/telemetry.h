@@ -1,0 +1,96 @@
+// Read-only plain-TCP telemetry endpoints for triad_timed.
+//
+// The server lives on the *node thread's* epoll loop: accepts, request
+// parsing, rendering, and replies all run between protocol callbacks on
+// that one thread, so the metrics Registry and the trace ring — both
+// node-thread state, per the one-Registry-per-run rule — are read
+// without any locking. The serve workers never touch the telemetry
+// plane; their only cost is one relaxed atomic load per receive batch
+// (see active_conns), paid to sample queue depth only while a scraper
+// is actually connected.
+//
+// Endpoints (HTTP/1.0, Connection: close, GET only):
+//   /metrics   Prometheus text exposition (obs::write_prometheus) —
+//              byte-identical families to the exit dump, values live;
+//   /trace     bounded tail of the trace ring as JSONL (obs schema,
+//              parse_jsonl-compatible) — ships the node's protocol
+//              trace for triad_mon's cluster merge;
+//   /prof      profiler scope table (obs::Profiler), empty tree when
+//              profiling is off. Exact only while instrumented worker
+//              threads are quiescent (merge()'s standing caveat).
+// Anything else answers 404. The plane is deliberately plain TCP with
+// no auth: it is read-only and belongs on an operator network, exactly
+// like a Prometheus scrape target.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/real_env.h"
+
+namespace triad::timed {
+
+class TelemetryServer {
+ public:
+  /// What the endpoints render. All pointers are non-owning and must
+  /// outlive the server; null disables the endpoint (404).
+  struct Sources {
+    const obs::Registry* registry = nullptr;
+    const obs::RingTraceSink* trace = nullptr;
+    /// Renders /prof; empty function disables the endpoint.
+    std::function<std::string()> prof;
+    /// Most events one /trace answer ships (tail of the ring).
+    std::size_t trace_tail = std::size_t{1} << 16;
+  };
+
+  /// Binds `addr` and registers with `loop`. Check valid() afterwards.
+  TelemetryServer(runtime::EpollLoop& loop, runtime::SockAddr addr,
+                  Sources sources);
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  [[nodiscard]] bool valid() const { return listener_.valid(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] runtime::SockAddr local_addr() const {
+    return listener_.local_addr();
+  }
+
+  /// Requests answered (any status), for the final summary.
+  [[nodiscard]] std::uint64_t scrapes() const { return scrapes_; }
+
+  /// Open scraper connections. Written on the node thread, read with
+  /// memory_order_relaxed by the serve workers' hot path — the single
+  /// check that keeps telemetry free when nobody is scraping.
+  [[nodiscard]] const std::atomic<std::uint32_t>& active_conns() const {
+    return active_conns_;
+  }
+
+ private:
+  struct PendingConn {
+    runtime::TcpConn conn;
+    std::string request;
+  };
+
+  void on_accept();
+  void on_conn_readable(int fd);
+  void close_conn(int fd);
+  void respond(PendingConn& pending);
+  [[nodiscard]] std::string render(std::string_view path, int* status) const;
+
+  runtime::EpollLoop& loop_;
+  Sources sources_;
+  runtime::TcpListener listener_;
+  std::string error_;
+  std::vector<std::unique_ptr<PendingConn>> conns_;
+  std::uint64_t scrapes_ = 0;
+  std::atomic<std::uint32_t> active_conns_{0};
+};
+
+}  // namespace triad::timed

@@ -349,6 +349,76 @@ TEST(SpanIndex, ChainIsCycleSafe) {
   EXPECT_EQ(index.chain(b).size(), 2u);
 }
 
+// --- multi-stream merge ---------------------------------------------------
+
+std::string jsonl_of(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  for (const TraceEvent& event : events) {
+    write_json_line(event, os);
+    os << '\n';
+  }
+  return os.str();
+}
+
+TEST(MergeNodeStreams, OrderIndependentAndByteIdentical) {
+  // Three streams with *overlapping* timestamps (each node's epoch is
+  // its own): the merge must be node-primary and byte-identical for
+  // every input permutation, not time-interleaved.
+  NodeStream n1{1, {calibration_event(500, 1, make_span_id(1, 1), 2.9e9),
+                    adoption_event(900, 1, 2, make_span_id(1, 2), 0, 10)}};
+  NodeStream n2{2, {calibration_event(100, 2, make_span_id(2, 1), 2.9e9)}};
+  NodeStream n3{3, {adoption_event(300, 3, 1, make_span_id(3, 1), 0, 10)}};
+
+  const std::string forward = jsonl_of(merge_node_streams({n1, n2, n3}));
+  EXPECT_EQ(forward, jsonl_of(merge_node_streams({n3, n2, n1})));
+  EXPECT_EQ(forward, jsonl_of(merge_node_streams({n2, n1, n3})));
+
+  // Node-primary: all of node 1 precedes all of node 2 even though node
+  // 2's timestamps are smaller, and each stream keeps internal order.
+  const std::vector<TraceEvent> merged = merge_node_streams({n3, n2, n1});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].node, 1u);
+  EXPECT_EQ(merged[1].node, 1u);
+  EXPECT_EQ(merged[2].node, 2u);
+  EXPECT_EQ(merged[3].node, 3u);
+  EXPECT_EQ(merged[0].at, 500);
+  EXPECT_EQ(merged[1].at, 900);
+}
+
+TEST(MergeNodeStreams, DuplicateNodeIdsStayTotallyOrdered) {
+  // Two streams claiming the same origin (a re-shipped dump): content
+  // tie-break keeps the merge a total order, still input-order-free.
+  NodeStream a{7, {calibration_event(100, 7, make_span_id(7, 1), 2.9e9)}};
+  NodeStream b{7, {calibration_event(50, 7, make_span_id(7, 2), 3.0e9)}};
+  EXPECT_EQ(jsonl_of(merge_node_streams({a, b})),
+            jsonl_of(merge_node_streams({b, a})));
+}
+
+TEST(SpanIndex, MergedStreamsJoinCrossNodeSpans) {
+  // The requester's span id travels inside the sealed TaRequest, so the
+  // TA's kTaServe event carries it. Merging the requester's stream with
+  // the TA's stream must land both nodes' events in ONE span even
+  // though no single stream contains the whole episode.
+  const SpanId span = make_span_id(1, 1);
+  NodeStream requester{1,
+                       {calibration_event(1000, 1, span, 2.9e9)}};
+  TraceEvent serve;
+  serve.at = 77;  // TA's own epoch — incomparable with the requester's
+  serve.type = TraceEventType::kTaServe;
+  serve.node = 9;
+  serve.peer = 1;
+  serve.span = span;
+  NodeStream ta{9, {serve}};
+
+  const SpanIndex index(std::vector<NodeStream>{ta, requester});
+  ASSERT_EQ(index.spans().size(), 1u);
+  const Span& joined = index.spans()[0];
+  EXPECT_EQ(joined.id, span);
+  EXPECT_EQ(joined.node, 1u);
+  EXPECT_EQ(joined.events.size(), 2u);
+  EXPECT_TRUE(joined.has_calibration);
+}
+
 // --- online detectors -----------------------------------------------------
 
 TEST(Detectors, SlopeNeedsQuorumThenFlagsTheOutlier) {

@@ -14,6 +14,7 @@
 #include "crypto/channel.h"
 #include "net/network.h"
 #include "net/wire.h"
+#include "obs/detect.h"
 #include "obs/trace.h"
 #include "runtime/real_env.h"
 #include "runtime/sim_env.h"
@@ -164,7 +165,27 @@ std::vector<TraceTuple> tuples_of(const obs::RingTraceSink& trace) {
   return out;
 }
 
-std::vector<TraceTuple> sim_exchange(const crypto::Keyring& keyring) {
+/// Detector verdicts with the backend-independent fields only (alarm
+/// timestamps follow the backend's clock and must not be compared).
+struct AlarmTuple {
+  obs::DetectorKind detector;
+  NodeId node;
+  NodeId source;
+  friend bool operator==(const AlarmTuple&, const AlarmTuple&) = default;
+};
+
+std::vector<AlarmTuple> replay_alarms(const obs::RingTraceSink& trace) {
+  obs::DetectorBank bank(obs::DetectorConfig{}, nullptr, nullptr);
+  trace.for_each([&](const obs::TraceEvent& event) { bank.emit(event); });
+  std::vector<AlarmTuple> out;
+  for (const obs::Alarm& alarm : bank.alarms()) {
+    out.push_back({alarm.detector, alarm.node, alarm.source});
+  }
+  return out;
+}
+
+std::vector<TraceTuple> sim_exchange(const crypto::Keyring& keyring,
+                                     std::vector<AlarmTuple>* alarms) {
   obs::RingTraceSink trace(1024);
   sim::Simulation sim(5);
   net::Network net(sim, std::make_unique<net::FixedDelay>(milliseconds(1)));
@@ -181,10 +202,12 @@ std::vector<TraceTuple> sim_exchange(const crypto::Keyring& keyring) {
                                  .request_id = 4, .wait = 0}})));
   sim.run();
   EXPECT_TRUE(answered);
+  if (alarms != nullptr) *alarms = replay_alarms(trace);
   return tuples_of(trace);
 }
 
-std::vector<TraceTuple> real_exchange(const crypto::Keyring& keyring) {
+std::vector<TraceTuple> real_exchange(const crypto::Keyring& keyring,
+                                      std::vector<AlarmTuple>* alarms) {
   obs::RingTraceSink trace(1024);
   RealEnvConfig config;
   config.listen = kLoopbackAny;
@@ -209,17 +232,24 @@ std::vector<TraceTuple> real_exchange(const crypto::Keyring& keyring) {
                             .request_id = 4, .wait = 0}})));
   env.run_for(seconds(5));
   EXPECT_TRUE(answered);
+  if (alarms != nullptr) *alarms = replay_alarms(trace);
   return tuples_of(trace);
 }
 
 TEST(RealEnvTest, SimAndRealTraceSequencesMatch) {
   SKIP_WITHOUT_SOCKETS();
   const crypto::ClusterKeyring keyring(Bytes(32, 1));
-  const auto sim_trace = sim_exchange(keyring);
-  const auto real_trace = real_exchange(keyring);
+  std::vector<AlarmTuple> sim_alarms;
+  std::vector<AlarmTuple> real_alarms;
+  const auto sim_trace = sim_exchange(keyring, &sim_alarms);
+  const auto real_trace = real_exchange(keyring, &real_alarms);
   // Same protocol, different transport: the (type, node, peer) sequence
   // must be identical; only timestamps differ.
   EXPECT_EQ(sim_trace, real_trace);
+  // Detectors are pure trace consumers, so the verdicts must agree
+  // across backends too — here an honest exchange raises none on either.
+  EXPECT_EQ(sim_alarms, real_alarms);
+  EXPECT_TRUE(real_alarms.empty());
   ASSERT_FALSE(real_trace.empty());
   // Spot-check the expected shape: send -> deliver -> serve -> send ->
   // deliver.

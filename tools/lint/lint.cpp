@@ -433,17 +433,20 @@ Config default_config() {
                    "clock_gettime",  "gettimeofday", "timespec_get",
                    "epoll_create1",  "epoll_wait",   "epoll_ctl",
                    "eventfd",        "recvmmsg",     "sendmmsg",
-                   "setsockopt",     "socket"};
-  cfg.r1_call_only = {"time", "rand", "getenv", "socket"};
+                   "setsockopt",     "socket",       "listen",
+                   "accept4",        "connect"};
+  cfg.r1_call_only = {"time", "rand", "getenv", "socket", "listen",
+                      "connect"};
   // No blanket layer exemptions: every real-clock binding site is named
   // in [allow] so a new one cannot slip in under a directory prefix.
   cfg.r1_exempt_prefixes = {};
   cfg.r2_files = {"src/obs/export.cpp", "src/obs/forensic.cpp",
-                  "src/obs/metrics.cpp", "src/campaign/aggregate.cpp",
-                  "src/exp/recorder.cpp"};
+                  "src/obs/cluster.cpp", "src/obs/metrics.cpp",
+                  "src/campaign/aggregate.cpp", "src/exp/recorder.cpp"};
   cfg.r3_files = {"src/obs/export.cpp", "src/obs/forensic.cpp",
-                  "src/obs/metrics.cpp", "src/campaign/aggregate.cpp",
-                  "src/exp/recorder.cpp", "src/campaign/cli.cpp"};
+                  "src/obs/cluster.cpp", "src/obs/metrics.cpp",
+                  "src/campaign/aggregate.cpp", "src/exp/recorder.cpp",
+                  "src/campaign/cli.cpp"};
   cfg.r4_files = {"src/sim/simulation.cpp", "src/net/network.cpp",
                   "src/obs/trace.cpp", "src/runtime/env.cpp",
                   "src/runtime/sim_env.cpp"};
@@ -466,6 +469,9 @@ Config default_config() {
       {"R1", "src/runtime/real_env.cpp", "epoll_ctl"},
       {"R1", "src/runtime/real_env.cpp", "epoll_wait"},
       {"R1", "src/runtime/real_env.cpp", "eventfd"},
+      {"R1", "src/runtime/real_env.cpp", "listen"},
+      {"R1", "src/runtime/real_env.cpp", "accept4"},
+      {"R1", "src/runtime/real_env.cpp", "connect"},
       // The slab event loop and runtime interfaces traffic in
       // std::function by design (SBO-sized closures, PR 1); R4 still
       // polices raw new/malloc there.
