@@ -272,12 +272,14 @@ TcpConn::~TcpConn() {
 }
 
 TcpConn::TcpConn(TcpConn&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      timeout_ms_(std::exchange(other.timeout_ms_, 0)) {}
 
 TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    timeout_ms_ = std::exchange(other.timeout_ms_, 0);
   }
   return *this;
 }
@@ -297,7 +299,7 @@ TcpConn TcpConn::dial(SockAddr addr, int timeout_ms, std::string* error) {
     ::close(fd);
     return TcpConn{};
   }
-  return TcpConn{fd};
+  return TcpConn{fd, timeout_ms};
 }
 
 std::size_t TcpConn::read_some(std::uint8_t* buf, std::size_t max) {
@@ -308,8 +310,16 @@ std::size_t TcpConn::read_some(std::uint8_t* buf, std::size_t max) {
 
 bool TcpConn::write_all(BytesView data) {
   if (fd_ < 0) return false;
+  // SO_SNDTIMEO bounds each write() call, not the loop: a reader that
+  // drains its socket one byte per interval keeps every partial write
+  // under the per-call timeout. The cumulative deadline holds the
+  // documented guarantee — a stalled peer costs at most ~one timeout.
+  const MonotonicTimer elapsed;
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(timeout_ms_) * 1'000'000u;
   std::size_t off = 0;
   while (off < data.size()) {
+    if (timeout_ms_ > 0 && elapsed.elapsed_ns() > deadline_ns) return false;
     const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
@@ -382,7 +392,7 @@ TcpConn TcpListener::accept_client(int timeout_ms) {
   const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
   if (fd < 0) return TcpConn{};
   set_io_timeouts(fd, timeout_ms);
-  return TcpConn{fd};
+  return TcpConn{fd, timeout_ms};
 }
 
 // --- EpollLoop ---------------------------------------------------------
@@ -456,7 +466,13 @@ void EpollLoop::poll_once(RealScheduler& scheduler, const Clock& clock,
     const auto it = std::find_if(
         handlers_.begin(), handlers_.end(),
         [fd](const FdHandler& h) { return h.fd == fd; });
-    if (it != handlers_.end() && it->on_readable) it->on_readable();
+    if (it != handlers_.end() && it->on_readable) {
+      // Invoke a copy: the callback may remove_fd(fd) (or add_fd,
+      // reallocating handlers_), which would destroy the std::function
+      // mid-call if invoked in place.
+      const std::function<void()> handler = it->on_readable;
+      handler();
+    }
   }
   scheduler.fire_due(clock.now());
 }

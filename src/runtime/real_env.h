@@ -162,7 +162,11 @@ class TcpConn {
   /// Reads up to `max` bytes. Returns the count read; 0 on orderly EOF,
   /// timeout, or error (the caller closes either way).
   std::size_t read_some(std::uint8_t* buf, std::size_t max);
-  /// Writes the whole buffer; false on any failure or timeout.
+  /// Writes the whole buffer; false on any failure, or once the *total*
+  /// elapsed time exceeds the connection timeout. SO_SNDTIMEO only
+  /// bounds each individual write(), so without the cumulative deadline
+  /// a reader draining one byte per interval (slow loris) could stall
+  /// the caller indefinitely.
   bool write_all(BytesView data);
   /// Half-close: signals EOF to the peer while reads stay open.
   void shutdown_write();
@@ -170,8 +174,10 @@ class TcpConn {
 
  private:
   friend class TcpListener;
-  explicit TcpConn(int fd) : fd_(fd) {}
+  explicit TcpConn(int fd, int timeout_ms = 0)
+      : fd_(fd), timeout_ms_(timeout_ms) {}
   int fd_ = -1;
+  int timeout_ms_ = 0;  // 0 = no cumulative write deadline
 };
 
 /// RAII listening TCP socket for the telemetry endpoints. The listener

@@ -52,9 +52,15 @@ void ServeWorker::on_readable() {
     }
     // The telemetry plane's entire hot-path cost: one relaxed load, and
     // a queue-depth sample only while somebody is actually scraping.
+    // The first unscraped batch after a sampled one stores a 0 so the
+    // gauge never reports a stale depth as live.
     if (scrape_signal_ != nullptr &&
         scrape_signal_->load(std::memory_order_relaxed) != 0) {
       stats_.batch_depth.store(n, std::memory_order_relaxed);
+      batch_depth_sampled_ = true;
+    } else if (batch_depth_sampled_) {
+      stats_.batch_depth.store(0, std::memory_order_relaxed);
+      batch_depth_sampled_ = false;
     }
     for (std::size_t i = 0; i < n; ++i) {
       const auto frame = net::wire::decode_frame(views[i].data);
@@ -131,8 +137,15 @@ TimedService::TimedService(ServiceConfig config, runtime::ObsBinding obs)
       return os.str();
     };
     sources.trace_tail = config_.telemetry_trace_tail;
+    sources.max_pending = config_.telemetry_max_pending;
+    sources.request_deadline = config_.telemetry_request_deadline;
+    // Runs on the node thread; the workers' gauges are atomics, so the
+    // cross-thread store is safe while they serve.
+    sources.on_scrapers_idle = [this] {
+      for (const auto& worker : workers_) worker->clear_batch_depth();
+    };
     telemetry_ = std::make_unique<TelemetryServer>(
-        env_->loop(), *config_.telemetry, std::move(sources));
+        env_->loop(), env_->env(), *config_.telemetry, std::move(sources));
     if (!telemetry_->valid()) {
       error_ = "telemetry endpoint: " + telemetry_->error();
       return;
@@ -320,7 +333,8 @@ void TimedService::register_worker_metrics(obs::Registry* registry) {
   }
   if (!workers_.empty()) {
     registry->set_help("triad_timed_batch_depth",
-                       "Last receive-batch size (sampled while scraped)");
+                       "Last receive-batch size while a scraper is "
+                       "connected; 0 when nobody is scraping");
   }
 }
 

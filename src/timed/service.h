@@ -84,6 +84,9 @@ struct WorkerStats {
   /// Last receive-batch size, sampled only while a telemetry scraper is
   /// connected (see ServeWorker::set_scrape_signal) — a live queue-depth
   /// gauge that costs the hot path one relaxed load when nobody scrapes.
+  /// Zeroed when the last scraper disconnects (TelemetryServer's
+  /// on_scrapers_idle) and on the first unscraped batch after a sampled
+  /// one, so a stale depth never lingers as a live-looking reading.
   std::atomic<std::uint64_t> batch_depth{0};
 };
 
@@ -113,6 +116,12 @@ class ServeWorker {
     scrape_signal_ = conns;
   }
 
+  /// Resets the batch-depth gauge to 0. Called from the node thread when
+  /// the last scraper disconnects (atomic store; safe while running).
+  void clear_batch_depth() {
+    stats_.batch_depth.store(0, std::memory_order_relaxed);
+  }
+
  private:
   void run();
   void on_readable();
@@ -125,6 +134,7 @@ class ServeWorker {
   crypto::SecureChannel channel_;
   const SnapshotBoard& board_;
   const std::atomic<std::uint32_t>* scrape_signal_ = nullptr;
+  bool batch_depth_sampled_ = false;  // worker thread only
   WorkerStats stats_;
   SimTime last_served_ = 0;  // per-worker monotonicity clamp
   Bytes reply_buf_;
@@ -176,6 +186,11 @@ struct ServiceConfig {
   std::optional<runtime::SockAddr> telemetry;
   /// Most events one /trace answer ships (tail of the ring).
   std::size_t telemetry_trace_tail = std::size_t{1} << 16;
+  /// Most simultaneous pending telemetry connections (oldest evicted).
+  std::size_t telemetry_max_pending = 32;
+  /// Telemetry connections that have not completed a request line within
+  /// this deadline are closed (0 disables the sweep).
+  Duration telemetry_request_deadline = seconds(5);
 };
 
 /// The triad_timed daemon core (also driven in-process by tests and the

@@ -30,13 +30,21 @@ std::string http_response(int status, std::string_view content_type,
 
 }  // namespace
 
-TelemetryServer::TelemetryServer(runtime::EpollLoop& loop,
+TelemetryServer::TelemetryServer(runtime::EpollLoop& loop, runtime::Env env,
                                  runtime::SockAddr addr, Sources sources)
     : loop_(loop),
+      env_(env),
       sources_(std::move(sources)),
       listener_(runtime::TcpListener::open(addr, &error_)) {
-  if (listener_.valid()) {
-    loop_.add_fd(listener_.fd(), [this] { on_accept(); });
+  if (!listener_.valid()) return;
+  loop_.add_fd(listener_.fd(), [this] { on_accept(); });
+  if (sources_.request_deadline > 0) {
+    // Half the deadline keeps worst-case lingering under 1.5x the
+    // configured value without waking the loop often.
+    const Duration period =
+        std::max<Duration>(sources_.request_deadline / 2, milliseconds(10));
+    sweeper_ = std::make_unique<runtime::PeriodicTimer>(
+        env_, period, [this] { sweep_stale_conns(); });
   }
 }
 
@@ -51,9 +59,16 @@ void TelemetryServer::on_accept() {
   for (;;) {
     runtime::TcpConn conn = listener_.accept_client();
     if (!conn.valid()) return;
+    // Oldest-first eviction past the cap: a client that stalls before
+    // finishing its request line loses its slot to the next scraper
+    // instead of exhausting fds.
+    while (conns_.size() >= sources_.max_pending && !conns_.empty()) {
+      close_conn(conns_.front()->conn.fd());
+    }
     const int fd = conn.fd();
     auto pending = std::make_unique<PendingConn>();
     pending->conn = std::move(conn);
+    pending->accepted_ns = runtime::MonotonicTimer::now_ns();
     conns_.push_back(std::move(pending));
     active_conns_.store(static_cast<std::uint32_t>(conns_.size()),
                         std::memory_order_relaxed);
@@ -96,6 +111,21 @@ void TelemetryServer::close_conn(int fd) {
   });
   active_conns_.store(static_cast<std::uint32_t>(conns_.size()),
                       std::memory_order_relaxed);
+  if (conns_.empty() && sources_.on_scrapers_idle) sources_.on_scrapers_idle();
+}
+
+void TelemetryServer::sweep_stale_conns() {
+  if (conns_.empty() || sources_.request_deadline <= 0) return;
+  const std::uint64_t now_ns = runtime::MonotonicTimer::now_ns();
+  const auto deadline_ns =
+      static_cast<std::uint64_t>(sources_.request_deadline);
+  std::vector<int> stale;
+  for (const auto& entry : conns_) {
+    if (now_ns - entry->accepted_ns > deadline_ns) {
+      stale.push_back(entry->conn.fd());
+    }
+  }
+  for (const int fd : stale) close_conn(fd);
 }
 
 void TelemetryServer::respond(PendingConn& pending) {

@@ -20,7 +20,12 @@
 //              threads are quiescent (merge()'s standing caveat).
 // Anything else answers 404. The plane is deliberately plain TCP with
 // no auth: it is read-only and belongs on an operator network, exactly
-// like a Prometheus scrape target.
+// like a Prometheus scrape target. What "unauthenticated" still must
+// not allow is resource pinning: at most `max_pending` connections are
+// held (oldest evicted), and a connection that has not completed a
+// request line within `request_deadline` is swept by a periodic timer,
+// so idle or half-open clients cannot exhaust fds or keep
+// active_conns() nonzero forever.
 #pragma once
 
 #include <atomic>
@@ -32,7 +37,9 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/env.h"
 #include "runtime/real_env.h"
+#include "util/types.h"
 
 namespace triad::timed {
 
@@ -47,11 +54,24 @@ class TelemetryServer {
     std::function<std::string()> prof;
     /// Most events one /trace answer ships (tail of the ring).
     std::size_t trace_tail = std::size_t{1} << 16;
+    /// Most simultaneous pending connections; accepting past the cap
+    /// evicts the oldest, so stalled clients cannot exhaust fds.
+    std::size_t max_pending = 32;
+    /// Connections that have not completed a request line within this
+    /// deadline are closed by a periodic sweep (0 disables the sweep).
+    Duration request_deadline = seconds(5);
+    /// Invoked (on the node thread) whenever the last open scraper
+    /// connection closes — the active_conns() 1 -> 0 edge. TimedService
+    /// uses it to zero the workers' batch-depth gauges so a disconnected
+    /// scraper's last sample does not linger as a live-looking reading.
+    std::function<void()> on_scrapers_idle;
   };
 
-  /// Binds `addr` and registers with `loop`. Check valid() afterwards.
-  TelemetryServer(runtime::EpollLoop& loop, runtime::SockAddr addr,
-                  Sources sources);
+  /// Binds `addr` and registers with `loop`. `env` must be the
+  /// environment driving `loop` (its scheduler runs the idle-connection
+  /// sweep). Check valid() afterwards.
+  TelemetryServer(runtime::EpollLoop& loop, runtime::Env env,
+                  runtime::SockAddr addr, Sources sources);
   ~TelemetryServer();
   TelemetryServer(const TelemetryServer&) = delete;
   TelemetryServer& operator=(const TelemetryServer&) = delete;
@@ -76,19 +96,25 @@ class TelemetryServer {
   struct PendingConn {
     runtime::TcpConn conn;
     std::string request;
+    std::uint64_t accepted_ns = 0;  // MonotonicTimer::now_ns() at accept
   };
 
   void on_accept();
   void on_conn_readable(int fd);
   void close_conn(int fd);
+  void sweep_stale_conns();
   void respond(PendingConn& pending);
   [[nodiscard]] std::string render(std::string_view path, int* status) const;
 
   runtime::EpollLoop& loop_;
+  runtime::Env env_;
   Sources sources_;
-  runtime::TcpListener listener_;
+  // error_ must be declared (constructed) before listener_: the
+  // initializer list hands &error_ to TcpListener::open.
   std::string error_;
+  runtime::TcpListener listener_;
   std::vector<std::unique_ptr<PendingConn>> conns_;
+  std::unique_ptr<runtime::PeriodicTimer> sweeper_;
   std::uint64_t scrapes_ = 0;
   std::atomic<std::uint32_t> active_conns_{0};
 };

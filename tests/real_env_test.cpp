@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -104,6 +107,48 @@ TEST(UdpSocketTest, FramingRoundTripOverLoopback) {
   EXPECT_EQ(Bytes(frame->payload.begin(), frame->payload.end()), payload);
   // The kernel reports the client's bound endpoint as the source.
   EXPECT_EQ(views[0].from, client.local_addr());
+}
+
+TEST(TcpConnTest, WriteAllBoundsTotalStallAgainstSlowReader) {
+  SKIP_WITHOUT_SOCKETS();
+  // SO_SNDTIMEO only bounds each write() call: a reader draining one
+  // byte per interval keeps every partial write under the per-call
+  // timeout, so without write_all's cumulative deadline a slow-loris
+  // scraper could stall the telemetry sender indefinitely.
+  std::string error;
+  TcpListener listener = TcpListener::open(kLoopbackAny, &error);
+  ASSERT_TRUE(listener.valid()) << error;
+  TcpConn client = TcpConn::dial(listener.local_addr(), 200, &error);
+  ASSERT_TRUE(client.valid()) << error;
+  TcpConn server;
+  for (int i = 0; i < 200 && !server.valid(); ++i) {
+    server = listener.accept_client(/*timeout_ms=*/200);
+    if (!server.valid()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ASSERT_TRUE(server.valid());
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::uint8_t byte = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)client.read_some(&byte, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  // Far larger than the loopback socket buffers, and hours of work at
+  // the ~20 B/s the reader drains — the write can only end by deadline.
+  const Bytes big(std::size_t{64} << 20, 0xab);
+  const MonotonicTimer elapsed;
+  const bool ok = server.write_all(BytesView{big.data(), big.size()});
+  const double waited_ms = elapsed.elapsed_ms();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_FALSE(ok);
+  // 200 ms cumulative deadline + at most one blocked write's own
+  // SO_SNDTIMEO + scheduling slack; generous but finite.
+  EXPECT_LT(waited_ms, 5000.0);
 }
 
 TEST(UdpTransportTest, GarbageAndTruncatedDatagramsCountedNeverFatal) {

@@ -6,6 +6,7 @@
 // each test GTEST_SKIPs when the sandbox cannot bind loopback.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "crypto/channel.h"
 #include "obs/detect.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -70,6 +72,20 @@ std::optional<std::pair<std::string, std::string>> http_get(
   }
   return std::make_pair(response.substr(0, line_end),
                         response.substr(body + 4));
+}
+
+/// True when any sample line of `family` on the Prometheus page carries
+/// a nonzero value.
+bool gauge_nonzero(const std::string& text, const std::string& family) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(family, 0) != 0) continue;  // skips "# TYPE/HELP" too
+    const auto space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    if (std::stod(line.substr(space + 1)) != 0.0) return true;
+  }
+  return false;
 }
 
 /// "# TYPE name kind" lines of a Prometheus page — the family set, which
@@ -263,6 +279,127 @@ TEST(TimedTelemetry, SignalStopDrainsWorkersAndKeepsFinalDumpsIntact) {
 
   cluster.ta->stop();
   cluster.ta_thread.join();
+}
+
+TEST(TimedTelemetry, BindFailureReportsErrnoDetail) {
+  SKIP_WITHOUT_SOCKETS();
+  // Regression: TelemetryServer used to hand &error_ to
+  // TcpListener::open before error_ was constructed (member init
+  // order), so a "port in use" failure wrote into a dead string and the
+  // service reported "telemetry endpoint: " with no detail.
+  std::string listener_error;
+  const runtime::TcpListener occupant =
+      runtime::TcpListener::open(runtime::kLoopbackAny, &listener_error);
+  ASSERT_TRUE(occupant.valid()) << listener_error;
+
+  ServiceConfig config;
+  config.role = Role::kTa;
+  config.ta_id = 9;
+  config.telemetry = occupant.local_addr();  // guaranteed EADDRINUSE
+  obs::Registry registry;
+  TimedService service(std::move(config),
+                       runtime::ObsBinding{&registry, nullptr});
+  EXPECT_FALSE(service.valid());
+  EXPECT_NE(service.error().find("telemetry endpoint: bind"),
+            std::string::npos)
+      << service.error();
+}
+
+TEST(TimedTelemetry, IdleConnectionsAreCappedAndSwept) {
+  SKIP_WITHOUT_SOCKETS();
+  ServiceConfig config;
+  config.role = Role::kTa;
+  config.ta_id = 9;
+  config.telemetry = runtime::kLoopbackAny;
+  config.telemetry_max_pending = 2;
+  config.telemetry_request_deadline = milliseconds(100);
+  obs::Registry registry;
+  TimedService service(std::move(config),
+                       runtime::ObsBinding{&registry, nullptr});
+  ASSERT_TRUE(service.valid()) << service.error();
+  service.start();
+  std::thread runner([&service] { service.run(); });
+  const SockAddr addr = service.telemetry_addr();
+
+  // Three connections that never send a request line: the cap (2) must
+  // evict the oldest as the third is accepted...
+  TcpConn a = TcpConn::dial(addr, 2000);
+  TcpConn b = TcpConn::dial(addr, 2000);
+  TcpConn c = TcpConn::dial(addr, 2000);
+  ASSERT_TRUE(a.valid() && b.valid() && c.valid());
+  const std::atomic<std::uint32_t>& active =
+      service.telemetry()->active_conns();
+  runtime::MonotonicTimer waited;
+  while (waited.elapsed_ms() < 5000.0 &&
+         active.load(std::memory_order_relaxed) != 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(active.load(std::memory_order_relaxed), 2u);
+
+  // ...and the 100 ms request deadline must sweep the survivors, so an
+  // idle client can neither exhaust fds nor pin active_conns() (the
+  // workers' scrape signal) nonzero forever.
+  waited.restart();
+  while (waited.elapsed_ms() < 5000.0 &&
+         active.load(std::memory_order_relaxed) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(active.load(std::memory_order_relaxed), 0u);
+
+  // The plane still serves well-behaved scrapers afterwards.
+  const auto metrics = http_get(addr, "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->first, "HTTP/1.0 200 OK");
+
+  service.stop();
+  runner.join();
+}
+
+TEST(TimedTelemetry, BatchDepthGaugeResetsWhenScrapersDisconnect) {
+  SKIP_WITHOUT_SOCKETS();
+  Cluster cluster;
+  ASSERT_TRUE(cluster.valid());
+  cluster.start();
+  ASSERT_TRUE(cluster.wait_calibrated());
+  const SockAddr addr = cluster.node->telemetry_addr();
+
+  const crypto::ClusterKeyring keyring(Bytes(32, 0x42));
+  BlockingProbe probe(50, 1, cluster.node->serve_addr(), keyring);
+  ASSERT_TRUE(probe.valid());
+
+  // While a scraper connection is open, serve batches are sampled into
+  // the gauge.
+  bool sampled = false;
+  runtime::MonotonicTimer waited;
+  while (!sampled && waited.elapsed_ms() < 10000.0) {
+    TcpConn holder = TcpConn::dial(addr, 2000);
+    ASSERT_TRUE(holder.valid());
+    // Give the node thread a moment to accept (raising active_conns).
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    (void)probe.request();
+    if (const auto metrics = http_get(addr, "/metrics");
+        metrics.has_value()) {
+      sampled = gauge_nonzero(metrics->second, "triad_timed_batch_depth");
+    }
+    holder.close_now();
+  }
+  EXPECT_TRUE(sampled);
+
+  // Once every scraper is gone (the holder above plus each completed
+  // http_get), the 1 -> 0 connection edge zeroes the gauge — the next
+  // scrape must not present the stale depth as a live reading.
+  bool zeroed = false;
+  waited.restart();
+  while (!zeroed && waited.elapsed_ms() < 10000.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (const auto metrics = http_get(addr, "/metrics");
+        metrics.has_value()) {
+      zeroed = !gauge_nonzero(metrics->second, "triad_timed_batch_depth");
+    }
+  }
+  EXPECT_TRUE(zeroed);
+
+  cluster.stop_and_join();
 }
 
 TEST(TimedTelemetry, OnlineAlarmsEqualOfflineReplayOfShippedTrace) {
