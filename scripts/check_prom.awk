@@ -7,11 +7,18 @@
 # least one sample overall. Knows the detector families' fixed shapes:
 # triad_detector_alarms_total must be a counter and
 # triad_detector_first_alarm_seconds a gauge wherever they appear, and
-# with `-v require_detectors=1` all three detector-labelled alarm series
-# (slope, disagreement, jump) plus the first-alarm gauge become
-# mandatory — attack-free runs export them as explicit zeros, so their
-# absence means the detector bank was not wired in. Prints the first
-# offence and exits 1.
+# with `-v require_detectors=1` every detector-labelled alarm series
+# plus the first-alarm gauge becomes mandatory — attack-free runs
+# export them as explicit zeros, so their absence means the detector
+# bank was not wired in. Prints the first offence and exits 1.
+#
+# With `-v families=scripts/prom_families.txt` the generated R9 metric
+# inventory (`triad_lint --emit-metric-inventory`) drives the check:
+# every # TYPE declaration for an inventoried family must match the
+# kind the source registered, and the require_detectors series list is
+# read from the inventory's detector= label values instead of the
+# built-in slope/disagreement/jump fallback — so a detector added in
+# code is demanded here without touching this script.
 #
 # With `-v http=1` the input is a raw scrape of a telemetry endpoint
 # (triad_timed --telemetry): the status line must be HTTP/1.0 200 OK,
@@ -22,6 +29,33 @@ function fail(msg) {
   printf "check_prom: line %d: %s\n", NR, msg
   bad = 1
   exit 1
+}
+
+BEGIN {
+  if (families != "") {
+    while ((getline inv_line < families) > 0) {
+      if (inv_line == "" || substr(inv_line, 1, 1) == "#") continue
+      nf = split(inv_line, fa, " ")
+      inv_kind[fa[2]] = fa[1]
+      if (fa[2] == "triad_detector_alarms_total") {
+        for (i = 3; i <= nf; i++) {
+          if (split(fa[i], kv, "=") == 2 && kv[1] == "detector") {
+            nv = split(kv[2], vals, "|")
+            for (j = 1; j <= nv; j++)
+              if (vals[j] != "*") required_detector[vals[j]] = 1
+          }
+        }
+      }
+    }
+    close(families)
+    inv_loaded = 1
+  }
+  if (!inv_loaded) {
+    # No inventory given: fall back to the fixed detector set.
+    required_detector["slope"] = 1
+    required_detector["disagreement"] = 1
+    required_detector["jump"] = 1
+  }
 }
 
 {
@@ -43,6 +77,8 @@ function fail(msg) {
     if ($2 == "TYPE") {
       if ($4 != "counter" && $4 != "gauge" && $4 != "histogram")
         fail("bad metric type: " $0)
+      if (inv_loaded && ($3 in inv_kind) && inv_kind[$3] != $4)
+        fail("TYPE " $4 " but the source registers " $3 " as " inv_kind[$3])
       typed[$3] = $4
     }
     next
@@ -86,11 +122,11 @@ END {
     exit 1
   }
   if (require_detectors) {
-    if (!("slope" in detector_series) ||
-        !("disagreement" in detector_series) ||
-        !("jump" in detector_series)) {
-      print "check_prom: missing detector alarm series"
-      exit 1
+    for (d in required_detector) {
+      if (!(d in detector_series)) {
+        print "check_prom: missing detector alarm series: " d
+        exit 1
+      }
     }
     if (!first_alarm_seen) {
       print "check_prom: missing triad_detector_first_alarm_seconds"

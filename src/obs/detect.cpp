@@ -214,14 +214,20 @@ void DetectorBank::register_metrics(Registry* registry) {
   if (registry == nullptr) return;
   registry->set_help("triad_detector_alarms_total",
                      "Attack-signature alarms raised, per detector");
-  for (const DetectorKind kind :
-       {DetectorKind::kSlope, DetectorKind::kDisagreement,
-        DetectorKind::kJump}) {
-    // All three families exist from the start so attack-free runs export
-    // explicit zeros (the campaign smoke asserts on them).
-    alarm_counters_[static_cast<std::size_t>(kind)] = registry->counter(
-        "triad_detector_alarms_total", {{"detector", to_string(kind)}});
-  }
+  // All three series exist from the start so attack-free runs export
+  // explicit zeros (the campaign smoke asserts on them). The label
+  // values are spelled literally — they must match to_string(kind) —
+  // so the R9 inventory (and the check_prom.awk required-series list
+  // generated from it) sees the full detector set.
+  alarm_counters_[static_cast<std::size_t>(DetectorKind::kSlope)] =
+      registry->counter("triad_detector_alarms_total",
+                        {{"detector", "slope"}});
+  alarm_counters_[static_cast<std::size_t>(DetectorKind::kDisagreement)] =
+      registry->counter("triad_detector_alarms_total",
+                        {{"detector", "disagreement"}});
+  alarm_counters_[static_cast<std::size_t>(DetectorKind::kJump)] =
+      registry->counter("triad_detector_alarms_total",
+                        {{"detector", "jump"}});
   registry->set_help("triad_detector_first_alarm_seconds",
                      "Virtual time of the first alarm (-1 = none)");
   first_alarm_gauge_ =

@@ -170,11 +170,13 @@ void UdpSocket::set_recv_timeout_ms(int ms) {
     timeval tv{};
     tv.tv_sec = ms / 1000;
     tv.tv_usec = (ms % 1000) * 1000;
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd_, SOL_SOCKET,  // best-effort: a failed timeout
+                       SO_RCVTIMEO, &tv, sizeof(tv));  // just blocks longer
   } else {
     ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
     timeval tv{};
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd_, SOL_SOCKET,  // best-effort: fd stays usable
+                       SO_RCVTIMEO, &tv, sizeof(tv));
   }
 }
 
@@ -261,8 +263,10 @@ void set_io_timeouts(int fd, int timeout_ms) {
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;
   tv.tv_usec = (timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  // Best-effort both ways: a connection without timeouts still works,
+  // it just loses slow-loris protection to the sweep timer instead.
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));  // see above
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));  // see above
 }
 
 }  // namespace
@@ -361,7 +365,8 @@ TcpListener TcpListener::open(SockAddr addr, std::string* error) {
   // Daemon restarts must re-bind the telemetry port without waiting out
   // TIME_WAIT conns left by scrapers.
   const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR,  // best-effort: if it
+                     &one, sizeof(one));  // fails, bind reports the error
   sockaddr_in native = to_native(addr);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&native),
              sizeof(native)) != 0) {
@@ -409,7 +414,14 @@ EpollLoop::EpollLoop() {
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = wakeup_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) != 0) {
+    // A loop that cannot be woken is worse than no loop: report invalid
+    // rather than hanging the owner's stop() forever.
+    ::close(wakeup_fd_);
+    ::close(epoll_fd_);
+    wakeup_fd_ = -1;
+    epoll_fd_ = -1;
+  }
 }
 
 EpollLoop::~EpollLoop() {
@@ -422,7 +434,11 @@ void EpollLoop::add_fd(int fd, std::function<void()> on_readable) {
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    // Registering the handler anyway would desynchronize handlers_ from
+    // the epoll set; the fd's owner sees no readable callbacks either way.
+    return;
+  }
   handlers_.push_back(FdHandler{fd, std::move(on_readable)});
 }
 
@@ -431,7 +447,8 @@ void EpollLoop::remove_fd(int fd) {
       handlers_.begin(), handlers_.end(),
       [fd](const FdHandler& h) { return h.fd == fd; });
   if (it == handlers_.end()) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL,  // a closed fd is already
+                    fd, nullptr);              // gone from the epoll set
   handlers_.erase(it);
 }
 

@@ -368,8 +368,10 @@ class UdpTransport final : public Transport {
 
   EpollLoop& loop_;
   const Clock& clock_;
-  UdpSocket socket_;
+  // bind_error_ must be declared (constructed) before socket_: the
+  // initializer list hands &bind_error_ to UdpSocket::bind.
   std::string bind_error_;
+  UdpSocket socket_;
   std::vector<std::pair<NodeId, SockAddr>> peers_;  // small, linear scan
   bool learn_peers_ = true;
   std::vector<std::pair<NodeId, PacketHandler>> handlers_;

@@ -126,8 +126,10 @@ class ServeWorker {
   void run();
   void on_readable();
 
-  runtime::UdpSocket socket_;
+  // bind_error_ must be declared (constructed) before socket_: the
+  // initializer list hands &bind_error_ to UdpSocket::bind.
   std::string bind_error_;
+  runtime::UdpSocket socket_;
   runtime::EpollLoop loop_;
   runtime::RealClock clock_;
   runtime::RealScheduler scheduler_{clock_};

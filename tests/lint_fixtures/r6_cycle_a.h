@@ -1,0 +1,14 @@
+// Known-bad fixture for R6 (include cycle), part 1 of 2. Linted under
+// the synthetic path src/sim/r6_cycle_a.h; includes part 2, which
+// includes this file back. The lint DFS visits this file first (it is
+// earlier in the scan order), so the back edge — and the diagnostic —
+// lands on part 2's include line, not here.
+#pragma once
+
+#include "sim/r6_cycle_b.h"
+
+namespace fixture {
+
+inline int cycle_half_a() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Known-bad fixture for R6 (include cycle), part 2 of 2. Linted under
+// the synthetic path src/sim/r6_cycle_b.h; the include below closes
+// the a -> b -> a loop and is the DFS back edge where the cycle is
+// reported.
+#pragma once
+
+#include "sim/r6_cycle_a.h"  // LINT:R6
+
+namespace fixture {
+
+inline int cycle_half_b() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Known-bad fixture for R6 (include-graph layering). Linted by
+// tests/lint_test.cpp under the synthetic path src/net/r6_layering.h —
+// layer 2 in the R6 map — so the include below points UP the layer
+// order into a timed composition-root header (layer 5). Real headers
+// must invert such a dependency or carry a named [allow] entry.
+#pragma once
+
+#include "timed/r6_upper.h"  // LINT:R6
+
+namespace fixture {
+
+inline int mechanism_reaching_into_app_layer() { return 0; }
+
+}  // namespace fixture

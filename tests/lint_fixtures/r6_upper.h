@@ -1,0 +1,13 @@
+// Companion header for the R6 layering fixture. Linted under the
+// synthetic path src/timed/r6_upper.h (layer 5, a composition root);
+// clean on its own — the violation is r6_layering.h including *this*
+// file from layer 2.
+#pragma once
+
+namespace fixture {
+
+struct UpperPlane {
+  int depth = 0;
+};
+
+}  // namespace fixture

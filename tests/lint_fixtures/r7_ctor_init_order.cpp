@@ -1,0 +1,56 @@
+// Known-bad fixture for R7 (constructor init-list order). Seeded
+// reproduction of the PR 9 TelemetryServer bug: `listener_` is declared
+// before `error_`, so the init list hands `&error_` to the listener's
+// constructor while `error_` is still raw memory. -Wreorder is silent —
+// the init-list *order* matches the declaration order; the bug is the
+// dependency direction, which only the cross-file member harvest sees.
+namespace fixture {
+
+struct Address {
+  int port = 0;
+};
+
+class Listener {
+ public:
+  Listener(Address addr, int* error_out);
+};
+
+class TelemetryServerFixture {
+ public:
+  explicit TelemetryServerFixture(Address addr)
+      : listener_(addr, &error_),  // LINT:R7
+        backlog_(0) {}
+
+ private:
+  Listener listener_;  // constructed first...
+  int backlog_;
+  int error_ = 0;  // ...but handed out above before it exists
+};
+
+// The out-of-line form: same bug class, ctor body in a .cpp far from
+// the member declarations.
+class WorkerFixture {
+ public:
+  WorkerFixture();
+
+ private:
+  int socket_fd_;
+  int bind_status_ = 0;
+};
+
+inline WorkerFixture::WorkerFixture()
+    : socket_fd_(bind_status_),  // LINT:R7
+      bind_status_(0) {}
+
+// Reading an *earlier* member is legal — it is already constructed —
+// and must not fire.
+class OrderedFixture {
+ public:
+  OrderedFixture() : base_(1), derived_(base_ + 1) {}
+
+ private:
+  int base_;
+  int derived_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Known-bad fixture for R8 (unchecked syscall returns). The test opts
+// this file into [R8] and gives it R1 [allow] entries for close /
+// shutdown (deliberately not R1-banned tokens, so only R8 fires here):
+// every watched call must consume its return value — assign it, compare
+// it, or (void)-cast it with a same-line comment naming why best-effort
+// is correct. The bare-(void)-cast-without-comment case is tested
+// inline in lint_test.cpp: a marker comment on that line would itself
+// be the named reason that legalizes the cast.
+extern "C" int close(int fd);
+extern "C" int shutdown(int fd, int how);
+
+namespace fixture {
+
+inline void teardown(int fd, bool linger) {
+  ::close(fd);  // LINT:R8
+  if (linger) ::shutdown(fd, 2);  // LINT:R8
+  const int rc = ::close(fd);
+  if (::shutdown(fd, 2) != 0) {
+    (void)::close(fd);  // best-effort: the socket is going away anyway
+  }
+  static_cast<void>(rc);
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Known-bad fixture for R9 (metric-family inventory). Linted under a
+// synthetic src/-relative path so the harvest sees it. Two defects: a
+// family registered as both counter and gauge (Prometheus TYPE lines
+// and check_prom.awk assume one kind per family), and an orphan
+// set_help for a family that is never registered.
+namespace fixture {
+
+struct Counter {
+  void inc();
+};
+struct Gauge {
+  void set(double value);
+};
+
+struct Registry {
+  Counter counter(const char* name);
+  Gauge gauge(const char* name);
+  void set_help(const char* name, const char* help);
+};
+
+inline void register_all(Registry* registry) {
+  registry->counter("triad_fixture_widgets_total");
+  registry->gauge("triad_fixture_widgets_total");  // LINT:R9
+  registry->set_help("triad_fixture_ghost_gauge", "renamed away");  // LINT:R9
+  registry->gauge("triad_fixture_queue_depth");
+}
+
+}  // namespace fixture

@@ -1,7 +1,8 @@
-// Coverage for tools/lint/triad_lint itself: every rule R1-R5 must fire
+// Coverage for tools/lint/triad_lint itself: every rule R1-R9 must fire
 // on its known-bad fixture at the marked lines, the repo's own tree must
-// lint clean, and the checked-in lint_rules.toml must stay in sync with
-// the built-in defaults.
+// lint clean, the committed R9 metric inventory must byte-match the
+// tree, and the checked-in lint_rules.toml must stay in sync with the
+// built-in defaults.
 //
 // Fixtures live in tests/lint_fixtures/ (excluded from tree scans) and
 // mark each expected diagnostic with a `// LINT` rule comment, so the
@@ -10,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <filesystem>
@@ -104,6 +106,123 @@ TEST(LintFixtures, R4HotPathAllocationFiresAtMarkedLines) {
 
 TEST(LintFixtures, R1AmbientIoFiresAtMarkedLines) {
   expect_fixture_fires("r1_ambient_io.cpp", "R1");
+}
+
+// --- R6-R9: the cross-file analyses ---------------------------------------
+
+/// Lints one fixture through the cross-file pass (lint_sources) under a
+/// synthetic repo-relative path, then checks fired (rule, line) pairs
+/// against the markers.
+void expect_cross_fixture_fires(const std::string& name,
+                                const std::string& rel,
+                                const std::string& rule) {
+  const std::string text = read_file(fixture_path(name));
+  const std::vector<Diagnostic> diagnostics = triad::lint::lint_sources(
+      {{rel, text}}, triad::lint::default_config());
+  EXPECT_EQ(fired(diagnostics), markers(text)) << "fixture " << name;
+  for (const Diagnostic& diag : diagnostics) {
+    EXPECT_EQ(diag.rule, rule) << diag.format();
+    EXPECT_EQ(diag.file, rel);
+  }
+}
+
+TEST(LintFixtures, R6LayeringAndCycleFireAtMarkedLines) {
+  // The R6 fixtures are a four-file set linted under synthetic src/
+  // paths: a layer-2 header including a layer-5 one (upward edge), and
+  // a two-header include cycle within one layer. Expected diagnostics
+  // are the union of each file's markers, keyed by (file, line).
+  const std::vector<std::pair<std::string, std::string>> layout = {
+      {"r6_layering.h", "src/net/r6_layering.h"},
+      {"r6_cycle_a.h", "src/sim/r6_cycle_a.h"},
+      {"r6_cycle_b.h", "src/sim/r6_cycle_b.h"},
+      {"r6_upper.h", "src/timed/r6_upper.h"},
+  };
+  std::vector<triad::lint::SourceFile> files;
+  std::set<std::pair<std::string, int>> expected;  // (file, line)
+  for (const auto& [name, rel] : layout) {
+    const std::string text = read_file(fixture_path(name));
+    for (const auto& [rule, line] : markers(text)) {
+      EXPECT_EQ(rule, "R6") << name;
+      expected.emplace(rel, line);
+    }
+    files.push_back({rel, text});
+  }
+  const std::vector<Diagnostic> diagnostics =
+      triad::lint::lint_sources(files, triad::lint::default_config());
+  std::set<std::pair<std::string, int>> got;
+  for (const Diagnostic& diag : diagnostics) {
+    EXPECT_EQ(diag.rule, "R6") << diag.format();
+    got.emplace(diag.file, diag.line);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(LintFixtures, R7CtorInitOrderFiresAtMarkedLines) {
+  // The seeded PR 9 TelemetryServer reproduction: both the in-class and
+  // the out-of-line constructor forms, plus a clean earlier-member read
+  // that must not fire.
+  expect_cross_fixture_fires("r7_ctor_init_order.cpp",
+                             "src/timed/r7_ctor_init_order.cpp", "R7");
+}
+
+TEST(LintFixtures, R7CaughtTheRealBugsBeforeTheyWereFixed) {
+  // The exact shape R7 flagged in the live tree before this PR reordered
+  // the declarations: &bind_error_ handed to the socket's constructor
+  // while bind_error_ was declared after socket_.
+  const std::string src =
+      "class UdpTransportBug {\n"
+      " public:\n"
+      "  UdpTransportBug() : socket_(&bind_error_) {}\n"
+      " private:\n"
+      "  int socket_;\n"
+      "  int bind_error_;\n"
+      "};\n";
+  const std::vector<Diagnostic> diags = triad::lint::lint_sources(
+      {{"src/runtime/bug.cpp", src}}, triad::lint::default_config());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R7");
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_EQ(diags[0].token, "bind_error_");
+}
+
+TEST(LintFixtures, R8UncheckedSyscallFiresAtMarkedLines) {
+  const std::string name = "r8_unchecked_syscall.cpp";
+  const std::string text = read_file(fixture_path(name));
+  const std::string rel = "tests/lint_fixtures/" + name;
+  Config config = triad::lint::default_config();
+  config.r8_files.push_back(rel);
+  // R8's watched set is derived from the R1 [allow] entries for the
+  // file — close/shutdown are not R1-banned tokens, so the fixture
+  // exercises the return-consumption check without R1 noise.
+  config.allow.push_back({"R1", rel, "close"});
+  config.allow.push_back({"R1", rel, "shutdown"});
+  const std::vector<Diagnostic> diagnostics =
+      triad::lint::lint_source(rel, text, config);
+  EXPECT_EQ(fired(diagnostics), markers(text)) << "fixture " << name;
+  for (const Diagnostic& diag : diagnostics) {
+    EXPECT_EQ(diag.rule, "R8") << diag.format();
+  }
+}
+
+TEST(LintFixtures, R8BareVoidCastWithoutReasonFires) {
+  // This case cannot live in the fixture file: a `// LINT:R8` marker on
+  // the same line would itself be the named reason that legalizes the
+  // cast. A (void) discard with no comment on the line is a diagnostic.
+  Config config = triad::lint::default_config();
+  config.r8_files.push_back("src/runtime/fake_env.cpp");
+  config.allow.push_back({"R1", "src/runtime/fake_env.cpp", "close"});
+  const std::string src = "void f(int fd) {\n  (void)::close(fd);\n}\n";
+  const std::vector<Diagnostic> diags =
+      triad::lint::lint_source("src/runtime/fake_env.cpp", src, config);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R8");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("named reason"), std::string::npos);
+}
+
+TEST(LintFixtures, R9KindConflictAndOrphanHelpFireAtMarkedLines) {
+  expect_cross_fixture_fires("r9_metric_conflict.cpp",
+                             "src/obs/r9_metric_conflict.cpp", "R9");
 }
 
 TEST(LintFixtures, R1RealEnvSyscallsAreNamedAllowEntriesNotABlanket) {
@@ -221,6 +340,15 @@ TEST(LintConfig, CheckedInTomlMirrorsBuiltinDefaults) {
   EXPECT_EQ(parsed.r3_files, builtin.r3_files);
   EXPECT_EQ(parsed.r4_files, builtin.r4_files);
   EXPECT_EQ(parsed.r4_banned, builtin.r4_banned);
+  ASSERT_EQ(parsed.r6_layers.size(), builtin.r6_layers.size());
+  for (std::size_t i = 0; i < parsed.r6_layers.size(); ++i) {
+    EXPECT_EQ(parsed.r6_layers[i].prefix, builtin.r6_layers[i].prefix);
+    EXPECT_EQ(parsed.r6_layers[i].rank, builtin.r6_layers[i].rank);
+  }
+  EXPECT_EQ(parsed.r8_files, builtin.r8_files);
+  EXPECT_EQ(parsed.r9_prefixes, builtin.r9_prefixes);
+  EXPECT_EQ(parsed.r9_docs, builtin.r9_docs);
+  EXPECT_EQ(parsed.r9_inventory, builtin.r9_inventory);
   ASSERT_EQ(parsed.allow.size(), builtin.allow.size());
   for (std::size_t i = 0; i < parsed.allow.size(); ++i) {
     EXPECT_EQ(parsed.allow[i].rule, builtin.allow[i].rule);
@@ -280,6 +408,26 @@ TEST(LintAllow, FixAllowlistAppendsAndIsIdempotent) {
 }
 
 // --- the repo itself ------------------------------------------------------
+
+TEST(LintTree, MetricInventoryGoldenMatchesTree) {
+  // The committed scripts/prom_families.txt must byte-match what the
+  // harvest renders from the tree — it feeds check_prom.awk's required-
+  // series lists and the DESIGN.md catalogue check, so drift here means
+  // the exporter contract and its validators have diverged.
+  const Config config = triad::lint::default_config();
+  const std::vector<triad::lint::SourceFile> files =
+      triad::lint::read_tree(TRIAD_LINT_SOURCE_ROOT, config);
+  const std::string rendered = triad::lint::render_metric_inventory(
+      triad::lint::harvest_metrics(files, config));
+  const std::string committed =
+      read_file(std::filesystem::path(TRIAD_LINT_SOURCE_ROOT) /
+                config.r9_inventory);
+  EXPECT_EQ(committed, rendered)
+      << "regenerate with: triad_lint --emit-metric-inventory "
+      << config.r9_inventory;
+  // Sanity: the harvest actually saw the tree (68 families as of PR 10).
+  EXPECT_GT(std::count(rendered.begin(), rendered.end(), '\n'), 50);
+}
 
 TEST(LintTree, RepoSourcesLintClean) {
   Config config = triad::lint::default_config();

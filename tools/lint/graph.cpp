@@ -1,0 +1,580 @@
+#include "graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "rules.h"
+
+namespace triad::lint {
+namespace {
+
+/// Returns the index just past the token matching the opener at `i`
+/// (toks[i] must equal `open`). Unbalanced input returns toks.size() —
+/// callers treat that as "statement runs to end of file" and stop.
+std::size_t skip_matched(const std::vector<Token>& toks, std::size_t i,
+                         const char* open, const char* close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].text == open) {
+      ++depth;
+    } else if (toks[i].text == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+// --- R6: include-graph layering -------------------------------------------
+
+/// Longest matching [R6] prefix wins; -1 = unlayered (no constraints).
+int rank_of(const std::string& path, const Config& cfg) {
+  int best_len = -1;
+  int best_rank = -1;
+  for (const LayerEntry& e : cfg.r6_layers) {
+    if (path.compare(0, e.prefix.size(), e.prefix) != 0) continue;
+    if (static_cast<int>(e.prefix.size()) > best_len) {
+      best_len = static_cast<int>(e.prefix.size());
+      best_rank = e.rank;
+    }
+  }
+  return best_rank;
+}
+
+/// Resolves an include string to a scanned file: relative to the
+/// including file's directory first (tools/lint/main.cpp includes
+/// "lint.h"), then against src/ (the repo's -I root: "obs/metrics.h"),
+/// then verbatim. Empty string = not a scanned repo file.
+std::string resolve_include(const std::string& from, const std::string& inc,
+                            const std::set<std::string>& known) {
+  const std::size_t slash = from.rfind('/');
+  if (slash != std::string::npos) {
+    const std::string local = from.substr(0, slash + 1) + inc;
+    if (known.count(local) != 0) return local;
+  }
+  const std::string under_src = "src/" + inc;
+  if (known.count(under_src) != 0) return under_src;
+  if (known.count(inc) != 0) return inc;
+  return {};
+}
+
+// --- R7: class member order -----------------------------------------------
+
+/// Identifiers that can never be a data-member name even when the token
+/// shape matches (e.g. `bool operator==(...)` puts "operator" before
+/// "=", and a trailing return type puts a type name before ";").
+bool member_name_blocked(const std::string& t) {
+  static const std::set<std::string> kBlocked = {
+      "operator", "const",    "constexpr", "noexcept", "override", "final",
+      "delete",   "default",  "void",      "int",      "bool",     "char",
+      "auto",     "double",   "float",     "long",     "short",    "unsigned",
+      "signed",   "this",     "nullptr",   "true",     "false",    "mutable",
+      "volatile", "decltype", "sizeof",    "return"};
+  return kBlocked.count(t) != 0;
+}
+
+/// Harvests every named class/struct definition's data members, in
+/// declaration order. Same name defined twice with different member
+/// lists (e.g. two `Config` structs in different namespaces) lands in
+/// `ambiguous` and is skipped by the ctor check.
+void harvest_classes(const std::vector<Token>& toks,
+                     std::map<std::string, std::vector<std::string>>* classes,
+                     std::set<std::string>* ambiguous) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        (toks[i].text != "class" && toks[i].text != "struct")) {
+      continue;
+    }
+    if (i > 0 && toks[i - 1].text == "enum") continue;  // enum class
+    std::size_t j = i + 1;
+    while (j + 1 < toks.size() && toks[j].text == "[" &&
+           toks[j + 1].text == "[") {
+      j = skip_matched(toks, j, "[", "]");  // [[attribute]]
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    const std::string name = toks[j].text;
+    ++j;
+    if (j < toks.size() && toks[j].text == "final") ++j;
+    if (j < toks.size() && toks[j].text == ":") {
+      // Base clause: runs to the body brace (template args may nest <>).
+      ++j;
+      int angle = 0;
+      while (j < toks.size()) {
+        if (toks[j].text == "<") ++angle;
+        else if (toks[j].text == ">") --angle;
+        else if (angle <= 0 && (toks[j].text == "{" || toks[j].text == ";"))
+          break;
+        ++j;
+      }
+    }
+    // Anything else ("class T>" in a template head, "class Foo;") is not
+    // a definition.
+    if (j >= toks.size() || toks[j].text != "{") continue;
+
+    std::vector<std::string> members;
+    std::size_t k = j + 1;
+    while (k < toks.size() && toks[k].text != "}") {
+      if (toks[k].kind == TokKind::kIdent &&
+          (toks[k].text == "public" || toks[k].text == "private" ||
+           toks[k].text == "protected") &&
+          k + 1 < toks.size() && toks[k + 1].text == ":") {
+        k += 2;
+        continue;
+      }
+      if (toks[k].text == ";") {
+        ++k;
+        continue;
+      }
+      // One declaration at class-body depth. Statements that cannot
+      // declare a data member (nested types, usings, statics, the
+      // class's own ctors/dtor) are traversed without recording.
+      bool record = true;
+      {
+        static const std::set<std::string> kSpecifiers = {
+            "explicit", "constexpr", "inline", "virtual"};
+        static const std::set<std::string> kNoMember = {
+            "static", "using", "typedef", "friend", "template",
+            "enum",   "class", "struct",  "union"};
+        std::size_t f = k;
+        while (f < toks.size() && toks[f].kind == TokKind::kIdent &&
+               kSpecifiers.count(toks[f].text) != 0) {
+          ++f;
+        }
+        if (f < toks.size() &&
+            ((toks[f].kind == TokKind::kIdent &&
+              (kNoMember.count(toks[f].text) != 0 || toks[f].text == name)) ||
+             toks[f].text == "~")) {
+          record = false;
+        }
+      }
+      std::string candidate;
+      std::size_t cand_at = 0;
+      bool after_eq = false;
+      while (k < toks.size()) {
+        const std::string& tx = toks[k].text;
+        if (tx == "}") break;  // class body closes mid-statement
+        if (tx == "(") {
+          k = skip_matched(toks, k, "(", ")");
+          continue;
+        }
+        if (tx == "[") {
+          k = skip_matched(toks, k, "[", "]");
+          continue;
+        }
+        if (tx == ";") {
+          ++k;
+          break;
+        }
+        if (tx == "{") {
+          // Brace-init (`std::atomic<u32> x_{0};`) iff the brace follows
+          // the candidate just recorded; otherwise it is a function or
+          // nested-type body and the statement ends with it.
+          const bool brace_init =
+              !after_eq && !candidate.empty() && cand_at + 1 == k;
+          k = skip_matched(toks, k, "{", "}");
+          if (!brace_init && !after_eq) {
+            if (k < toks.size() && toks[k].text == ";") ++k;
+            break;
+          }
+          continue;
+        }
+        if (tx == "=") {
+          after_eq = true;
+          ++k;
+          continue;
+        }
+        if (tx == "->") record = false;  // trailing return type follows
+        if (record && !after_eq && toks[k].kind == TokKind::kIdent &&
+            !member_name_blocked(tx) && k + 1 < toks.size()) {
+          const std::string& nx = toks[k + 1].text;
+          if (nx == ";" || nx == "=" || nx == "{" || nx == "[") {
+            candidate = tx;
+            cand_at = k;
+          }
+        }
+        ++k;
+      }
+      if (!candidate.empty()) members.push_back(candidate);
+    }
+
+    const auto it = classes->find(name);
+    if (it == classes->end()) {
+      (*classes)[name] = std::move(members);
+    } else if (it->second != members) {
+      ambiguous->insert(name);
+    }
+  }
+}
+
+void check_ctors(const SourceFile& file, const std::vector<Token>& toks,
+                 const std::map<std::string, std::vector<std::string>>& classes,
+                 const std::set<std::string>& ambiguous,
+                 std::vector<Diagnostic>* out) {
+  // Tokens that can precede a ctor name in a class body; call
+  // expressions (prev '=', ',', 'return', ...) never match, and the
+  // out-of-line form requires the `C::C(` shape.
+  static const std::set<std::string> kInClassPrev = {
+      ";",      "{",       "}",         ":",     ">",
+      "public", "private", "protected", "explicit", "constexpr", "inline"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const auto cls = classes.find(toks[i].text);
+    if (cls == classes.end() || ambiguous.count(toks[i].text) != 0) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    const bool out_of_line = i >= 2 && toks[i - 1].text == "::" &&
+                             toks[i - 2].text == toks[i].text;
+    const bool in_class =
+        i == 0 || kInClassPrev.count(toks[i - 1].text) != 0;
+    if (!out_of_line && !in_class) continue;
+
+    std::size_t j = skip_matched(toks, i + 1, "(", ")");
+    while (j < toks.size() && toks[j].text == "noexcept") {
+      ++j;
+      if (j < toks.size() && toks[j].text == "(") {
+        j = skip_matched(toks, j, "(", ")");
+      }
+    }
+    if (j >= toks.size() || toks[j].text != ":") continue;
+    ++j;
+
+    const std::vector<std::string>& members = cls->second;
+    const auto member_index = [&members](const std::string& n) {
+      for (std::size_t x = 0; x < members.size(); ++x) {
+        if (members[x] == n) return static_cast<int>(x);
+      }
+      return -1;
+    };
+
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") {
+      if (toks[j].kind != TokKind::kIdent) {
+        ++j;
+        continue;
+      }
+      const std::string m = toks[j].text;
+      ++j;
+      if (j >= toks.size() || (toks[j].text != "(" && toks[j].text != "{")) {
+        continue;
+      }
+      const bool paren = toks[j].text == "(";
+      const std::size_t end = paren ? skip_matched(toks, j, "(", ")")
+                                    : skip_matched(toks, j, "{", "}");
+      const int m_idx = member_index(m);  // -1: base-class initializer
+      if (m_idx >= 0) {
+        for (std::size_t e = j + 1; e + 1 < end; ++e) {
+          // A lambda in an initializer defers execution — by call time
+          // every member is constructed — so its body is skipped.
+          if (toks[e].text == "[" &&
+              !(toks[e - 1].kind == TokKind::kIdent ||
+                toks[e - 1].text == ")" || toks[e - 1].text == "]")) {
+            std::size_t l = skip_matched(toks, e, "[", "]");
+            if (l < end && toks[l].text == "(") {
+              l = skip_matched(toks, l, "(", ")");
+            }
+            if (l < end && toks[l].text == "{") {
+              l = skip_matched(toks, l, "{", "}");
+            }
+            e = l - 1;
+            continue;
+          }
+          if (toks[e].kind != TokKind::kIdent) continue;
+          if (toks[e - 1].text == "." || toks[e - 1].text == "->" ||
+              toks[e - 1].text == "::") {
+            continue;  // member of some other object / qualified name
+          }
+          if (member_index(toks[e].text) > m_idx) {
+            out->push_back(Diagnostic{
+                "R7", file.rel_path, toks[e].line, toks[e].text,
+                "constructor initializer for '" + m + "' reads member '" +
+                    toks[e].text + "' declared later in " + toks[i].text +
+                    " — members initialize in declaration order, so '" +
+                    toks[e].text +
+                    "' is not yet constructed here (the PR 9 "
+                    "TelemetryServer error_/listener_ bug class, which "
+                    "-Wreorder does not catch); reorder the declarations "
+                    "or drop the dependency"});
+          }
+        }
+      }
+      j = end;
+    }
+  }
+}
+
+// --- R9: metric inventory --------------------------------------------------
+
+/// "" = not a registration ident.
+std::string metric_kind(const std::string& ident) {
+  if (ident == "counter" || ident == "counter_fn" || ident == "count") {
+    return "counter";
+  }
+  if (ident == "gauge" || ident == "gauge_fn") return "gauge";
+  if (ident == "histogram") return "histogram";
+  return {};
+}
+
+bool family_name_matches(const std::string& s, const Config& cfg) {
+  for (const std::string& prefix : cfg.r9_prefixes) {
+    if (s.size() <= prefix.size() ||
+        s.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const bool clean = std::all_of(s.begin(), s.end(), [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    });
+    if (clean) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_r6(const std::vector<SourceFile>& files,
+              const std::vector<LexOutput>& lexed, const Config& cfg,
+              std::vector<Diagnostic>* out) {
+  if (cfg.r6_layers.empty()) return;
+  std::set<std::string> known;
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    known.insert(files[i].rel_path);
+    index_of[files[i].rel_path] = i;
+  }
+  struct Edge {
+    std::size_t target;
+    const IncludeDirective* inc;
+  };
+  std::vector<std::vector<Edge>> adj(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const int source_rank = rank_of(files[i].rel_path, cfg);
+    for (const IncludeDirective& inc : lexed[i].includes) {
+      const std::string target =
+          resolve_include(files[i].rel_path, inc.path, known);
+      if (target.empty()) continue;
+      adj[i].push_back(Edge{index_of.at(target), &inc});
+      const int target_rank = rank_of(target, cfg);
+      if (source_rank >= 0 && target_rank >= 0 && target_rank > source_rank) {
+        out->push_back(Diagnostic{
+            "R6", files[i].rel_path, inc.line, inc.path,
+            "layering violation: '" + files[i].rel_path + "' (layer " +
+                std::to_string(source_rank) + ") includes '" + target +
+                "' (layer " + std::to_string(target_rank) +
+                ") — includes must point down the layer order util < "
+                "runtime/substrate < crypto/net < protocol < obs < apps "
+                "(see DESIGN.md §2.4); invert the dependency or add a "
+                "named [allow] entry"});
+      }
+    }
+  }
+  // Cycle detection: any back edge in a DFS over the include graph.
+  // Deterministic: files are visited in sorted path order, edges in
+  // include order.
+  std::vector<int> color(files.size(), 0);  // 0 white, 1 gray, 2 black
+  struct Frame {
+    std::size_t node;
+    std::size_t edge;
+  };
+  for (std::size_t s = 0; s < files.size(); ++s) {
+    if (color[s] != 0) continue;
+    std::vector<Frame> stack{{s, 0}};
+    color[s] = 1;
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      if (fr.edge < adj[fr.node].size()) {
+        const Edge& edge = adj[fr.node][fr.edge++];
+        if (color[edge.target] == 0) {
+          color[edge.target] = 1;
+          stack.push_back(Frame{edge.target, 0});
+        } else if (color[edge.target] == 1) {
+          out->push_back(Diagnostic{
+              "R6", files[fr.node].rel_path, edge.inc->line, edge.inc->path,
+              "include cycle: '" + files[fr.node].rel_path +
+                  "' includes '" + files[edge.target].rel_path +
+                  "' which (transitively) includes it back — break the "
+                  "cycle with a forward declaration or an interface "
+                  "split"});
+        }
+      } else {
+        color[fr.node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+void check_r7(const std::vector<SourceFile>& files,
+              const std::vector<LexOutput>& lexed,
+              std::vector<Diagnostic>* out) {
+  std::map<std::string, std::vector<std::string>> classes;
+  std::set<std::string> ambiguous;
+  for (const LexOutput& lx : lexed) {
+    harvest_classes(lx.tokens, &classes, &ambiguous);
+  }
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    check_ctors(files[i], lexed[i].tokens, classes, ambiguous, out);
+  }
+}
+
+MetricInventory harvest_metrics_lexed(const std::vector<SourceFile>& files,
+                                      const std::vector<LexOutput>& lexed,
+                                      const Config& cfg) {
+  MetricInventory inv;
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const std::string& path = files[f].rel_path;
+    if (path.compare(0, 4, "src/") != 0) continue;
+    const std::vector<Token>& toks = lexed[f].tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const bool is_help = toks[i].text == "set_help";
+      const std::string kind = metric_kind(toks[i].text);
+      if (kind.empty() && !is_help) continue;
+      if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+      if (toks[i].text == "count" && i > 0 &&
+          (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+           toks[i - 1].text == "::")) {
+        continue;  // std::set::count etc. — the helper idiom is a bare call
+      }
+      const std::size_t end = skip_matched(toks, i + 1, "(", ")");
+      // Family = first string literal in the call matching an [R9] prefix.
+      std::string family;
+      for (std::size_t a = i + 2; a + 1 < end; ++a) {
+        if (toks[a].kind == TokKind::kString &&
+            family_name_matches(toks[a].text, cfg)) {
+          family = toks[a].text;
+          break;
+        }
+      }
+      if (family.empty()) continue;  // helper body passing a variable name
+      MetricFamily& fam = inv[family];
+      fam.sites.push_back(MetricSite{path, toks[i].line, kind});
+      if (is_help) {
+        fam.has_help = true;
+      } else {
+        fam.registered = true;
+        fam.kinds.insert(kind);
+        // Literal label pairs: { "key", "value" }; a computed value
+        // ({"node", id}) records "*".
+        for (std::size_t a = i + 2; a + 2 < end; ++a) {
+          if (toks[a].text != "{" || toks[a + 1].kind != TokKind::kString ||
+              toks[a + 2].text != ",") {
+            continue;
+          }
+          const std::string& key = toks[a + 1].text;
+          if (a + 4 < end && toks[a + 3].kind == TokKind::kString &&
+              toks[a + 4].text == "}") {
+            fam.labels[key].insert(toks[a + 3].text);
+          } else {
+            fam.labels[key].insert("*");
+          }
+        }
+      }
+    }
+  }
+  return inv;
+}
+
+void check_r9_inventory(const MetricInventory& inventory,
+                        std::vector<Diagnostic>* out) {
+  for (const auto& [name, fam] : inventory) {
+    if (fam.kinds.size() > 1) {
+      // First registered kind wins; every site of a different kind is a
+      // conflict diagnostic.
+      std::string first_kind;
+      for (const MetricSite& site : fam.sites) {
+        if (site.kind.empty()) continue;
+        if (first_kind.empty()) {
+          first_kind = site.kind;
+          continue;
+        }
+        if (site.kind != first_kind) {
+          out->push_back(Diagnostic{
+              "R9", site.file, site.line, name,
+              "metric family '" + name + "' re-registered as " + site.kind +
+                  " but first registered as " + first_kind +
+                  " — a family has exactly one kind across the tree "
+                  "(Prometheus TYPE lines and check_prom.awk both assume "
+                  "it)"});
+        }
+      }
+    }
+    if (fam.has_help && !fam.registered) {
+      for (const MetricSite& site : fam.sites) {
+        if (!site.kind.empty()) continue;
+        out->push_back(Diagnostic{
+            "R9", site.file, site.line, name,
+            "set_help for metric family '" + name +
+                "' which is never registered — orphan help text means the "
+                "family was renamed or removed; delete the set_help or "
+                "register the family"});
+        break;
+      }
+    }
+  }
+}
+
+void check_r9_tree(const MetricInventory& inventory, const Config& cfg,
+                   const std::vector<std::string>& doc_texts,
+                   const std::string& committed,
+                   std::vector<Diagnostic>* out) {
+  for (std::size_t d = 0; d < cfg.r9_docs.size(); ++d) {
+    const std::string& doc = cfg.r9_docs[d];
+    const std::string& text = d < doc_texts.size() ? doc_texts[d] : "";
+    if (text.empty()) {
+      out->push_back(Diagnostic{
+          "R9", doc, 1, "missing",
+          "metric catalogue file '" + doc +
+              "' is missing or empty — the [R9] docs list expects every "
+              "registered family to be documented there"});
+      continue;
+    }
+    for (const auto& [name, fam] : inventory) {
+      if (!fam.registered) continue;
+      if (text.find(name) == std::string::npos) {
+        out->push_back(Diagnostic{
+            "R9", doc, 1, name,
+            "metric family '" + name + "' (first registered at " +
+                fam.sites.front().file + ":" +
+                std::to_string(fam.sites.front().line) +
+                ") is not documented in " + doc +
+                " — add it to the metric catalogue"});
+      }
+    }
+  }
+  if (!cfg.r9_inventory.empty()) {
+    const std::string rendered = render_metric_inventory(inventory);
+    if (committed != rendered) {
+      out->push_back(Diagnostic{
+          "R9", cfg.r9_inventory, 1, "stale",
+          "committed metric inventory does not match the tree — "
+          "regenerate with `triad_lint --emit-metric-inventory " +
+              cfg.r9_inventory + "`"});
+    }
+  }
+}
+
+std::string render_metric_inventory(const MetricInventory& inventory) {
+  std::string out =
+      "# GENERATED by `triad_lint --emit-metric-inventory`; do not edit.\n"
+      "# Every metric family registered via the obs Registry across src/.\n"
+      "# Format: <kind> <family> [<label>=<v1|v2|...>]...  (* = runtime "
+      "value)\n";
+  for (const auto& [name, fam] : inventory) {
+    if (!fam.registered) continue;
+    std::string line;
+    for (const std::string& kind : fam.kinds) {
+      line += line.empty() ? kind : "|" + kind;
+    }
+    line += " " + name;
+    for (const auto& [key, values] : fam.labels) {
+      line += " " + key + "=";
+      bool first = true;
+      for (const std::string& v : values) {
+        if (!first) line += "|";
+        line += v;
+        first = false;
+      }
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace triad::lint

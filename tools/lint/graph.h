@@ -1,0 +1,63 @@
+// Cross-file analyses: these see the whole scanned tree at once, not one
+// translation unit.
+//   R6  include-graph layering + cycle detection;
+//   R7  constructor init-list order against declared member order;
+//   R9  metric family inventory harvested from obs Registry calls.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace triad::lint {
+
+/// R6: for every quoted include between two *layered* files (both paths
+/// match a [R6] layer prefix; longest prefix wins), flag edges that point
+/// UP the layer order (rank(target) > rank(source)), and any include
+/// cycle among scanned files. Includes are resolved relative to the
+/// including file's directory, then against "src/<path>", then verbatim.
+/// The diagnostic token is the include string as written, so allow
+/// entries name the exact edge ("R6 src/net/network.h sim/simulation.h").
+void check_r6(const std::vector<SourceFile>& files,
+              const std::vector<LexOutput>& lexed, const Config& cfg,
+              std::vector<Diagnostic>* out);
+
+/// R7: harvests every class/struct definition's member declaration order
+/// tree-wide, then checks every constructor initializer list (in-class
+/// and out-of-line `C::C(...) : ...`): an initializer expression that
+/// reads a member declared *after* the member being initialized is
+/// flagged — members initialize in declaration order, so the read sees
+/// an unconstructed object (the PR 9 TelemetryServer error_/listener_
+/// bug, which -Wreorder does not catch). Lambda bodies inside
+/// initializer expressions are skipped: deferred execution is not an
+/// initialization-order hazard. Classes whose name is defined more than
+/// once with differing member lists are skipped as ambiguous.
+void check_r7(const std::vector<SourceFile>& files,
+              const std::vector<LexOutput>& lexed,
+              std::vector<Diagnostic>* out);
+
+/// R9 harvest over already-lexed sources (only files under src/
+/// participate). The public harvest_metrics() in lint.h wraps this.
+[[nodiscard]] MetricInventory harvest_metrics_lexed(
+    const std::vector<SourceFile>& files, const std::vector<LexOutput>& lexed,
+    const Config& cfg);
+
+/// R9 per-inventory diagnostics that need no external text: a family
+/// registered under conflicting kinds, and a set_help() for a family
+/// never registered (orphan help).
+void check_r9_inventory(const MetricInventory& inventory,
+                        std::vector<Diagnostic>* out);
+
+/// R9 cross-checks that need tree context: every family must appear in
+/// each documentation file named by [R9] docs (catalogue drift), and the
+/// committed inventory file must byte-match the rendered one (run
+/// `triad_lint --emit-metric-inventory` to regenerate). `doc_texts` and
+/// `committed` are the file contents, empty string = file missing.
+void check_r9_tree(const MetricInventory& inventory, const Config& cfg,
+                   const std::vector<std::string>& doc_texts,
+                   const std::string& committed,
+                   std::vector<Diagnostic>* out);
+
+}  // namespace triad::lint

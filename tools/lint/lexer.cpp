@@ -1,0 +1,223 @@
+#include "lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace triad::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexOutput run() {
+    LexOutput out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        skip_preprocessor(&out);
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        out.comment_lines.insert(line_);
+        skip_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment(&out);
+        continue;
+      }
+      if (c == '"') {
+        out.tokens.push_back(lex_string());
+        continue;
+      }
+      if (c == '\'') {
+        skip_char_literal();
+        continue;
+      }
+      if (ident_start(c)) {
+        Token t = lex_identifier();
+        // Raw string literal: R"( ... )" (also u8R, uR, UR, LR).
+        if (pos_ < src_.size() && src_[pos_] == '"' &&
+            (t.text == "R" || t.text == "u8R" || t.text == "uR" ||
+             t.text == "UR" || t.text == "LR")) {
+          out.tokens.push_back(lex_raw_string());
+        } else {
+          out.tokens.push_back(std::move(t));
+        }
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        out.tokens.push_back(lex_number());
+        continue;
+      }
+      out.tokens.push_back(lex_punct());
+    }
+    return out;
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void skip_preprocessor(LexOutput* out) {
+    // Whole directive, honouring backslash-newline continuations, so
+    // `#include <unordered_map>` never feeds rule matching. Quoted
+    // includes are captured for the R6 layering graph.
+    const int directive_line = line_;
+    std::string body;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        break;
+      }
+      body += src_[pos_];
+      ++pos_;
+    }
+    // body is e.g. `#include "obs/metrics.h"  // comment`.
+    std::size_t i = 1;  // past '#'
+    while (i < body.size() && (body[i] == ' ' || body[i] == '\t')) ++i;
+    if (body.compare(i, 7, "include") != 0) return;
+    i += 7;
+    while (i < body.size() && (body[i] == ' ' || body[i] == '\t')) ++i;
+    if (i >= body.size() || body[i] != '"') return;
+    const std::size_t close = body.find('"', i + 1);
+    if (close == std::string::npos) return;
+    out->includes.push_back(
+        IncludeDirective{body.substr(i + 1, close - i - 1), directive_line});
+  }
+
+  void skip_line_comment() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+  }
+
+  void skip_block_comment(LexOutput* out) {
+    out->comment_lines.insert(line_);
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        out->comment_lines.insert(line_);
+      }
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  Token lex_string() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string content;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        content += src_[pos_];
+        content += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') ++line_;  // ill-formed, but keep counting
+      content += src_[pos_];
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    return Token{TokKind::kString, std::move(content), start_line};
+  }
+
+  Token lex_raw_string() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    if (pos_ < src_.size()) ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string content;
+    while (pos_ < src_.size() &&
+           src_.compare(pos_, closer.size(), closer) != 0) {
+      if (src_[pos_] == '\n') ++line_;
+      content += src_[pos_++];
+    }
+    pos_ = std::min(src_.size(), pos_ + closer.size());
+    return Token{TokKind::kString, std::move(content), start_line};
+  }
+
+  void skip_char_literal() {
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;
+  }
+
+  Token lex_identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    return Token{TokKind::kIdent,
+                 std::string(src_.substr(start, pos_ - start)), line_};
+  }
+
+  Token lex_number() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (ident_char(src_[pos_]) || src_[pos_] == '.' ||
+            src_[pos_] == '\'')) {
+      ++pos_;
+    }
+    return Token{TokKind::kNumber,
+                 std::string(src_.substr(start, pos_ - start)), line_};
+  }
+
+  Token lex_punct() {
+    const char c = src_[pos_];
+    if (c == ':' && peek(1) == ':') {
+      pos_ += 2;
+      return Token{TokKind::kPunct, "::", line_};
+    }
+    if (c == '-' && peek(1) == '>') {
+      pos_ += 2;
+      return Token{TokKind::kPunct, "->", line_};
+    }
+    ++pos_;
+    return Token{TokKind::kPunct, std::string(1, c), line_};
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+LexOutput lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace triad::lint

@@ -1,0 +1,45 @@
+// triad_lint lexer — just enough C++ lexing for rule matching.
+//
+// Identifiers, numbers, string literals (content retained for R3), and
+// punctuation ("::" and "->" merged, everything else single-char).
+// Comments and preprocessor directives are skipped from the token
+// stream, but two side channels survive for the cross-file rules:
+//   - quoted `#include "..."` directives with their line numbers (R6
+//     builds the repo include DAG from them);
+//   - the set of lines carrying a comment (R8's "(void) cast needs a
+//     named reason" check asks whether the cast line has one).
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace triad::lint {
+
+enum class TokKind { kIdent, kNumber, kString, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+/// One `#include "path"` directive (angle-bracket includes are system
+/// headers and never participate in the repo layering graph).
+struct IncludeDirective {
+  std::string path;  // as written, e.g. "obs/metrics.h"
+  int line = 0;
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::set<int> comment_lines;  // every line touched by // or /* */
+};
+
+/// Tokenizes one translation unit. Never fails: ill-formed input just
+/// yields fewer/odd tokens, which is fine for lint matching.
+[[nodiscard]] LexOutput lex(std::string_view source);
+
+}  // namespace triad::lint

@@ -1,430 +1,66 @@
+// Orchestration: built-in defaults, per-file and tree-wide lint entry
+// points. The actual analyses live in rules.cpp (per-file R1–R4, R8)
+// and graph.cpp (cross-file R6/R7/R9); reporting plumbing in report.cpp.
 #include "lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <tuple>
+
+#include "graph.h"
+#include "lexer.h"
+#include "rules.h"
 
 namespace triad::lint {
 namespace {
 
-// --- tokenizer ------------------------------------------------------------
-//
-// Just enough C++ lexing for rule matching: identifiers, numbers, string
-// literals (content retained for R3), and punctuation ("::" and "->"
-// merged, everything else single-char). Comments and preprocessor
-// directives are skipped; line numbers are preserved throughout.
-
-enum class TokKind { kIdent, kNumber, kString, kPunct };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+/// R8's watched names for one file are its R1 [allow] syscall tokens:
+/// a syscall allowed into a file is automatically return-checked there,
+/// so the two lists cannot drift apart.
+std::vector<std::string> r8_syscalls_for(const std::string& path,
+                                         const Config& cfg) {
+  std::vector<std::string> names;
+  for (const AllowEntry& entry : cfg.allow) {
+    if (entry.rule == "R1" && entry.file == path && entry.token != "*") {
+      names.push_back(entry.token);
+    }
+  }
+  return names;
 }
 
-class Lexer {
- public:
-  explicit Lexer(std::string_view src) : src_(src) {}
-
-  std::vector<Token> run() {
-    std::vector<Token> tokens;
-    while (pos_ < src_.size()) {
-      const char c = src_[pos_];
-      if (c == '\n') {
-        ++line_;
-        ++pos_;
-        at_line_start_ = true;
-        continue;
-      }
-      if (c == ' ' || c == '\t' || c == '\r') {
-        ++pos_;
-        continue;
-      }
-      if (c == '#' && at_line_start_) {
-        skip_preprocessor();
-        continue;
-      }
-      at_line_start_ = false;
-      if (c == '/' && peek(1) == '/') {
-        skip_line_comment();
-        continue;
-      }
-      if (c == '/' && peek(1) == '*') {
-        skip_block_comment();
-        continue;
-      }
-      if (c == '"') {
-        tokens.push_back(lex_string());
-        continue;
-      }
-      if (c == '\'') {
-        skip_char_literal();
-        continue;
-      }
-      if (ident_start(c)) {
-        Token t = lex_identifier();
-        // Raw string literal: R"( ... )" (also u8R, uR, UR, LR).
-        if (pos_ < src_.size() && src_[pos_] == '"' &&
-            (t.text == "R" || t.text == "u8R" || t.text == "uR" ||
-             t.text == "UR" || t.text == "LR")) {
-          tokens.push_back(lex_raw_string());
-        } else {
-          tokens.push_back(std::move(t));
-        }
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-        tokens.push_back(lex_number());
-        continue;
-      }
-      tokens.push_back(lex_punct());
-    }
-    return tokens;
+void run_file_rules(const std::string& rel_path, const LexOutput& lexed,
+                    const Config& config, std::vector<Diagnostic>* diags) {
+  check_r1(rel_path, lexed.tokens, config, diags);
+  if (in_file_list(rel_path, config.r2_files)) {
+    check_r2(rel_path, lexed.tokens, diags);
   }
-
- private:
-  char peek(std::size_t ahead) const {
-    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  if (in_file_list(rel_path, config.r3_files)) {
+    check_r3(rel_path, lexed.tokens, diags);
   }
-
-  void skip_preprocessor() {
-    // Whole directive, honouring backslash-newline continuations, so
-    // `#include <unordered_map>` never feeds rule matching.
-    while (pos_ < src_.size()) {
-      if (src_[pos_] == '\\' && peek(1) == '\n') {
-        ++line_;
-        pos_ += 2;
-        continue;
-      }
-      if (src_[pos_] == '\n') {
-        ++line_;
-        ++pos_;
-        at_line_start_ = true;
-        return;
-      }
-      ++pos_;
-    }
+  if (in_file_list(rel_path, config.r4_files)) {
+    check_r4(rel_path, lexed.tokens, config, diags);
   }
-
-  void skip_line_comment() {
-    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
-  }
-
-  void skip_block_comment() {
-    pos_ += 2;
-    while (pos_ < src_.size()) {
-      if (src_[pos_] == '\n') ++line_;
-      if (src_[pos_] == '*' && peek(1) == '/') {
-        pos_ += 2;
-        return;
-      }
-      ++pos_;
-    }
-  }
-
-  Token lex_string() {
-    const int start_line = line_;
-    ++pos_;  // opening quote
-    std::string content;
-    while (pos_ < src_.size() && src_[pos_] != '"') {
-      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
-        content += src_[pos_];
-        content += src_[pos_ + 1];
-        pos_ += 2;
-        continue;
-      }
-      if (src_[pos_] == '\n') ++line_;  // ill-formed, but keep counting
-      content += src_[pos_];
-      ++pos_;
-    }
-    if (pos_ < src_.size()) ++pos_;  // closing quote
-    return Token{TokKind::kString, std::move(content), start_line};
-  }
-
-  Token lex_raw_string() {
-    const int start_line = line_;
-    ++pos_;  // opening quote
-    std::string delim;
-    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
-    if (pos_ < src_.size()) ++pos_;  // '('
-    const std::string closer = ")" + delim + "\"";
-    std::string content;
-    while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer) != 0) {
-      if (src_[pos_] == '\n') ++line_;
-      content += src_[pos_++];
-    }
-    pos_ = std::min(src_.size(), pos_ + closer.size());
-    return Token{TokKind::kString, std::move(content), start_line};
-  }
-
-  void skip_char_literal() {
-    ++pos_;
-    while (pos_ < src_.size() && src_[pos_] != '\'') {
-      if (src_[pos_] == '\\') ++pos_;
-      ++pos_;
-    }
-    if (pos_ < src_.size()) ++pos_;
-  }
-
-  Token lex_identifier() {
-    const std::size_t start = pos_;
-    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
-    return Token{TokKind::kIdent, std::string(src_.substr(start, pos_ - start)),
-                 line_};
-  }
-
-  Token lex_number() {
-    const std::size_t start = pos_;
-    while (pos_ < src_.size() &&
-           (ident_char(src_[pos_]) || src_[pos_] == '.' || src_[pos_] == '\'')) {
-      ++pos_;
-    }
-    return Token{TokKind::kNumber,
-                 std::string(src_.substr(start, pos_ - start)), line_};
-  }
-
-  Token lex_punct() {
-    const char c = src_[pos_];
-    if (c == ':' && peek(1) == ':') {
-      pos_ += 2;
-      return Token{TokKind::kPunct, "::", line_};
-    }
-    if (c == '-' && peek(1) == '>') {
-      pos_ += 2;
-      return Token{TokKind::kPunct, "->", line_};
-    }
-    ++pos_;
-    return Token{TokKind::kPunct, std::string(1, c), line_};
-  }
-
-  std::string_view src_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-  bool at_line_start_ = true;
-};
-
-// --- path helpers ---------------------------------------------------------
-
-bool has_prefix(const std::string& path, const std::vector<std::string>& set) {
-  return std::any_of(set.begin(), set.end(), [&path](const std::string& p) {
-    return path.compare(0, p.size(), p) == 0;
-  });
-}
-
-bool in_file_list(const std::string& path, const std::vector<std::string>& set) {
-  return std::any_of(set.begin(), set.end(), [&path](const std::string& p) {
-    if (!p.empty() && p.back() == '/') return path.compare(0, p.size(), p) == 0;
-    return path == p;
-  });
-}
-
-// --- rules ----------------------------------------------------------------
-
-void check_r1(const std::string& path, const std::vector<Token>& tokens,
-              const Config& cfg, std::vector<Diagnostic>* out) {
-  if (has_prefix(path, cfg.r1_exempt_prefixes)) return;
-  const std::set<std::string> banned(cfg.r1_banned.begin(), cfg.r1_banned.end());
-  const std::set<std::string> call_only(cfg.r1_call_only.begin(),
-                                        cfg.r1_call_only.end());
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
-    const Token& t = tokens[i];
-    if (t.kind != TokKind::kIdent || banned.count(t.text) == 0) continue;
-    if (call_only.count(t.text) != 0) {
-      // Only the call form is banned ("time(", "rand(", "getenv(").
-      if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;
-      // "time(" must be the C library function, not a member/local named
-      // time: require a preceding "::" (::time / std::time).
-      if (t.text == "time" && (i == 0 || tokens[i - 1].text != "::")) continue;
-      // A member call (x.rand(), obj->getenv()) is someone else's API.
-      if (i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->")) {
-        continue;
-      }
-    }
-    out->push_back(Diagnostic{
-        "R1", path, t.line, t.text,
-        "banned nondeterminism source '" + t.text +
-            "' — all time must flow from runtime::Clock and all randomness "
-            "from the per-run Rng; wall time only via runtime::MonotonicTimer "
-            "(src/runtime/monotonic_timer.h is the sole binding site)"});
+  if (in_file_list(rel_path, config.r8_files)) {
+    check_r8(rel_path, lexed, r8_syscalls_for(rel_path, config), diags);
   }
 }
 
-void check_r2(const std::string& path, const std::vector<Token>& tokens,
-              std::vector<Diagnostic>* out) {
-  static const std::set<std::string> kUnorderedTypes = {
-      "unordered_map", "unordered_set", "unordered_multimap",
-      "unordered_multiset"};
-  static const std::set<std::string> kIterFns = {"begin",  "end",  "cbegin",
-                                                 "cend",   "rbegin", "rend"};
-  // Pass 1: names declared with an unordered container type.
-  std::set<std::string> declared;
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
-    if (tokens[i].kind != TokKind::kIdent ||
-        kUnorderedTypes.count(tokens[i].text) == 0) {
-      continue;
-    }
-    std::size_t j = i + 1;
-    if (j < tokens.size() && tokens[j].text == "<") {
-      int depth = 1;
-      ++j;
-      while (j < tokens.size() && depth > 0) {
-        if (tokens[j].text == "<") ++depth;
-        if (tokens[j].text == ">") --depth;
-        ++j;
-      }
-    }
-    while (j < tokens.size() &&
-           (tokens[j].text == "&" || tokens[j].text == "*" ||
-            tokens[j].text == "const")) {
-      ++j;
-    }
-    if (j < tokens.size() && tokens[j].kind == TokKind::kIdent) {
-      declared.insert(tokens[j].text);
-    }
-  }
-  const auto flag = [&](const Token& at, const std::string& name) {
-    out->push_back(Diagnostic{
-        "R2", path, at.line, name,
-        "iteration over unordered container '" + name +
-            "' in a byte-stable export path — hash order is not part of the "
-            "determinism contract; iterate a sorted copy or an ordered "
-            "container"});
-  };
-  // Pass 2a: range-for whose range expression mentions a declared name
-  // (or an unordered type directly).
-  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
-    if (tokens[i].text != "for" || tokens[i + 1].text != "(") continue;
-    std::size_t j = i + 2;
-    int depth = 1;
-    bool has_semicolon = false;
-    std::size_t colon = 0;
-    while (j < tokens.size() && depth > 0) {
-      if (tokens[j].text == "(") ++depth;
-      if (tokens[j].text == ")") --depth;
-      if (depth == 1 && tokens[j].text == ";") has_semicolon = true;
-      if (depth == 1 && colon == 0 && tokens[j].text == ":") colon = j;
-      ++j;
-    }
-    if (has_semicolon || colon == 0) continue;  // classic for / no range
-    for (std::size_t k = colon + 1; k + 1 < j; ++k) {
-      if (tokens[k].kind != TokKind::kIdent) continue;
-      if (declared.count(tokens[k].text) != 0 ||
-          kUnorderedTypes.count(tokens[k].text) != 0) {
-        flag(tokens[i], tokens[k].text);
-        break;
-      }
-    }
-  }
-  // Pass 2b: explicit iterator loops — name.begin() / name.cbegin() ...
-  for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
-    if (tokens[i].kind == TokKind::kIdent &&
-        declared.count(tokens[i].text) != 0 &&
-        (tokens[i + 1].text == "." || tokens[i + 1].text == "->") &&
-        kIterFns.count(tokens[i + 2].text) != 0 &&
-        tokens[i + 3].text == "(") {
-      flag(tokens[i], tokens[i].text);
-    }
-  }
-}
-
-void check_r3(const std::string& path, const std::vector<Token>& tokens,
-              std::vector<Diagnostic>* out) {
-  for (const Token& t : tokens) {
-    if (t.kind != TokKind::kString) continue;
-    const std::string& s = t.text;
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      if (s[i] != '%') continue;
-      std::size_t j = i + 1;
-      if (j < s.size() && s[j] == '%') {
-        i = j;
-        continue;
-      }
-      while (j < s.size() && (s[j] == '-' || s[j] == '+' || s[j] == ' ' ||
-                              s[j] == '#' || s[j] == '0' || s[j] == '\'')) {
-        ++j;
-      }
-      while (j < s.size() && (std::isdigit(static_cast<unsigned char>(s[j])) ||
-                              s[j] == '*')) {
-        ++j;
-      }
-      bool has_precision = false;
-      if (j < s.size() && s[j] == '.') {
-        has_precision = true;
-        ++j;
-        while (j < s.size() &&
-               (std::isdigit(static_cast<unsigned char>(s[j])) || s[j] == '*')) {
-          ++j;
-        }
-      }
-      while (j < s.size() && (s[j] == 'h' || s[j] == 'l' || s[j] == 'L' ||
-                              s[j] == 'q' || s[j] == 'j' || s[j] == 'z' ||
-                              s[j] == 't')) {
-        ++j;
-      }
-      if (j < s.size() && !has_precision &&
-          (s[j] == 'f' || s[j] == 'F' || s[j] == 'g' || s[j] == 'G' ||
-           s[j] == 'e' || s[j] == 'E')) {
-        const std::string spec = s.substr(i, j - i + 1);
-        out->push_back(Diagnostic{
-            "R3", path, t.line, spec,
-            "float conversion '" + spec +
-                "' without an explicit precision — exported bytes must not "
-                "depend on default-precision rounding; use %.9g (or a fixed "
-                "%.Nf)"});
-      }
-      i = j;
-    }
-  }
-}
-
-void check_r4(const std::string& path, const std::vector<Token>& tokens,
-              const Config& cfg, std::vector<Diagnostic>* out) {
-  const std::set<std::string> banned(cfg.r4_banned.begin(), cfg.r4_banned.end());
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
-    const Token& t = tokens[i];
-    if (t.kind != TokKind::kIdent) continue;
-    std::string hit;
-    if (t.text == "function" && banned.count("function") != 0) {
-      if (i >= 2 && tokens[i - 1].text == "::" && tokens[i - 2].text == "std") {
-        hit = "std::function";
-      }
-    } else if (banned.count(t.text) != 0 && t.text != "function") {
-      // Member calls (allocator.malloc(...)) are someone else's API.
-      if (i > 0 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->")) {
-        continue;
-      }
-      hit = t.text;
-    }
-    if (hit.empty()) continue;
-    out->push_back(Diagnostic{
-        "R4", path, t.line, hit,
-        "allocation/type-erasure '" + hit +
-            "' in a designated hot-path file — the event/packet path must "
-            "stay allocation-lean (see DESIGN.md, runtime layer)"});
-  }
+void sort_diags(std::vector<Diagnostic>* diags) {
+  std::sort(diags->begin(), diags->end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.token) <
+                     std::tie(b.file, b.line, b.rule, b.token);
+            });
 }
 
 }  // namespace
 
-std::string Diagnostic::format() const {
-  std::ostringstream out;
-  out << file << ':' << line << ": " << rule << ": " << message;
-  return out.str();
-}
-
 Config default_config() {
   Config cfg;
-  cfg.scan_dirs = {"src", "bench", "examples", "tests"};
+  cfg.scan_dirs = {"src", "bench", "examples", "tests", "tools"};
   cfg.exclude_prefixes = {"tests/lint_fixtures/"};
   cfg.r1_banned = {"system_clock",   "steady_clock", "high_resolution_clock",
                    "random_device",  "mt19937",      "mt19937_64",
@@ -452,6 +88,45 @@ Config default_config() {
                   "src/runtime/sim_env.cpp"};
   cfg.r4_banned = {"new",    "malloc",      "calloc",     "realloc",
                    "strdup", "make_unique", "make_shared", "function"};
+  // R6 layer map. Longest prefix wins, so file-granular refinements
+  // override their directory: the obs substrate headers (metrics/trace/
+  // span/prof) are included by every layer and sit with runtime, while
+  // the rest of obs (detect/forensic/cluster/export) is forensic-tier
+  // above the protocol layers; runtime's environment *binders*
+  // (sim_env/cluster_harness/real_env) glue protocol + net + sim
+  // together and sit with the apps. Equal ranks may include each other.
+  cfg.r6_layers = {
+      {"src/util", 0},
+      {"src/stats", 0},
+      {"src/runtime", 1},
+      {"src/obs/metrics.h", 1},
+      {"src/obs/trace.h", 1},
+      {"src/obs/span.h", 1},
+      {"src/obs/prof.h", 1},
+      {"src/crypto", 2},
+      {"src/net", 2},
+      {"src/tsc", 2},
+      {"src/sim", 3},
+      {"src/triad", 3},
+      {"src/ta", 3},
+      {"src/ntp", 3},
+      {"src/t3e", 3},
+      {"src/resilient", 3},
+      {"src/enclave", 3},
+      {"src/attacks", 3},
+      {"src/obs", 4},
+      {"src/exp", 5},
+      {"src/campaign", 5},
+      {"src/timed", 5},
+      {"src/apps", 5},
+      {"src/runtime/sim_env", 5},
+      {"src/runtime/cluster_harness", 5},
+      {"src/runtime/real_env", 5},
+  };
+  cfg.r8_files = {"src/runtime/real_env.cpp"};
+  cfg.r9_prefixes = {"triad_", "obs_"};
+  cfg.r9_docs = {"DESIGN.md"};
+  cfg.r9_inventory = "scripts/prom_families.txt";
   cfg.allow = {
       // The one sanctioned wall-clock binding: MonotonicTimer wraps
       // steady_clock; bench/, profiler, and campaign wall_ms all go
@@ -460,7 +135,8 @@ Config default_config() {
       // The one sanctioned ambient-I/O site: RealEnv owns every raw
       // socket/epoll syscall. Entries are named per token so a second
       // binding site (or a new syscall here) must be listed explicitly —
-      // no directory blanket.
+      // no directory blanket. R8 derives its watched-syscall list from
+      // these entries.
       {"R1", "src/runtime/real_env.cpp", "socket"},
       {"R1", "src/runtime/real_env.cpp", "setsockopt"},
       {"R1", "src/runtime/real_env.cpp", "recvmmsg"},
@@ -478,150 +154,20 @@ Config default_config() {
       {"R4", "src/sim/simulation.cpp", "std::function"},
       {"R4", "src/runtime/env.cpp", "std::function"},
       {"R4", "src/obs/trace.cpp", "std::function"},
+      // The one sanctioned upward include: SimEnv's packet plane lives
+      // in net/, whose delivery scheduling is the sim event loop. The
+      // interface split (PR 7's RealEnv work) is tracked in ROADMAP.md.
+      {"R6", "src/net/network.h", "sim/simulation.h"},
   };
   return cfg;
-}
-
-bool parse_config(std::string_view text, Config* config, std::string* error) {
-  const auto fail = [error](int line, const std::string& message) {
-    if (error != nullptr) {
-      *error = "line " + std::to_string(line) + ": " + message;
-    }
-    return false;
-  };
-  // Strip comments (outside quotes) line by line, keeping line numbers.
-  std::vector<std::string> lines;
-  {
-    std::string current;
-    bool quoted = false;
-    for (const char c : text) {
-      if (c == '\n') {
-        lines.push_back(current);
-        current.clear();
-        quoted = false;
-        continue;
-      }
-      if (c == '"') quoted = !quoted;
-      if (c == '#' && !quoted) {
-        // comment runs to end of line; keep consuming silently
-        current += '\0';  // marker; trimmed below
-        continue;
-      }
-      if (!current.empty() && current.back() == '\0') continue;
-      current += c;
-    }
-    lines.push_back(current);
-    for (std::string& l : lines) {
-      if (const std::size_t cut = l.find('\0'); cut != std::string::npos) {
-        l.erase(cut);
-      }
-    }
-  }
-
-  const auto trim = [](std::string s) {
-    const auto is_ws = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
-    while (!s.empty() && is_ws(s.front())) s.erase(s.begin());
-    while (!s.empty() && is_ws(s.back())) s.pop_back();
-    return s;
-  };
-
-  std::string section;
-  for (std::size_t n = 0; n < lines.size(); ++n) {
-    std::string line = trim(lines[n]);
-    if (line.empty()) continue;
-    const int line_no = static_cast<int>(n) + 1;
-    if (line.front() == '[') {
-      if (line.back() != ']') return fail(line_no, "unterminated section");
-      section = line.substr(1, line.size() - 2);
-      continue;
-    }
-    const std::size_t eq = line.find('=');
-    if (eq == std::string::npos) return fail(line_no, "expected key = value");
-    const std::string key = trim(line.substr(0, eq));
-    std::string value = trim(line.substr(eq + 1));
-    // Arrays may span lines: accumulate until brackets balance.
-    const auto bracket_balance = [](const std::string& s) {
-      int balance = 0;
-      bool quoted = false;
-      for (const char c : s) {
-        if (c == '"') quoted = !quoted;
-        if (quoted) continue;
-        if (c == '[') ++balance;
-        if (c == ']') --balance;
-      }
-      return balance;
-    };
-    while (bracket_balance(value) > 0 && n + 1 < lines.size()) {
-      ++n;
-      value += ' ';
-      value += trim(lines[n]);
-    }
-    if (bracket_balance(value) != 0) {
-      return fail(line_no, "unterminated array for key '" + key + "'");
-    }
-    // Extract the quoted strings, in order.
-    std::vector<std::string> items;
-    for (std::size_t i = 0; i < value.size(); ++i) {
-      if (value[i] != '"') continue;
-      const std::size_t close = value.find('"', i + 1);
-      if (close == std::string::npos) {
-        return fail(line_no, "unterminated string for key '" + key + "'");
-      }
-      items.push_back(value.substr(i + 1, close - i - 1));
-      i = close;
-    }
-    const std::string slot = section + "." + key;
-    if (slot == "paths.scan") {
-      config->scan_dirs = items;
-    } else if (slot == "paths.exclude") {
-      config->exclude_prefixes = items;
-    } else if (slot == "R1.banned") {
-      config->r1_banned = items;
-    } else if (slot == "R1.call_only") {
-      config->r1_call_only = items;
-    } else if (slot == "R1.exempt") {
-      config->r1_exempt_prefixes = items;
-    } else if (slot == "R2.files") {
-      config->r2_files = items;
-    } else if (slot == "R3.files") {
-      config->r3_files = items;
-    } else if (slot == "R4.files") {
-      config->r4_files = items;
-    } else if (slot == "R4.banned") {
-      config->r4_banned = items;
-    } else if (slot == "allow.entries") {
-      config->allow.clear();
-      for (const std::string& item : items) {
-        std::istringstream fields(item);
-        AllowEntry entry;
-        if (!(fields >> entry.rule >> entry.file >> entry.token)) {
-          return fail(line_no, "allow entry needs '<rule> <file> <token>': '" +
-                                   item + "'");
-        }
-        config->allow.push_back(std::move(entry));
-      }
-    } else {
-      return fail(line_no, "unknown key '" + slot + "'");
-    }
-  }
-  return true;
 }
 
 std::vector<Diagnostic> lint_source(const std::string& rel_path,
                                     std::string_view source,
                                     const Config& config) {
-  const std::vector<Token> tokens = Lexer(source).run();
+  const LexOutput lexed = lex(source);
   std::vector<Diagnostic> diags;
-  check_r1(rel_path, tokens, config, &diags);
-  if (in_file_list(rel_path, config.r2_files)) {
-    check_r2(rel_path, tokens, &diags);
-  }
-  if (in_file_list(rel_path, config.r3_files)) {
-    check_r3(rel_path, tokens, &diags);
-  }
-  if (in_file_list(rel_path, config.r4_files)) {
-    check_r4(rel_path, tokens, config, &diags);
-  }
+  run_file_rules(rel_path, lexed, config, &diags);
   std::sort(diags.begin(), diags.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               return std::tie(a.line, a.rule, a.token) <
@@ -630,167 +176,95 @@ std::vector<Diagnostic> lint_source(const std::string& rel_path,
   return diags;
 }
 
-TreeReport apply_allowlist(std::vector<Diagnostic> diagnostics,
-                           const Config& config) {
-  TreeReport report;
-  std::vector<bool> used(config.allow.size(), false);
-  for (Diagnostic& diag : diagnostics) {
-    bool allowed = false;
-    for (std::size_t i = 0; i < config.allow.size(); ++i) {
-      const AllowEntry& entry = config.allow[i];
-      if (entry.rule == diag.rule && entry.file == diag.file &&
-          (entry.token == "*" || entry.token == diag.token)) {
-        used[i] = true;
-        allowed = true;
-        break;
-      }
-    }
-    (allowed ? report.suppressed : report.diagnostics)
-        .push_back(std::move(diag));
+std::vector<Diagnostic> lint_sources(const std::vector<SourceFile>& files,
+                                     const Config& config) {
+  std::vector<LexOutput> lexed;
+  lexed.reserve(files.size());
+  for (const SourceFile& file : files) lexed.push_back(lex(file.text));
+  std::vector<Diagnostic> diags;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    run_file_rules(files[i].rel_path, lexed[i], config, &diags);
   }
-  for (std::size_t i = 0; i < config.allow.size(); ++i) {
-    if (!used[i]) report.unused_allows.push_back(config.allow[i]);
-  }
-  return report;
+  check_r6(files, lexed, config, &diags);
+  check_r7(files, lexed, &diags);
+  check_r9_inventory(harvest_metrics_lexed(files, lexed, config), &diags);
+  sort_diags(&diags);
+  return diags;
 }
 
-TreeReport lint_tree(const std::string& root, const Config& config) {
+MetricInventory harvest_metrics(const std::vector<SourceFile>& files,
+                                const Config& config) {
+  std::vector<LexOutput> lexed;
+  lexed.reserve(files.size());
+  for (const SourceFile& file : files) lexed.push_back(lex(file.text));
+  return harvest_metrics_lexed(files, lexed, config);
+}
+
+std::vector<SourceFile> read_tree(const std::string& root,
+                                  const Config& config) {
   namespace fs = std::filesystem;
   static const std::set<std::string> kExtensions = {".h", ".hpp", ".cpp",
                                                     ".cc", ".cxx"};
-  std::vector<std::string> files;
+  std::vector<std::string> paths;
   for (const std::string& dir : config.scan_dirs) {
     const fs::path base = fs::path(root) / dir;
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file()) continue;
       if (kExtensions.count(entry.path().extension().string()) == 0) continue;
-      files.push_back(
-          fs::relative(entry.path(), root).generic_string());
+      paths.push_back(fs::relative(entry.path(), root).generic_string());
     }
   }
-  std::sort(files.begin(), files.end());
-  std::vector<Diagnostic> diags;
-  std::vector<std::string> scanned;
-  for (const std::string& rel : files) {
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  for (std::string& rel : paths) {
     if (has_prefix(rel, config.exclude_prefixes)) continue;
     std::ifstream in(fs::path(root) / rel, std::ios::binary);
     std::ostringstream content;
     content << in.rdbuf();
-    scanned.push_back(rel);
-    std::vector<Diagnostic> file_diags =
-        lint_source(rel, content.str(), config);
-    diags.insert(diags.end(), std::make_move_iterator(file_diags.begin()),
-                 std::make_move_iterator(file_diags.end()));
+    files.push_back(SourceFile{std::move(rel), content.str()});
   }
+  return files;
+}
+
+TreeReport lint_tree(const std::string& root, const Config& config) {
+  namespace fs = std::filesystem;
+  const std::vector<SourceFile> files = read_tree(root, config);
+
+  std::vector<LexOutput> lexed;
+  lexed.reserve(files.size());
+  for (const SourceFile& file : files) lexed.push_back(lex(file.text));
+
+  std::vector<Diagnostic> diags;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    run_file_rules(files[i].rel_path, lexed[i], config, &diags);
+  }
+  check_r6(files, lexed, config, &diags);
+  check_r7(files, lexed, &diags);
+
+  const MetricInventory inventory =
+      harvest_metrics_lexed(files, lexed, config);
+  check_r9_inventory(inventory, &diags);
+  const auto slurp = [&root](const std::string& rel) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
+  };
+  std::vector<std::string> doc_texts;
+  doc_texts.reserve(config.r9_docs.size());
+  for (const std::string& doc : config.r9_docs) doc_texts.push_back(slurp(doc));
+  const std::string committed =
+      config.r9_inventory.empty() ? std::string() : slurp(config.r9_inventory);
+  check_r9_tree(inventory, config, doc_texts, committed, &diags);
+
+  sort_diags(&diags);
   TreeReport report = apply_allowlist(std::move(diags), config);
-  report.files_scanned = std::move(scanned);
+  report.files_scanned.reserve(files.size());
+  for (const SourceFile& file : files) {
+    report.files_scanned.push_back(file.rel_path);
+  }
   return report;
-}
-
-std::string add_to_allowlist(std::string_view config_text,
-                             const std::vector<Diagnostic>& diagnostics) {
-  // Dedup new entries against each other and against existing ones.
-  Config parsed = default_config();
-  std::string error;
-  parse_config(config_text, &parsed, &error);  // best effort
-  std::set<std::string> existing;
-  for (const AllowEntry& entry : parsed.allow) {
-    existing.insert(entry.rule + " " + entry.file + " " + entry.token);
-  }
-  std::vector<std::string> additions;
-  for (const Diagnostic& diag : diagnostics) {
-    const std::string entry = diag.rule + " " + diag.file + " " + diag.token;
-    if (existing.insert(entry).second) additions.push_back(entry);
-  }
-  if (additions.empty()) return std::string(config_text);
-
-  std::string text(config_text);
-  std::string block;
-  for (const std::string& entry : additions) {
-    block += "  \"" + entry + "\",\n";
-  }
-  const std::size_t section = text.find("[allow]");
-  if (section == std::string::npos) {
-    if (!text.empty() && text.back() != '\n') text += '\n';
-    return text + "\n[allow]\nentries = [\n" + block + "]\n";
-  }
-  const std::size_t open = text.find('[', text.find('=', section));
-  const std::size_t close = text.find(']', open + 1);
-  if (open == std::string::npos || close == std::string::npos) {
-    return text + "\n# triad_lint --fix-allowlist could not parse [allow]\n";
-  }
-  // Insert just before the closing bracket, on its own line.
-  std::size_t insert_at = text.rfind('\n', close);
-  insert_at = insert_at == std::string::npos ? close : insert_at + 1;
-  text.insert(insert_at, block);
-  return text;
-}
-
-std::string invariants_source() {
-  return R"cpp(// GENERATED by `triad_lint --emit-invariants`; do not edit.
-//
-// Compile-time audit of the binary-layout and packing invariants the
-// observability layer's byte-stability claims depend on (rule R5).
-// A failed static_assert fails the *build*, not just the lint run.
-#include <cstddef>
-#include <cstdint>
-#include <type_traits>
-
-#include "obs/span.h"
-#include "obs/trace.h"
-#include "util/types.h"
-
-namespace triad::obs {
-
-// TraceEvent is persisted through memcpy-style ring storage and decoded
-// field-by-field by the JSONL round-trip; its layout is load-bearing.
-static_assert(sizeof(TraceEvent) == 56,
-              "TraceEvent grew or shrank: ring capacity math, emission "
-              "cost, and the 'span fills the padding hole' claim all "
-              "assume the 56-byte layout");
-static_assert(std::is_trivially_copyable_v<TraceEvent>,
-              "TraceEvent must stay a POD: RingTraceSink stores it by "
-              "value with no per-event allocation");
-static_assert(std::is_standard_layout_v<TraceEvent>,
-              "TraceEvent must stay standard-layout for offsetof audits");
-static_assert(offsetof(TraceEvent, at) == 0, "at must lead the record");
-static_assert(offsetof(TraceEvent, type) == 8, "type follows the stamp");
-static_assert(offsetof(TraceEvent, node) == 12, "node at the 4-byte slot");
-static_assert(offsetof(TraceEvent, peer) == 16, "peer after node");
-static_assert(offsetof(TraceEvent, span) == 20,
-              "span must sit in the former padding hole before a — moving "
-              "it changes emission cost");
-static_assert(offsetof(TraceEvent, a) == 24 && offsetof(TraceEvent, b) == 32,
-              "integer payload slots are 8-aligned");
-static_assert(offsetof(TraceEvent, x) == 40 && offsetof(TraceEvent, y) == 48,
-              "double payload slots trail the record");
-
-// SpanId packing: node address in the low bits, per-node sequence above.
-static_assert(std::is_same_v<SpanId, std::uint32_t>,
-              "SpanId must stay 32-bit: it rides inside sealed protocol "
-              "messages at fixed width");
-static_assert(kSpanNodeBits == 10,
-              "span packing is part of the trace wire format");
-static_assert(make_span_id(3, 7) == ((7u << 10) | 3u),
-              "make_span_id packs seq above the node address");
-static_assert(span_node(make_span_id(1023, 1)) == 1023,
-              "span_node must round-trip the widest address");
-static_assert(span_seq(make_span_id(5, 4194303u)) == 4194303u,
-              "span_seq must round-trip the widest sequence");
-static_assert(make_span_id(0, 0) == 0, "seq 0 on node 0 is 'no span'");
-
-// Scalar contracts the whole codebase assumes.
-static_assert(std::is_same_v<SimTime, std::int64_t>,
-              "SimTime is signed 64-bit nanoseconds");
-static_assert(std::is_same_v<NodeId, std::uint32_t>,
-              "NodeId width is part of TraceEvent's layout");
-static_assert(seconds(1) == 1'000'000'000, "SimTime unit is nanoseconds");
-
-}  // namespace triad::obs
-
-int main() { return 0; }
-)cpp";
 }
 
 }  // namespace triad::lint

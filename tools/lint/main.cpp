@@ -17,19 +17,26 @@ int usage(const char* argv0) {
       << "usage: " << argv0 << " [options] [file...]\n"
          "\n"
          "Lints the repo's C++ sources for determinism/invariant rule\n"
-         "violations (R1-R4) and generates the R5 static_assert audit.\n"
+         "violations (R1-R4, R6-R9) and generates the R5 static_assert\n"
+         "audit and the R9 metric inventory.\n"
          "\n"
          "  --root DIR           repo root to scan (default: .)\n"
          "  --config FILE        rule config (default: built-in defaults,\n"
          "                       mirrored in tools/lint/lint_rules.toml)\n"
          "  --fix-allowlist      append current diagnostics to the config's\n"
          "                       [allow] baseline instead of failing\n"
+         "  --fail-unused-allow  stale [allow] entries fail the run (exit 1)\n"
+         "                       instead of printing as notes\n"
          "  --emit-invariants F  write the generated static_assert test to F\n"
+         "  --emit-metric-inventory F\n"
+         "                       write the R9 metric family inventory to F\n"
+         "                       (the committed scripts/prom_families.txt)\n"
          "  --list-files         print the files a tree scan would lint\n"
          "  -q, --quiet          suppress the summary line\n"
          "\n"
          "With explicit files, only those files are linted (paths are\n"
-         "interpreted relative to --root for rule targeting).\n";
+         "interpreted relative to --root for rule targeting); cross-file\n"
+         "analyses then see only that subset.\n";
   return 2;
 }
 
@@ -47,7 +54,9 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string config_path;
   std::string emit_path;
+  std::string emit_inventory_path;
   bool fix_allowlist = false;
+  bool fail_unused_allow = false;
   bool list_files = false;
   bool quiet = false;
   std::vector<std::string> files;
@@ -67,8 +76,12 @@ int main(int argc, char** argv) {
       config_path = value("--config");
     } else if (arg == "--emit-invariants") {
       emit_path = value("--emit-invariants");
+    } else if (arg == "--emit-metric-inventory") {
+      emit_inventory_path = value("--emit-metric-inventory");
     } else if (arg == "--fix-allowlist") {
       fix_allowlist = true;
+    } else if (arg == "--fail-unused-allow") {
+      fail_unused_allow = true;
     } else if (arg == "--list-files") {
       list_files = true;
     } else if (arg == "-q" || arg == "--quiet") {
@@ -110,18 +123,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!emit_inventory_path.empty()) {
+    const triad::lint::MetricInventory inventory = triad::lint::harvest_metrics(
+        triad::lint::read_tree(root, config), config);
+    std::ofstream out(emit_inventory_path, std::ios::binary);
+    out << triad::lint::render_metric_inventory(inventory);
+    if (!out) {
+      std::cerr << argv[0] << ": cannot write " << emit_inventory_path << "\n";
+      return 2;
+    }
+    if (!quiet) {
+      std::cerr << "wrote " << emit_inventory_path << " ("
+                << inventory.size() << " families)\n";
+    }
+    return 0;
+  }
+
   triad::lint::TreeReport report;
   if (files.empty()) {
     report = triad::lint::lint_tree(root, config);
   } else {
-    std::vector<triad::lint::Diagnostic> diags;
+    std::vector<triad::lint::SourceFile> sources;
     for (const std::string& file : files) {
       bool ok = false;
       const std::filesystem::path path =
           std::filesystem::path(file).is_absolute()
               ? std::filesystem::path(file)
               : std::filesystem::path(root) / file;
-      const std::string content = read_file(path, &ok);
+      std::string content = read_file(path, &ok);
       if (!ok) {
         std::cerr << argv[0] << ": cannot read " << path.string() << "\n";
         return 2;
@@ -130,13 +159,11 @@ int main(int argc, char** argv) {
           std::filesystem::path(file).is_absolute()
               ? std::filesystem::relative(file, root).generic_string()
               : std::filesystem::path(file).generic_string();
-      std::vector<triad::lint::Diagnostic> file_diags =
-          triad::lint::lint_source(rel, content, config);
-      diags.insert(diags.end(), file_diags.begin(), file_diags.end());
+      sources.push_back(triad::lint::SourceFile{rel, std::move(content)});
       report.files_scanned.push_back(rel);
     }
-    triad::lint::TreeReport filtered =
-        triad::lint::apply_allowlist(std::move(diags), config);
+    triad::lint::TreeReport filtered = triad::lint::apply_allowlist(
+        triad::lint::lint_sources(sources, config), config);
     report.diagnostics = std::move(filtered.diagnostics);
     report.suppressed = std::move(filtered.suppressed);
     // Unused allow entries are only meaningful on full-tree scans.
@@ -174,14 +201,17 @@ int main(int argc, char** argv) {
   for (const triad::lint::Diagnostic& diag : report.diagnostics) {
     std::cout << diag.format() << "\n";
   }
+  const bool unused_fail = fail_unused_allow && !report.unused_allows.empty();
   for (const triad::lint::AllowEntry& entry : report.unused_allows) {
-    std::cerr << "note: unused allowlist entry: " << entry.rule << " "
+    std::cerr << (unused_fail ? "error" : "note")
+              << ": unused allowlist entry: " << entry.rule << " "
               << entry.file << " " << entry.token << "\n";
   }
   if (!quiet) {
     std::cerr << "triad_lint: " << report.files_scanned.size() << " file(s), "
               << report.diagnostics.size() << " diagnostic(s), "
-              << report.suppressed.size() << " allowlisted\n";
+              << report.suppressed.size() << " allowlisted, "
+              << report.unused_allows.size() << " unused allow(s)\n";
   }
-  return report.diagnostics.empty() ? 0 : 1;
+  return (report.diagnostics.empty() && !unused_fail) ? 0 : 1;
 }

@@ -1,0 +1,298 @@
+#include "report.h"
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace triad::lint {
+
+std::string Diagnostic::format() const {
+  std::ostringstream out;
+  out << file << ':' << line << ": " << rule << ": " << message;
+  return out.str();
+}
+
+bool parse_config(std::string_view text, Config* config, std::string* error) {
+  const auto fail = [error](int line, const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line) + ": " + message;
+    }
+    return false;
+  };
+  // Strip comments (outside quotes) line by line, keeping line numbers.
+  std::vector<std::string> lines;
+  {
+    std::string current;
+    bool quoted = false;
+    for (const char c : text) {
+      if (c == '\n') {
+        lines.push_back(current);
+        current.clear();
+        quoted = false;
+        continue;
+      }
+      if (c == '"') quoted = !quoted;
+      if (c == '#' && !quoted) {
+        // comment runs to end of line; keep consuming silently
+        current += '\0';  // marker; trimmed below
+        continue;
+      }
+      if (!current.empty() && current.back() == '\0') continue;
+      current += c;
+    }
+    lines.push_back(current);
+    for (std::string& l : lines) {
+      if (const std::size_t cut = l.find('\0'); cut != std::string::npos) {
+        l.erase(cut);
+      }
+    }
+  }
+
+  const auto trim = [](std::string s) {
+    const auto is_ws = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+    while (!s.empty() && is_ws(s.front())) s.erase(s.begin());
+    while (!s.empty() && is_ws(s.back())) s.pop_back();
+    return s;
+  };
+
+  std::string section;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    std::string line = trim(lines[n]);
+    if (line.empty()) continue;
+    const int line_no = static_cast<int>(n) + 1;
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail(line_no, "unterminated section");
+      section = line.substr(1, line.size() - 2);
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail(line_no, "expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    // Arrays may span lines: accumulate until brackets balance.
+    const auto bracket_balance = [](const std::string& s) {
+      int balance = 0;
+      bool quoted = false;
+      for (const char c : s) {
+        if (c == '"') quoted = !quoted;
+        if (quoted) continue;
+        if (c == '[') ++balance;
+        if (c == ']') --balance;
+      }
+      return balance;
+    };
+    while (bracket_balance(value) > 0 && n + 1 < lines.size()) {
+      ++n;
+      value += ' ';
+      value += trim(lines[n]);
+    }
+    if (bracket_balance(value) != 0) {
+      return fail(line_no, "unterminated array for key '" + key + "'");
+    }
+    // Extract the quoted strings, in order.
+    std::vector<std::string> items;
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      if (value[i] != '"') continue;
+      const std::size_t close = value.find('"', i + 1);
+      if (close == std::string::npos) {
+        return fail(line_no, "unterminated string for key '" + key + "'");
+      }
+      items.push_back(value.substr(i + 1, close - i - 1));
+      i = close;
+    }
+    const std::string slot = section + "." + key;
+    if (slot == "paths.scan") {
+      config->scan_dirs = items;
+    } else if (slot == "paths.exclude") {
+      config->exclude_prefixes = items;
+    } else if (slot == "R1.banned") {
+      config->r1_banned = items;
+    } else if (slot == "R1.call_only") {
+      config->r1_call_only = items;
+    } else if (slot == "R1.exempt") {
+      config->r1_exempt_prefixes = items;
+    } else if (slot == "R2.files") {
+      config->r2_files = items;
+    } else if (slot == "R3.files") {
+      config->r3_files = items;
+    } else if (slot == "R4.files") {
+      config->r4_files = items;
+    } else if (slot == "R4.banned") {
+      config->r4_banned = items;
+    } else if (slot == "R6.layers") {
+      config->r6_layers.clear();
+      for (const std::string& item : items) {
+        const std::size_t space = item.rfind(' ');
+        LayerEntry entry;
+        if (space == std::string::npos || space + 1 >= item.size()) {
+          return fail(line_no,
+                      "layer entry needs '<prefix> <rank>': '" + item + "'");
+        }
+        entry.prefix = item.substr(0, space);
+        try {
+          entry.rank = std::stoi(item.substr(space + 1));
+        } catch (...) {
+          return fail(line_no,
+                      "layer entry needs '<prefix> <rank>': '" + item + "'");
+        }
+        config->r6_layers.push_back(std::move(entry));
+      }
+    } else if (slot == "R8.files") {
+      config->r8_files = items;
+    } else if (slot == "R9.prefixes") {
+      config->r9_prefixes = items;
+    } else if (slot == "R9.docs") {
+      config->r9_docs = items;
+    } else if (slot == "R9.inventory") {
+      if (items.size() != 1) {
+        return fail(line_no, "R9.inventory takes exactly one path");
+      }
+      config->r9_inventory = items.front();
+    } else if (slot == "allow.entries") {
+      config->allow.clear();
+      for (const std::string& item : items) {
+        std::istringstream fields(item);
+        AllowEntry entry;
+        if (!(fields >> entry.rule >> entry.file >> entry.token)) {
+          return fail(line_no, "allow entry needs '<rule> <file> <token>': '" +
+                                   item + "'");
+        }
+        config->allow.push_back(std::move(entry));
+      }
+    } else {
+      return fail(line_no, "unknown key '" + slot + "'");
+    }
+  }
+  return true;
+}
+
+TreeReport apply_allowlist(std::vector<Diagnostic> diagnostics,
+                           const Config& config) {
+  TreeReport report;
+  std::vector<bool> used(config.allow.size(), false);
+  for (Diagnostic& diag : diagnostics) {
+    bool allowed = false;
+    for (std::size_t i = 0; i < config.allow.size(); ++i) {
+      const AllowEntry& entry = config.allow[i];
+      if (entry.rule == diag.rule && entry.file == diag.file &&
+          (entry.token == "*" || entry.token == diag.token)) {
+        used[i] = true;
+        allowed = true;
+        break;
+      }
+    }
+    (allowed ? report.suppressed : report.diagnostics)
+        .push_back(std::move(diag));
+  }
+  for (std::size_t i = 0; i < config.allow.size(); ++i) {
+    if (!used[i]) report.unused_allows.push_back(config.allow[i]);
+  }
+  return report;
+}
+
+std::string add_to_allowlist(std::string_view config_text,
+                             const std::vector<Diagnostic>& diagnostics) {
+  // Dedup new entries against each other and against existing ones.
+  Config parsed = default_config();
+  std::string error;
+  parse_config(config_text, &parsed, &error);  // best effort
+  std::set<std::string> existing;
+  for (const AllowEntry& entry : parsed.allow) {
+    existing.insert(entry.rule + " " + entry.file + " " + entry.token);
+  }
+  std::vector<std::string> additions;
+  for (const Diagnostic& diag : diagnostics) {
+    const std::string entry = diag.rule + " " + diag.file + " " + diag.token;
+    if (existing.insert(entry).second) additions.push_back(entry);
+  }
+  if (additions.empty()) return std::string(config_text);
+
+  std::string text(config_text);
+  std::string block;
+  for (const std::string& entry : additions) {
+    block += "  \"" + entry + "\",\n";
+  }
+  const std::size_t section = text.find("[allow]");
+  if (section == std::string::npos) {
+    if (!text.empty() && text.back() != '\n') text += '\n';
+    return text + "\n[allow]\nentries = [\n" + block + "]\n";
+  }
+  const std::size_t open = text.find('[', text.find('=', section));
+  const std::size_t close = text.find(']', open + 1);
+  if (open == std::string::npos || close == std::string::npos) {
+    return text + "\n# triad_lint --fix-allowlist could not parse [allow]\n";
+  }
+  // Insert just before the closing bracket, on its own line.
+  std::size_t insert_at = text.rfind('\n', close);
+  insert_at = insert_at == std::string::npos ? close : insert_at + 1;
+  text.insert(insert_at, block);
+  return text;
+}
+
+std::string invariants_source() {
+  return R"cpp(// GENERATED by `triad_lint --emit-invariants`; do not edit.
+//
+// Compile-time audit of the binary-layout and packing invariants the
+// observability layer's byte-stability claims depend on (rule R5).
+// A failed static_assert fails the *build*, not just the lint run.
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "util/types.h"
+
+namespace triad::obs {
+
+// TraceEvent is persisted through memcpy-style ring storage and decoded
+// field-by-field by the JSONL round-trip; its layout is load-bearing.
+static_assert(sizeof(TraceEvent) == 56,
+              "TraceEvent grew or shrank: ring capacity math, emission "
+              "cost, and the 'span fills the padding hole' claim all "
+              "assume the 56-byte layout");
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent must stay a POD: RingTraceSink stores it by "
+              "value with no per-event allocation");
+static_assert(std::is_standard_layout_v<TraceEvent>,
+              "TraceEvent must stay standard-layout for offsetof audits");
+static_assert(offsetof(TraceEvent, at) == 0, "at must lead the record");
+static_assert(offsetof(TraceEvent, type) == 8, "type follows the stamp");
+static_assert(offsetof(TraceEvent, node) == 12, "node at the 4-byte slot");
+static_assert(offsetof(TraceEvent, peer) == 16, "peer after node");
+static_assert(offsetof(TraceEvent, span) == 20,
+              "span must sit in the former padding hole before a — moving "
+              "it changes emission cost");
+static_assert(offsetof(TraceEvent, a) == 24 && offsetof(TraceEvent, b) == 32,
+              "integer payload slots are 8-aligned");
+static_assert(offsetof(TraceEvent, x) == 40 && offsetof(TraceEvent, y) == 48,
+              "double payload slots trail the record");
+
+// SpanId packing: node address in the low bits, per-node sequence above.
+static_assert(std::is_same_v<SpanId, std::uint32_t>,
+              "SpanId must stay 32-bit: it rides inside sealed protocol "
+              "messages at fixed width");
+static_assert(kSpanNodeBits == 10,
+              "span packing is part of the trace wire format");
+static_assert(make_span_id(3, 7) == ((7u << 10) | 3u),
+              "make_span_id packs seq above the node address");
+static_assert(span_node(make_span_id(1023, 1)) == 1023,
+              "span_node must round-trip the widest address");
+static_assert(span_seq(make_span_id(5, 4194303u)) == 4194303u,
+              "span_seq must round-trip the widest sequence");
+static_assert(make_span_id(0, 0) == 0, "seq 0 on node 0 is 'no span'");
+
+// Scalar contracts the whole codebase assumes.
+static_assert(std::is_same_v<SimTime, std::int64_t>,
+              "SimTime is signed 64-bit nanoseconds");
+static_assert(std::is_same_v<NodeId, std::uint32_t>,
+              "NodeId width is part of TraceEvent's layout");
+static_assert(seconds(1) == 1'000'000'000, "SimTime unit is nanoseconds");
+
+}  // namespace triad::obs
+
+int main() { return 0; }
+)cpp";
+}
+
+}  // namespace triad::lint

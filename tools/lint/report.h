@@ -1,0 +1,8 @@
+// Reporting plumbing shared by the CLI and tests: diagnostic
+// formatting, the lint_rules.toml subset parser, allowlist application,
+// --fix-allowlist rewriting, and the generated R5 invariants unit. The
+// public declarations live in lint.h; this header only exists so the
+// implementation files agree on what lives where.
+#pragma once
+
+#include "lint.h"
